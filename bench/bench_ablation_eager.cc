@@ -1,0 +1,72 @@
+// Ablation A8: eager completion on the TB-tree (this repository's
+// extension). The plain BFMST waits for best-first node delivery to
+// complete candidates; with the TB-tree's per-trajectory leaf chains a
+// contender can instead be completed directly, tightening the kth bound —
+// and Heuristic 2's termination — early. The effect should grow with query
+// length, which is exactly the regime where the paper's own TB results
+// shine against the 3D R-tree.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/util/flags.h"
+#include "src/util/table.h"
+
+namespace mst {
+namespace {
+
+int Main(int argc, char** argv) {
+  int64_t queries = 15;
+  int64_t objects = 250;
+  bool help = false;
+  FlagParser flags;
+  flags.AddInt("queries", &queries, "queries per cell");
+  flags.AddInt("objects", &objects, "dataset cardinality");
+  flags.AddBool("help", &help, "print usage");
+  if (!flags.Parse(argc, argv)) return 1;
+  if (help) {
+    flags.PrintUsage("bench_ablation_eager");
+    return 0;
+  }
+
+  std::fprintf(stderr, "[a8] building dataset...\n");
+  TrajectoryStore store =
+      bench::MakeSDataset(static_cast<int>(objects));
+  TBTree index;
+  index.BuildFrom(store);
+  index.ConfigurePaperBuffer();
+
+  std::printf("== Ablation A8: eager completion via TB-tree chains ==\n");
+  std::printf("(dataset %s, k = 1, %lld queries per cell)\n",
+              bench::SDatasetName(static_cast<int>(objects)).c_str(),
+              static_cast<long long>(queries));
+  TextTable table;
+  table.SetHeader({"QueryLen", "Mode", "Time(ms)", "NodeAcc", "Pruning"});
+  for (const double frac : {0.05, 0.25, 0.50, 1.00}) {
+    for (const bool eager : {false, true}) {
+      MstOptions base;
+      base.use_eager_completion = eager;
+      const auto r = bench::RunQuerySet(
+          index, store, static_cast<int>(queries), frac, /*k=*/1,
+          /*seed=*/4242 + static_cast<uint64_t>(frac * 100), base);
+      char lname[16];
+      std::snprintf(lname, sizeof(lname), "%.0f%%", frac * 100.0);
+      table.AddRow({lname, eager ? "eager" : "plain",
+                    TextTable::Fmt(r.time_ms.mean(), 2),
+                    TextTable::Fmt(r.nodes_accessed.mean(), 0),
+                    TextTable::FmtPct(r.pruning_power.mean(), 1)});
+    }
+  }
+  table.Print();
+  std::printf(
+      "expected: identical answers (verified by tests); eager mode trades\n"
+      "extra chain reads for earlier termination — a modest time win at\n"
+      "long queries in this in-memory setting (on spinning disks the chain\n"
+      "reads are sequential, which would favor it further).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace mst
+
+int main(int argc, char** argv) { return mst::Main(argc, argv); }

@@ -1,0 +1,69 @@
+// Ablation A2: contribution of the two pruning heuristics. BFMST runs with
+// Heuristic 1 (OPTDISSIM candidate rejection), Heuristic 2 (MINDISSIMINC
+// termination), both, and neither, and reports node accesses and time.
+// The paper observes that pruning comes "mainly by the MINDISSIMINC
+// heuristic, which directly rejects all tree nodes not yet processed";
+// this bench makes that attribution measurable.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/util/flags.h"
+#include "src/util/table.h"
+
+namespace mst {
+namespace {
+
+int Main(int argc, char** argv) {
+  int64_t queries = 20;
+  int64_t objects = 250;
+  bool help = false;
+  FlagParser flags;
+  flags.AddInt("queries", &queries, "queries per configuration");
+  flags.AddInt("objects", &objects, "dataset cardinality");
+  flags.AddBool("help", &help, "print usage");
+  if (!flags.Parse(argc, argv)) return 1;
+  if (help) {
+    flags.PrintUsage("bench_ablation_heuristics");
+    return 0;
+  }
+
+  std::fprintf(stderr, "[a2] building dataset...\n");
+  const auto built =
+      bench::BuildBoth(bench::MakeSDataset(static_cast<int>(objects)));
+
+  std::printf("== Ablation A2: pruning heuristics on/off ==\n");
+  std::printf("(dataset %s, query = 5%% slice, k = 1, %lld queries)\n",
+              bench::SDatasetName(static_cast<int>(objects)).c_str(),
+              static_cast<long long>(queries));
+  TextTable table;
+  table.SetHeader({"Index", "H1(OPTDISSIM)", "H2(MINDISSIMINC)", "Time(ms)",
+                   "Pruning", "NodeAcc"});
+  for (TrajectoryIndex* index : built.indexes()) {
+    for (const bool h1 : {false, true}) {
+      for (const bool h2 : {false, true}) {
+        MstOptions base;
+        base.use_heuristic1 = h1;
+        base.use_heuristic2 = h2;
+        const auto r = bench::RunQuerySet(*index, built.store,
+                                          static_cast<int>(queries),
+                                          /*length_fraction=*/0.05, /*k=*/1,
+                                          /*seed=*/1234, base);
+        table.AddRow({index->name(), h1 ? "on" : "off", h2 ? "on" : "off",
+                      TextTable::Fmt(r.time_ms.mean(), 2),
+                      TextTable::FmtPct(r.pruning_power.mean(), 1),
+                      TextTable::Fmt(r.nodes_accessed.mean(), 0)});
+      }
+    }
+  }
+  table.Print();
+  std::printf(
+      "expected: H2 supplies the bulk of the pruning (its termination stops\n"
+      "the best-first sweep); H1 trims candidate bookkeeping on top.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace mst
+
+int main(int argc, char** argv) { return mst::Main(argc, argv); }

@@ -1,0 +1,141 @@
+// Ablation A6: structural comparison of the three R-tree-family indexes —
+// build throughput, size, leaf fill, trajectory preservation, and k-MST
+// query cost on the same dataset. Quantifies the §4.5 claim that BFMST is
+// index-agnostic, and the design trade-offs between the family members.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/index/strtree.h"
+#include "src/util/flags.h"
+#include "src/util/table.h"
+#include "src/util/timer.h"
+
+namespace mst {
+namespace {
+
+struct LeafStats {
+  int64_t leaves = 0;
+  double fill = 0.0;
+  double preservation = 0.0;
+};
+
+LeafStats ComputeLeafStats(const TrajectoryIndex& index) {
+  LeafStats out;
+  if (index.empty()) return out;
+  struct Placed {
+    TrajectoryId id;
+    double t0;
+    PageId leaf;
+  };
+  std::vector<Placed> placed;
+  int64_t entries = 0;
+  std::vector<PageId> stack = {index.root()};
+  while (!stack.empty()) {
+    const PageId page = stack.back();
+    stack.pop_back();
+    const IndexNode node = index.ReadNode(page);
+    if (node.IsLeaf()) {
+      ++out.leaves;
+      entries += node.Count();
+      for (const LeafEntry& e : node.leaves) {
+        placed.push_back({e.traj_id, e.t0, page});
+      }
+    } else {
+      for (const InternalEntry& e : node.internals) stack.push_back(e.child);
+    }
+  }
+  out.fill = out.leaves > 0 ? static_cast<double>(entries) /
+                                  (out.leaves * IndexNode::kCapacity)
+                            : 0.0;
+  std::sort(placed.begin(), placed.end(),
+            [](const Placed& a, const Placed& b) {
+              if (a.id != b.id) return a.id < b.id;
+              return a.t0 < b.t0;
+            });
+  int64_t pairs = 0;
+  int64_t together = 0;
+  for (size_t i = 1; i < placed.size(); ++i) {
+    if (placed[i].id != placed[i - 1].id) continue;
+    ++pairs;
+    if (placed[i].leaf == placed[i - 1].leaf) ++together;
+  }
+  out.preservation =
+      pairs > 0 ? static_cast<double>(together) / static_cast<double>(pairs)
+                : 1.0;
+  return out;
+}
+
+int Main(int argc, char** argv) {
+  int64_t objects = 250;
+  int64_t queries = 20;
+  bool help = false;
+  FlagParser flags;
+  flags.AddInt("objects", &objects, "dataset cardinality");
+  flags.AddInt("queries", &queries, "k-MST queries per index");
+  flags.AddBool("help", &help, "print usage");
+  if (!flags.Parse(argc, argv)) return 1;
+  if (help) {
+    flags.PrintUsage("bench_ablation_indexes");
+    return 0;
+  }
+
+  std::fprintf(stderr, "[a6] generating dataset...\n");
+  const TrajectoryStore store =
+      bench::MakeSDataset(static_cast<int>(objects));
+
+  std::printf("== Ablation A6: index family comparison (%s) ==\n",
+              bench::SDatasetName(static_cast<int>(objects)).c_str());
+  TextTable table;
+  table.SetHeader({"Index", "Build(s)", "Size(MB)", "LeafFill",
+                   "Preservation", "kMST(ms)", "Pruning"});
+
+  RTree3D rtree;
+  TBTree tbtree;
+  STRTree strtree;
+  RTree3D bulk;
+  struct Engine {
+    TrajectoryIndex* index;
+    const char* label;
+    bool bulk_load;
+  };
+  const Engine engines[] = {{&rtree, "3D R-tree", false},
+                            {&tbtree, "TB-tree", false},
+                            {&strtree, "STR-tree", false},
+                            {&bulk, "3D R-tree (bulk)", true}};
+  for (const Engine& engine : engines) {
+    TrajectoryIndex* index = engine.index;
+    WallTimer timer;
+    if (engine.bulk_load) {
+      bulk.BulkLoad(store);
+    } else {
+      index->BuildFrom(store);
+    }
+    const double build_s = timer.ElapsedSeconds();
+    index->ConfigurePaperBuffer();
+    const LeafStats leaf = ComputeLeafStats(*index);
+    const auto r = bench::RunQuerySet(*index, store,
+                                      static_cast<int>(queries),
+                                      /*length_fraction=*/0.05, /*k=*/1,
+                                      /*seed=*/31415);
+    table.AddRow({engine.label, TextTable::Fmt(build_s, 2),
+                  TextTable::Fmt(index->SizeBytes() / 1048576.0, 1),
+                  TextTable::FmtPct(leaf.fill, 1),
+                  TextTable::FmtPct(leaf.preservation, 1),
+                  TextTable::Fmt(r.time_ms.mean(), 2),
+                  TextTable::FmtPct(r.pruning_power.mean(), 1)});
+  }
+  table.Print();
+  std::printf(
+      "expected: insertion-built 3D R-tree pays ~2x size (quadratic-split\n"
+      "leaves at ~55%% fill); TB/STR pack densely and keep trajectories\n"
+      "together; STR bulk loading is the fastest build and the smallest\n"
+      "tree; BFMST prunes > 99%% on all four.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace mst
+
+int main(int argc, char** argv) { return mst::Main(argc, argv); }

@@ -1,0 +1,87 @@
+// Ablation A1: the trapezoid approximation of Lemma 1 vs the exact
+// closed-form integral — computation cost, measured error, and how tight
+// the Lemma 1 bound is in practice. This quantifies the paper's §3 claim
+// that the approximation avoids a "computationally heavy operation" at a
+// bounded (and in practice tiny) accuracy cost.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/core/dissim.h"
+#include "src/util/flags.h"
+#include "src/util/table.h"
+
+namespace mst {
+namespace {
+
+int Main(int argc, char** argv) {
+  int64_t pairs = 200;
+  bool help = false;
+  FlagParser flags;
+  flags.AddInt("pairs", &pairs, "random trajectory pairs to integrate");
+  flags.AddBool("help", &help, "print usage");
+  if (!flags.Parse(argc, argv)) return 1;
+  if (help) {
+    flags.PrintUsage("bench_ablation_trapezoid");
+    return 0;
+  }
+
+  const TrajectoryStore store = bench::MakeSDataset(64, 2000);
+  Rng rng(2024);
+
+  struct PolicyRow {
+    IntegrationPolicy policy;
+    const char* name;
+    RunningStats time_us;
+    RunningStats rel_err;
+    RunningStats rel_bound;
+  };
+  PolicyRow rows[] = {
+      {IntegrationPolicy::kExact, "exact", {}, {}, {}},
+      {IntegrationPolicy::kTrapezoid, "trapezoid", {}, {}, {}},
+      {IntegrationPolicy::kAdaptive, "adaptive", {}, {}, {}},
+  };
+
+  for (int i = 0; i < pairs; ++i) {
+    const size_t a = rng.UniformIndex(store.size());
+    size_t b = rng.UniformIndex(store.size());
+    if (b == a) b = (b + 1) % store.size();
+    const Trajectory& q = store.trajectories()[a];
+    const Trajectory& t = store.trajectories()[b];
+    const TimeInterval period{0.2, 0.8};
+
+    const double truth =
+        ComputeDissim(q, t, period, IntegrationPolicy::kExact).value;
+    for (PolicyRow& row : rows) {
+      WallTimer timer;
+      const DissimResult r = ComputeDissim(q, t, period, row.policy);
+      row.time_us.Add(timer.ElapsedMs() * 1000.0);
+      row.rel_err.Add((r.value - truth) / truth);
+      row.rel_bound.Add(r.error_bound / truth);
+    }
+  }
+
+  std::printf("== Ablation A1: trapezoid vs exact DISSIM integration ==\n");
+  std::printf("(%lld random S-dataset pairs, ~2000-sample trajectories)\n",
+              static_cast<long long>(pairs));
+  TextTable table;
+  table.SetHeader({"Policy", "Time(us)", "RelErr(mean)", "RelErr(max)",
+                   "Lemma1Bound(mean)"});
+  for (const PolicyRow& row : rows) {
+    table.AddRow({row.name, TextTable::Fmt(row.time_us.mean(), 1),
+                  TextTable::Fmt(row.rel_err.mean(), 8),
+                  TextTable::Fmt(row.rel_err.max(), 8),
+                  TextTable::Fmt(row.rel_bound.mean(), 8)});
+  }
+  table.Print();
+  std::printf(
+      "expected: the trapezoid is faster with a one-sided error well under\n"
+      "its Lemma 1 bound; 'adaptive' matches exact accuracy at near-"
+      "trapezoid cost.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace mst
+
+int main(int argc, char** argv) { return mst::Main(argc, argv); }

@@ -1,0 +1,89 @@
+// Reproduces Figure 10 (Q1): BFMST execution time and pruning power as the
+// dataset cardinality scales from 100 to 1000 moving objects (Table 3, Q1:
+// query = 5 % slice of a random data trajectory, k = 1), for the 3D R-tree
+// and the TB-tree.
+//
+// Expected shape: execution time roughly linear in the number of objects;
+// pruning power above 90 % and near-constant (decaying only slowly) across
+// cardinalities.
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_common.h"
+#include "src/util/flags.h"
+#include "src/util/table.h"
+
+namespace mst {
+namespace {
+
+int Main(int argc, char** argv) {
+  int64_t queries = 25;
+  int64_t samples = 2000;
+  bool full = false;
+  bool help = false;
+  std::string csv;
+  FlagParser flags;
+  flags.AddString("csv", &csv, "also write the table to this CSV path");
+  flags.AddInt("queries", &queries, "queries per (dataset, index) cell");
+  flags.AddInt("samples", &samples, "samples per object (paper: 2000)");
+  flags.AddBool("full", &full,
+                "paper scale: 500 queries and all four cardinalities");
+  flags.AddBool("help", &help, "print usage");
+  if (!flags.Parse(argc, argv)) return 1;
+  if (help) {
+    flags.PrintUsage("bench_fig10_q1_cardinality");
+    return 0;
+  }
+  if (full) queries = 500;
+
+  std::printf("== Figure 10 / Q1: scaling with dataset cardinality ==\n");
+  std::printf(
+      "Table 3 row Q1: datasets S0100..S1000, query = 5%% of a random data\n"
+      "trajectory, k = 1; %lld queries per cell\n",
+      static_cast<long long>(queries));
+
+  TextTable table;
+  table.SetHeader({"Objects", "Index", "Time(ms)", "Pruning", "NodeAcc",
+                   "H2-term"});
+  std::vector<int> sizes = {100, 250, 500};
+  if (full) sizes.push_back(1000);
+  for (const int n : sizes) {
+    std::fprintf(stderr, "[q1] building %s...\n",
+                 bench::SDatasetName(n).c_str());
+    const auto built = bench::BuildBoth(
+        bench::MakeSDataset(n, static_cast<int>(samples)));
+    for (TrajectoryIndex* index : built.indexes()) {
+      const auto r = bench::RunQuerySet(*index, built.store,
+                                        static_cast<int>(queries),
+                                        /*length_fraction=*/0.05, /*k=*/1,
+                                        /*seed=*/555 + n);
+      table.AddRow({TextTable::FmtInt(n), index->name(),
+                    TextTable::Fmt(r.time_ms.mean(), 2),
+                    TextTable::FmtPct(r.pruning_power.mean(), 1),
+                    TextTable::Fmt(r.nodes_accessed.mean(), 0),
+                    TextTable::FmtInt(r.terminated_early)});
+    }
+  }
+  table.Print();
+  if (!csv.empty()) {
+    if (table.WriteCsv(csv)) {
+      std::printf("(csv written to %s)\n", csv.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", csv.c_str());
+    }
+  }
+  std::printf(
+      "expected shape: time ~linear in cardinality; pruning > 90%% and\n"
+      "roughly constant; TB-tree and 3D R-tree comparable at this query "
+      "length.\n");
+  if (!full) {
+    std::printf("(pass --full for S1000 and 500 queries per cell)\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace mst
+
+int main(int argc, char** argv) { return mst::Main(argc, argv); }

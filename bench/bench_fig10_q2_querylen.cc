@@ -1,0 +1,86 @@
+// Reproduces Figure 10 (Q2): BFMST execution time and pruning power as the
+// query length grows from 1 % to 100 % of a data trajectory's lifespan
+// (Table 3, Q2: dataset S0500, k = 1), for the 3D R-tree and the TB-tree.
+//
+// Expected shape: execution time grows roughly quadratically with query
+// length; pruning power decays slowly; the TB-tree overtakes the 3D R-tree
+// as queries get longer (its leaves bundle single trajectories, so long
+// candidate retrievals touch fewer pages).
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_common.h"
+#include "src/util/flags.h"
+#include "src/util/table.h"
+
+namespace mst {
+namespace {
+
+int Main(int argc, char** argv) {
+  int64_t queries = 20;
+  int64_t objects = 500;
+  int64_t samples = 2000;
+  bool full = false;
+  bool help = false;
+  std::string csv;
+  FlagParser flags;
+  flags.AddString("csv", &csv, "also write the table to this CSV path");
+  flags.AddInt("queries", &queries, "queries per (length, index) cell");
+  flags.AddInt("objects", &objects, "dataset cardinality (paper: 500)");
+  flags.AddInt("samples", &samples, "samples per object (paper: 2000)");
+  flags.AddBool("full", &full, "paper scale: 500 queries per cell");
+  flags.AddBool("help", &help, "print usage");
+  if (!flags.Parse(argc, argv)) return 1;
+  if (help) {
+    flags.PrintUsage("bench_fig10_q2_querylen");
+    return 0;
+  }
+  if (full) queries = 500;
+
+  std::printf("== Figure 10 / Q2: scaling with query length ==\n");
+  std::printf(
+      "Table 3 row Q2: dataset %s, query length 1%%..100%%, k = 1; %lld\n"
+      "queries per cell\n",
+      bench::SDatasetName(static_cast<int>(objects)).c_str(),
+      static_cast<long long>(queries));
+
+  std::fprintf(stderr, "[q2] building dataset...\n");
+  const auto built = bench::BuildBoth(bench::MakeSDataset(
+      static_cast<int>(objects), static_cast<int>(samples)));
+
+  TextTable table;
+  table.SetHeader({"QueryLen", "Index", "Time(ms)", "Pruning", "NodeAcc",
+                   "H2-term"});
+  for (const double frac : {0.01, 0.05, 0.10, 0.25, 0.50, 1.00}) {
+    for (TrajectoryIndex* index : built.indexes()) {
+      const auto r = bench::RunQuerySet(
+          *index, built.store, static_cast<int>(queries), frac, /*k=*/1,
+          /*seed=*/777 + static_cast<uint64_t>(frac * 1000));
+      char lname[16];
+      std::snprintf(lname, sizeof(lname), "%.0f%%", frac * 100.0);
+      table.AddRow({lname, index->name(), TextTable::Fmt(r.time_ms.mean(), 2),
+                    TextTable::FmtPct(r.pruning_power.mean(), 1),
+                    TextTable::Fmt(r.nodes_accessed.mean(), 0),
+                    TextTable::FmtInt(r.terminated_early)});
+    }
+  }
+  table.Print();
+  if (!csv.empty()) {
+    if (table.WriteCsv(csv)) {
+      std::printf("(csv written to %s)\n", csv.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", csv.c_str());
+    }
+  }
+  std::printf(
+      "expected shape: time ~quadratic in query length; pruning decays\n"
+      "slowly; the TB-tree wins at long queries, the 3D R-tree at short "
+      "ones.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace mst
+
+int main(int argc, char** argv) { return mst::Main(argc, argv); }

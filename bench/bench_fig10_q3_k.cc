@@ -1,0 +1,83 @@
+// Reproduces Figure 10 (Q3): BFMST execution time and pruning power as k
+// grows from 1 to 10 (Table 3, Q3: dataset S0500, query = 5 % slice), for
+// the 3D R-tree and the TB-tree.
+//
+// Expected shape: execution time sub-linear in k; pruning power stays above
+// 90 % across the whole range.
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_common.h"
+#include "src/util/flags.h"
+#include "src/util/table.h"
+
+namespace mst {
+namespace {
+
+int Main(int argc, char** argv) {
+  int64_t queries = 25;
+  int64_t objects = 500;
+  int64_t samples = 2000;
+  bool full = false;
+  bool help = false;
+  std::string csv;
+  FlagParser flags;
+  flags.AddString("csv", &csv, "also write the table to this CSV path");
+  flags.AddInt("queries", &queries, "queries per (k, index) cell");
+  flags.AddInt("objects", &objects, "dataset cardinality (paper: 500)");
+  flags.AddInt("samples", &samples, "samples per object (paper: 2000)");
+  flags.AddBool("full", &full, "paper scale: 500 queries per cell");
+  flags.AddBool("help", &help, "print usage");
+  if (!flags.Parse(argc, argv)) return 1;
+  if (help) {
+    flags.PrintUsage("bench_fig10_q3_k");
+    return 0;
+  }
+  if (full) queries = 500;
+
+  std::printf("== Figure 10 / Q3: scaling with k ==\n");
+  std::printf(
+      "Table 3 row Q3: dataset %s, query = 5%% slice, k = 1..10; %lld\n"
+      "queries per cell\n",
+      bench::SDatasetName(static_cast<int>(objects)).c_str(),
+      static_cast<long long>(queries));
+
+  std::fprintf(stderr, "[q3] building dataset...\n");
+  const auto built = bench::BuildBoth(bench::MakeSDataset(
+      static_cast<int>(objects), static_cast<int>(samples)));
+
+  TextTable table;
+  table.SetHeader({"k", "Index", "Time(ms)", "Pruning", "NodeAcc",
+                   "H2-term"});
+  for (const int k : {1, 2, 5, 10}) {
+    for (TrajectoryIndex* index : built.indexes()) {
+      const auto r = bench::RunQuerySet(*index, built.store,
+                                        static_cast<int>(queries),
+                                        /*length_fraction=*/0.05, k,
+                                        /*seed=*/999 + k);
+      table.AddRow({TextTable::FmtInt(k), index->name(),
+                    TextTable::Fmt(r.time_ms.mean(), 2),
+                    TextTable::FmtPct(r.pruning_power.mean(), 1),
+                    TextTable::Fmt(r.nodes_accessed.mean(), 0),
+                    TextTable::FmtInt(r.terminated_early)});
+    }
+  }
+  table.Print();
+  if (!csv.empty()) {
+    if (table.WriteCsv(csv)) {
+      std::printf("(csv written to %s)\n", csv.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", csv.c_str());
+    }
+  }
+  std::printf(
+      "expected shape: time grows sub-linearly with k; pruning stays above\n"
+      "90%% throughout.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace mst
+
+int main(int argc, char** argv) { return mst::Main(argc, argv); }

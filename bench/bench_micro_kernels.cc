@@ -1,0 +1,169 @@
+// Ablation A5: google-benchmark micro-benchmarks of the metric kernels —
+// the per-interval integrals, the LDD/gap bounds, MINDIST, whole-trajectory
+// DISSIM, and the similarity baselines' DP inner loops.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "src/core/bounds.h"
+#include "src/core/dissim.h"
+#include "src/geom/mindist.h"
+#include "src/sim/dtw.h"
+#include "src/sim/edr.h"
+#include "src/sim/lcss.h"
+#include "src/util/random.h"
+
+namespace mst {
+namespace {
+
+DistanceTrinomial SomeTrinomial(uint64_t seed) {
+  Rng rng(seed);
+  return DistanceTrinomial::Between(
+      {rng.Uniform(-5, 5), rng.Uniform(-5, 5)},
+      {rng.Uniform(-5, 5), rng.Uniform(-5, 5)},
+      {rng.Uniform(-5, 5), rng.Uniform(-5, 5)},
+      {rng.Uniform(-5, 5), rng.Uniform(-5, 5)}, 0.7);
+}
+
+void BM_ExactSegmentIntegral(benchmark::State& state) {
+  const DistanceTrinomial tri = SomeTrinomial(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExactSegmentIntegral(tri));
+  }
+}
+BENCHMARK(BM_ExactSegmentIntegral);
+
+void BM_TrapezoidSegmentIntegral(benchmark::State& state) {
+  const DistanceTrinomial tri = SomeTrinomial(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TrapezoidSegmentIntegral(tri));
+  }
+}
+BENCHMARK(BM_TrapezoidSegmentIntegral);
+
+void BM_Ldd(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LDD(3.0, -1.5, 0.7));
+  }
+}
+BENCHMARK(BM_Ldd);
+
+void BM_InteriorGapBounds(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(OptimisticInteriorGap(2.0, 1.5, 3.0, 0.4));
+    benchmark::DoNotOptimize(PessimisticInteriorGap(2.0, 1.5, 3.0, 0.4));
+  }
+}
+BENCHMARK(BM_InteriorGapBounds);
+
+void BM_MovingPointRectMinDistance(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MovingPointRectMinDistance(
+        {-2.0, 1.0}, {4.0, 3.0}, 1.0, 0.0, 0.0, 2.0, 2.0));
+  }
+}
+BENCHMARK(BM_MovingPointRectMinDistance);
+
+class TrajectoryFixture : public benchmark::Fixture {
+ public:
+  void SetUp(const benchmark::State&) override {
+    if (store_.empty()) {
+      GstdOptions opt;
+      opt.num_objects = 4;
+      opt.samples_per_object = 2000;
+      opt.timestamp_jitter = 0.4;
+      opt.seed = 99;
+      store_ = GenerateGstd(opt);
+    }
+  }
+  TrajectoryStore store_;
+};
+
+BENCHMARK_DEFINE_F(TrajectoryFixture, FullDissimExact)
+(benchmark::State& state) {
+  const Trajectory& q = store_.trajectories()[0];
+  const Trajectory& t = store_.trajectories()[1];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ComputeDissim(q, t, {0.1, 0.9}, IntegrationPolicy::kExact));
+  }
+}
+BENCHMARK_REGISTER_F(TrajectoryFixture, FullDissimExact);
+
+BENCHMARK_DEFINE_F(TrajectoryFixture, FullDissimTrapezoid)
+(benchmark::State& state) {
+  const Trajectory& q = store_.trajectories()[0];
+  const Trajectory& t = store_.trajectories()[1];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ComputeDissim(q, t, {0.1, 0.9}, IntegrationPolicy::kTrapezoid));
+  }
+}
+BENCHMARK_REGISTER_F(TrajectoryFixture, FullDissimTrapezoid);
+
+BENCHMARK_DEFINE_F(TrajectoryFixture, MinDistQueryBox)
+(benchmark::State& state) {
+  const Trajectory& q = store_.trajectories()[0];
+  Mbb3 box;
+  box.xlo = 0.4;
+  box.xhi = 0.6;
+  box.ylo = 0.4;
+  box.yhi = 0.6;
+  box.tlo = 0.3;
+  box.thi = 0.7;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MinDist(q, box, {0.0, 1.0}));
+  }
+}
+BENCHMARK_REGISTER_F(TrajectoryFixture, MinDistQueryBox);
+
+// Similarity-baseline DP kernels on ~400-point trajectories (the Trucks
+// regime of the Figure 9 experiment).
+class BaselineFixture : public benchmark::Fixture {
+ public:
+  void SetUp(const benchmark::State&) override {
+    if (store_.empty()) {
+      TrucksOptions opt;
+      opt.num_trucks = 2;
+      opt.mean_samples_per_truck = 400;
+      store_ = GenerateTrucks(opt);
+    }
+  }
+  TrajectoryStore store_;
+};
+
+BENCHMARK_DEFINE_F(BaselineFixture, Lcss400x400)(benchmark::State& state) {
+  const Trajectory& a = store_.trajectories()[0];
+  const Trajectory& b = store_.trajectories()[1];
+  LcssOptions opt;
+  opt.epsilon = 500.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LcssLength(a, b, opt));
+  }
+}
+BENCHMARK_REGISTER_F(BaselineFixture, Lcss400x400);
+
+BENCHMARK_DEFINE_F(BaselineFixture, Edr400x400)(benchmark::State& state) {
+  const Trajectory& a = store_.trajectories()[0];
+  const Trajectory& b = store_.trajectories()[1];
+  EdrOptions opt;
+  opt.epsilon = 500.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EdrDistance(a, b, opt));
+  }
+}
+BENCHMARK_REGISTER_F(BaselineFixture, Edr400x400);
+
+BENCHMARK_DEFINE_F(BaselineFixture, Dtw400x400)(benchmark::State& state) {
+  const Trajectory& a = store_.trajectories()[0];
+  const Trajectory& b = store_.trajectories()[1];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DtwDistance(a, b));
+  }
+}
+BENCHMARK_REGISTER_F(BaselineFixture, Dtw400x400);
+
+}  // namespace
+}  // namespace mst
+
+BENCHMARK_MAIN();

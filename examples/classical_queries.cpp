@@ -1,0 +1,114 @@
+// One index, every query type — the paper's framing is that a MOD keeps a
+// single general-purpose spatiotemporal index and answers range,
+// topological, nearest-neighbour AND most-similar-trajectory queries with
+// it. This example runs all of them against one TB-tree, estimates a range
+// query's selectivity before executing it, and round-trips the index and
+// dataset through the on-disk formats.
+
+#include <cstdio>
+#include <string>
+
+#include "src/core/mst_search.h"
+#include "src/gen/gstd.h"
+#include "src/index/tbtree.h"
+#include "src/io/csv.h"
+#include "src/io/index_io.h"
+#include "src/query/nn.h"
+#include "src/query/range.h"
+#include "src/query/selectivity.h"
+
+int main() {
+  mst::GstdOptions gen;
+  gen.num_objects = 60;
+  gen.samples_per_object = 300;
+  gen.seed = 31;
+  const mst::TrajectoryStore store = mst::GenerateGstd(gen);
+
+  mst::TBTree index;
+  index.BuildFrom(store);
+  index.ConfigurePaperBuffer();
+  std::printf("one TB-tree over %lld segments (%lld pages)\n\n",
+              static_cast<long long>(index.EntryCount()),
+              static_cast<long long>(index.NodeCount()));
+
+  // --- Range + topological queries -------------------------------------
+  mst::Mbb3 window;
+  window.xlo = 0.40;
+  window.xhi = 0.60;
+  window.ylo = 0.40;
+  window.yhi = 0.60;
+  window.tlo = 0.30;
+  window.thi = 0.50;
+
+  const auto est = mst::SelectivityEstimator::Build(store);
+  std::printf("range window [0.4,0.6]x[0.4,0.6] over t in [0.3,0.5]:\n");
+  std::printf("  optimizer estimate : %.0f segments (%.2f%% selectivity)\n",
+              est.EstimateRangeCount(window),
+              100.0 * est.EstimateRangeSelectivity(window));
+  const auto segments = mst::RangeSegments(index, window);
+  std::printf("  actual             : %zu segments\n", segments.size());
+  const auto ids = mst::RangeTrajectories(index, window);
+  std::printf("  distinct objects   : %zu\n", ids.size());
+  const auto entered = mst::RangeTopological(index, store, window,
+                                             mst::RangeRelation::kEnters);
+  const auto left = mst::RangeTopological(index, store, window,
+                                          mst::RangeRelation::kLeaves);
+  std::printf("  entered the region : %zu, left it: %zu\n\n", entered.size(),
+              left.size());
+
+  // --- Nearest neighbours ----------------------------------------------
+  const mst::Vec2 incident{0.5, 0.5};
+  const auto nn = mst::PointKnn(index, incident, {0.35, 0.45}, 3);
+  std::printf("3 objects nearest the incident site (0.5, 0.5) during "
+              "[0.35, 0.45]:\n");
+  for (const mst::NnResult& r : nn) {
+    std::printf("  object %-4lld came within %.4f\n",
+                static_cast<long long>(r.id), r.distance);
+  }
+
+  const mst::Trajectory probe(990,
+                              store.Get(7).Slice({0.3, 0.5})->samples());
+  const auto tnn = mst::TrajectoryKnn(index, probe, {0.3, 0.5}, 2);
+  std::printf("2 objects nearest probe-route during [0.3, 0.5]: ");
+  for (const mst::NnResult& r : tnn) {
+    std::printf("#%lld(%.4f) ", static_cast<long long>(r.id), r.distance);
+  }
+  std::printf("\n\n");
+
+  // --- Most similar trajectory (same index!) ----------------------------
+  mst::BFMstSearch searcher(&index, &store);
+  mst::MstOptions options;
+  options.k = 1;
+  options.exclude_id = 7;
+  const auto mst_results = searcher.Search(probe, probe.Lifespan(), options);
+  if (!mst_results.empty()) {
+    std::printf("most similar trajectory to the probe: object %lld "
+                "(DISSIM %.4f)\n\n",
+                static_cast<long long>(mst_results[0].id),
+                mst_results[0].dissim);
+  }
+
+  // --- Persistence -------------------------------------------------------
+  const std::string dir = "/tmp";
+  const std::string csv = dir + "/mst_quickstore.csv";
+  const std::string idx = dir + "/mst_quickstore.idx";
+  if (mst::SaveTrajectoriesCsv(store, csv) && mst::SaveIndex(index, idx)) {
+    std::string error;
+    const auto store2 = mst::LoadTrajectoriesCsv(csv, &error);
+    const auto index2 = mst::LoadIndex(idx, &error);
+    if (store2.has_value() && index2 != nullptr) {
+      mst::BFMstSearch searcher2(index2.get(), &*store2);
+      const auto again = searcher2.Search(probe, probe.Lifespan(), options);
+      std::printf("reloaded dataset + index from disk: same answer? %s\n",
+                  (!again.empty() && !mst_results.empty() &&
+                   again[0].id == mst_results[0].id)
+                      ? "yes"
+                      : "NO");
+    } else {
+      std::printf("reload failed: %s\n", error.c_str());
+    }
+    std::remove(csv.c_str());
+    std::remove(idx.c_str());
+  }
+  return 0;
+}

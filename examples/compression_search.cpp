@@ -1,0 +1,104 @@
+// Compression-robust retrieval (the §5.2 quality experiment as a demo):
+// a GPS trace is compressed with TD-TR — losing most of its samples and
+// changing its sampling structure entirely — and then used to query the
+// original fleet. DISSIM still retrieves the original vehicle, while
+// sample-matching measures (EDR) are misled; the example prints the
+// side-by-side outcome for increasing compression levels.
+
+#include <cstdio>
+#include <limits>
+
+#include "src/compress/td_tr.h"
+#include "src/core/mst_search.h"
+#include "src/gen/trucks.h"
+#include "src/index/tbtree.h"
+#include "src/sim/edr.h"
+#include "src/sim/lcss.h"
+#include "src/sim/preprocess.h"
+
+namespace {
+
+template <typename ScoreFn>
+mst::TrajectoryId Top1(const mst::TrajectoryStore& store, ScoreFn score) {
+  mst::TrajectoryId best_id = mst::kInvalidTrajectoryId;
+  double best = std::numeric_limits<double>::infinity();
+  for (const mst::Trajectory& t : store.trajectories()) {
+    const double s = score(t);
+    if (s < best) {
+      best = s;
+      best_id = t.id();
+    }
+  }
+  return best_id;
+}
+
+}  // namespace
+
+int main() {
+  mst::TrucksOptions fleet;
+  fleet.num_trucks = 80;
+  fleet.mean_samples_per_truck = 250;
+  fleet.seed = 11;
+  const mst::TrajectoryStore store = mst::GenerateTrucks(fleet);
+  const mst::TrajectoryStore normalized = mst::NormalizeStore(store);
+  const double epsilon = 0.25 * mst::MaxStdDev(normalized);
+
+  mst::TBTree index;
+  index.BuildFrom(store);
+  index.ConfigurePaperBuffer();
+  mst::BFMstSearch searcher(&index, &store);
+
+  const mst::TrajectoryId target = 33;
+  const mst::Trajectory& original = store.Get(target);
+  std::printf("querying an %zu-sample GPS trace after TD-TR compression\n",
+              original.size());
+  std::printf("%-6s %-9s %-12s %-12s %-12s\n", "p", "vertices",
+              "DISSIM top-1", "LCSS top-1", "EDR top-1");
+
+  for (const double p : {0.001, 0.01, 0.05, 0.10}) {
+    const mst::Trajectory compressed(
+        700000, mst::TdTrCompressByFraction(original, p).samples());
+
+    mst::MstOptions options;
+    options.k = 1;
+    const auto dissim_top =
+        searcher.Search(compressed, compressed.Lifespan(), options);
+    const mst::TrajectoryId dissim_id =
+        dissim_top.empty() ? mst::kInvalidTrajectoryId : dissim_top[0].id;
+
+    const mst::Trajectory qn = mst::Normalize(compressed);
+    const mst::LcssOptions lcss_opt{epsilon, -1};
+    const mst::EdrOptions edr_opt{epsilon};
+    const mst::TrajectoryId lcss_id =
+        Top1(normalized, [&](const mst::Trajectory& t) {
+          return mst::LcssDistance(qn, t, lcss_opt);
+        });
+    const mst::TrajectoryId edr_id =
+        Top1(normalized, [&](const mst::Trajectory& t) {
+          return static_cast<double>(mst::EdrDistance(qn, t, edr_opt));
+        });
+
+    auto mark = [&](mst::TrajectoryId id) {
+      static char buf[2][24];
+      static int which = 0;
+      which ^= 1;
+      std::snprintf(buf[which], sizeof(buf[which]), "%lld%s",
+                    static_cast<long long>(id),
+                    id == target ? " (hit)" : " MISS");
+      return buf[which];
+    };
+    char pbuf[16];
+    std::snprintf(pbuf, sizeof(pbuf), "%.1f%%", p * 100.0);
+    char dbuf[24];
+    std::snprintf(dbuf, sizeof(dbuf), "%lld%s",
+                  static_cast<long long>(dissim_id),
+                  dissim_id == target ? " (hit)" : " MISS");
+    std::printf("%-6s %-9zu %-12s %-12s %-12s\n", pbuf, compressed.size(),
+                dbuf, mark(lcss_id), mark(edr_id));
+  }
+  std::printf(
+      "\nDISSIM compares the *continuous motions*, so it is indifferent to\n"
+      "how sparsely either trajectory was sampled; edit-style measures\n"
+      "compare sample sequences and pay a length penalty (cf. Figure 9).\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Quickstart: build a small moving-object database, index it with a 3D
+// R-tree, and run a k-Most-Similar-Trajectory query.
+//
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "src/core/mst_search.h"
+#include "src/gen/gstd.h"
+#include "src/index/rtree3d.h"
+
+int main() {
+  // 1. A synthetic MOD: 50 objects, each sampled 200 times over [0, 1].
+  mst::GstdOptions gen;
+  gen.num_objects = 50;
+  gen.samples_per_object = 200;
+  gen.seed = 7;
+  const mst::TrajectoryStore store = mst::GenerateGstd(gen);
+
+  // 2. Index every trajectory segment in a general-purpose 3D R-tree and
+  //    shrink the buffer to the paper's experiment setting.
+  mst::RTree3D index;
+  index.BuildFrom(store);
+  index.ConfigurePaperBuffer();
+  std::printf("indexed %lld segments in %lld pages (height %d)\n",
+              static_cast<long long>(index.EntryCount()),
+              static_cast<long long>(index.NodeCount()), index.height());
+
+  // 3. Query: the middle third of object 12's movement, perturbed would be
+  //    realistic — here we use the slice directly and exclude the object
+  //    itself, asking for its 3 most similar peers.
+  const mst::Trajectory& base = store.Get(12);
+  const mst::Trajectory query(
+      999, base.Slice({0.33, 0.66})->samples());
+
+  mst::BFMstSearch searcher(&index, &store);
+  mst::MstOptions options;
+  options.k = 3;
+  options.exclude_id = base.id();
+  mst::MstStats stats;
+  const std::vector<mst::MstResult> results =
+      searcher.Search(query, query.Lifespan(), options, &stats);
+
+  // 4. Report. DISSIM integrates the inter-object distance over the query
+  //    period, so dividing by the period length gives an intuitive
+  //    "average distance" to each answer.
+  const double duration = query.Lifespan().Duration();
+  std::printf("3 most similar trajectories to object %lld on [0.33, 0.66]:\n",
+              static_cast<long long>(base.id()));
+  for (const mst::MstResult& r : results) {
+    std::printf("  object %-4lld DISSIM = %.4f  (avg distance %.4f)\n",
+                static_cast<long long>(r.id), r.dissim, r.dissim / duration);
+  }
+  std::printf("pruning power: %.1f%% of %lld index nodes never touched\n",
+              100.0 * stats.PruningPower(),
+              static_cast<long long>(stats.total_nodes));
+  return 0;
+}

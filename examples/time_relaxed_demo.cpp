@@ -1,0 +1,69 @@
+// Time-Relaxed MST demo (the paper's §6 future-work query, implemented as
+// an extension): find the trajectories most similar to a query *route*
+// regardless of departure time — "which vehicles drove like this, whenever
+// they did it?"
+//
+// A commuter's morning trip is used to query a fleet where one vehicle
+// drives the same route two hours later: time-aligned k-MST ranks it
+// poorly, time-relaxed k-MST finds it (and reports the timetable offset).
+
+#include <cstdio>
+#include <vector>
+
+#include "src/core/linear_scan.h"
+#include "src/core/time_relaxed.h"
+#include "src/gen/gstd.h"
+
+int main() {
+  // A fleet of 40 objects over a unit day.
+  mst::GstdOptions gen;
+  gen.num_objects = 40;
+  gen.samples_per_object = 400;
+  gen.seed = 2026;
+  mst::TrajectoryStore store = mst::GenerateGstd(gen);
+
+  // The commuter's trip: a slice of object 5's morning.
+  const mst::Trajectory& base = store.Get(5);
+  const mst::Trajectory trip(991, base.Slice({0.10, 0.25})->samples());
+
+  // Vehicle 777 repeats exactly that route, two "hours" (0.2 time units)
+  // later, embedded in an otherwise full-day track.
+  {
+    std::vector<mst::TPoint> samples;
+    samples.push_back({0.0, trip.sample(0).p});
+    for (const mst::TPoint& s : trip.samples()) {
+      samples.push_back({s.t + 0.2, s.p});
+    }
+    samples.push_back({1.0, trip.samples().back().p});
+    store.Add(mst::Trajectory(777, std::move(samples)));
+  }
+
+  // Time-ALIGNED k-MST over the trip's own period.
+  const auto aligned = mst::LinearScanKMst(store, trip, trip.Lifespan(), 3,
+                                           mst::IntegrationPolicy::kExact,
+                                           /*exclude_id=*/base.id());
+  std::printf("time-aligned 3-MST over [0.10, 0.25]:\n");
+  for (const auto& r : aligned) {
+    std::printf("  object %-4lld DISSIM %.4f\n", static_cast<long long>(r.id),
+                r.dissim);
+  }
+
+  // Time-RELAXED k-MST: the same query, shifts allowed.
+  const auto relaxed =
+      mst::TimeRelaxedKMst(store, trip, 3, /*exclude_id=*/base.id(),
+                           /*coarse_steps=*/128);
+  std::printf("\ntime-relaxed 3-MST (best shift per candidate):\n");
+  for (const auto& r : relaxed) {
+    std::printf("  object %-4lld DISSIM %.4f at shift %+.3f\n",
+                static_cast<long long>(r.id), r.dissim, r.shift);
+  }
+
+  const bool found = !relaxed.empty() && relaxed[0].id == 777;
+  std::printf(
+      "\nvehicle 777 (same route, departing +0.2 later) is ranked %s by the\n"
+      "time-relaxed search%s.\n",
+      found ? "FIRST" : "lower",
+      found ? ", with the recovered shift matching its delayed departure"
+            : "");
+  return 0;
+}

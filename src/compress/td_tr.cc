@@ -1,0 +1,62 @@
+#include "src/compress/td_tr.h"
+
+#include <utility>
+#include <vector>
+
+#include "src/util/check.h"
+
+namespace mst {
+
+double SynchronizedEuclideanDistance(const TPoint& p, const TPoint& start,
+                                     const TPoint& end) {
+  MST_DCHECK(start.t < end.t);
+  MST_DCHECK(start.t <= p.t && p.t <= end.t);
+  const Vec2 synced = Lerp(start, end, p.t);
+  return Distance(p.p, synced);
+}
+
+Trajectory TdTrCompress(const Trajectory& t, double tolerance) {
+  const size_t n = t.size();
+  if (n <= 2 || tolerance <= 0.0) return t;
+
+  std::vector<bool> keep(n, false);
+  keep.front() = true;
+  keep.back() = true;
+
+  // Explicit stack of (first, last) index ranges to examine.
+  std::vector<std::pair<size_t, size_t>> ranges;
+  ranges.emplace_back(0, n - 1);
+  while (!ranges.empty()) {
+    const auto [lo, hi] = ranges.back();
+    ranges.pop_back();
+    if (hi - lo < 2) continue;
+    const TPoint& a = t.sample(lo);
+    const TPoint& b = t.sample(hi);
+    double worst = -1.0;
+    size_t split = lo;
+    for (size_t i = lo + 1; i < hi; ++i) {
+      const double err = SynchronizedEuclideanDistance(t.sample(i), a, b);
+      if (err > worst) {
+        worst = err;
+        split = i;
+      }
+    }
+    if (worst > tolerance) {
+      keep[split] = true;
+      ranges.emplace_back(lo, split);
+      ranges.emplace_back(split, hi);
+    }
+  }
+
+  std::vector<TPoint> out;
+  for (size_t i = 0; i < n; ++i) {
+    if (keep[i]) out.push_back(t.sample(i));
+  }
+  return Trajectory(t.id(), std::move(out));
+}
+
+Trajectory TdTrCompressByFraction(const Trajectory& t, double p_fraction) {
+  return TdTrCompress(t, p_fraction * t.SpatialLength());
+}
+
+}  // namespace mst

@@ -1,0 +1,34 @@
+// TD-TR trajectory compression (Meratnia & By, the paper's ref [12]):
+// top-down Douglas–Peucker driven by the Synchronized Euclidean Distance
+// (SED), i.e., the error of a dropped sample is measured against the
+// *time-synchronized* position on the approximating segment — the
+// spatiotemporal analogue of the classic perpendicular-distance split rule.
+//
+// §5.2 uses TD-TR to derive under-sampled query trajectories: the parameter
+// p scales the SED tolerance as a fraction of the trajectory's length.
+
+#ifndef MST_COMPRESS_TD_TR_H_
+#define MST_COMPRESS_TD_TR_H_
+
+#include "src/geom/trajectory.h"
+
+namespace mst {
+
+/// SED of sample `p` against the movement start→end: the distance between
+/// p's position and the position linearly interpolated on [start, end] at
+/// p's own timestamp. Requires start.t < end.t and start.t <= p.t <= end.t.
+double SynchronizedEuclideanDistance(const TPoint& p, const TPoint& start,
+                                     const TPoint& end);
+
+/// Top-down compression: returns the sub-sampled trajectory (always keeping
+/// the first and last samples) whose SED error is at most `tolerance` at
+/// every dropped sample. tolerance <= 0 keeps every sample.
+Trajectory TdTrCompress(const Trajectory& t, double tolerance);
+
+/// The paper's parameterization: tolerance = p_fraction · SpatialLength(t),
+/// with p_fraction e.g. 0.001 for the paper's "0.1 %" setting.
+Trajectory TdTrCompressByFraction(const Trajectory& t, double p_fraction);
+
+}  // namespace mst
+
+#endif  // MST_COMPRESS_TD_TR_H_

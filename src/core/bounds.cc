@@ -1,0 +1,66 @@
+#include "src/core/bounds.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace mst {
+
+double LDD(double d0, double v, double dt) {
+  MST_DCHECK(d0 >= 0.0);
+  MST_DCHECK(dt >= 0.0);
+  if (dt == 0.0) return 0.0;
+  if (d0 + v * dt >= 0.0) {
+    return dt * (d0 + v * dt / 2.0);
+  }
+  // The object reaches distance 0 at t = d0/|v| and stays there.
+  return d0 * d0 / (2.0 * std::abs(v));
+}
+
+double OptimisticEdgeGap(double d_known, double vmax, double dt) {
+  MST_DCHECK(vmax >= 0.0);
+  return LDD(d_known, -vmax, dt);
+}
+
+double PessimisticEdgeGap(double d_known, double vmax, double dt) {
+  MST_DCHECK(vmax >= 0.0);
+  return LDD(d_known, vmax, dt);
+}
+
+double OptimisticInteriorGap(double d0, double d1, double vmax, double dt) {
+  MST_DCHECK(d0 >= 0.0 && d1 >= 0.0 && dt >= 0.0);
+  MST_DCHECK(vmax >= 0.0);
+  if (dt == 0.0) return 0.0;
+  if (vmax == 0.0) {
+    // Distances cannot change; up to rounding d0 == d1.
+    return 0.5 * (d0 + d1) * dt;
+  }
+  // Turning instant offset from the gap start: the intersection of the
+  // descending leg d0 − V_max·t with the leg rising into d1, i.e.
+  // (Δt + (d0 − d1)/V_max)/2. (The paper prints (D_{k+1} − D_k) here, which
+  // is a sign typo: with d0 = 2, d1 = 0 the optimistic profile must descend
+  // for the whole gap, which only the (d0 − d1) form yields.) Clamped into
+  // the gap: a boundary-distance difference steeper than V_max can only
+  // arise from rounding (V_max is a global speed bound).
+  const double leg1 = std::clamp((dt + (d0 - d1) / vmax) / 2.0, 0.0, dt);
+  return LDD(d0, -vmax, leg1) + LDD(d1, -vmax, dt - leg1);
+}
+
+double PessimisticInteriorGap(double d0, double d1, double vmax, double dt) {
+  MST_DCHECK(d0 >= 0.0 && d1 >= 0.0 && dt >= 0.0);
+  MST_DCHECK(vmax >= 0.0);
+  if (dt == 0.0) return 0.0;
+  if (vmax == 0.0) {
+    return 0.5 * (d0 + d1) * dt;
+  }
+  // Roof vertex: intersection of d0 + V_max·t with the leg descending into
+  // d1, i.e. (Δt + (d1 − d0)/V_max)/2 (mirrored sign typo in the paper; see
+  // OptimisticInteriorGap).
+  const double leg1 = std::clamp((dt + (d1 - d0) / vmax) / 2.0, 0.0, dt);
+  // Both legs rise toward the roof vertex: evaluate each from its boundary
+  // distance outward (the second leg in reversed time), diverging at V_max.
+  return LDD(d0, vmax, leg1) + LDD(d1, vmax, dt - leg1);
+}
+
+}  // namespace mst

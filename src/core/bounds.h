@@ -1,0 +1,50 @@
+// Speed-dependent pruning metrics of §3.1: the Linearly Depended
+// Dissimilarity (Definition 2) and the per-gap pieces of OPTDISSIM
+// (Definition 3) and PESDISSIM (Definition 4).
+//
+// A "gap" is a sub-interval of the query period for which no segments of a
+// candidate trajectory have been retrieved yet. During a gap the object can
+// change its distance to the query by at most V_max per time unit (V_max =
+// max dataset speed + max query speed), which yields a smallest and a
+// largest possible distance integral given the distances pinned at the gap
+// boundaries. CandidateList (candidate.h) assembles these pieces into the
+// full OPTDISSIM / PESDISSIM values; Lemmas 2 and 3 are their correctness.
+
+#ifndef MST_CORE_BOUNDS_H_
+#define MST_CORE_BOUNDS_H_
+
+namespace mst {
+
+/// LDD(D, V, Δt) (Definition 2): the distance integral of an object starting
+/// at distance `d0` ≥ 0 whose distance changes linearly at rate `v`
+/// (negative = approaching) over a period of length `dt`, with the distance
+/// clamped at 0 once the objects meet:
+///   Δt (D + V Δt / 2)      if D + V Δt ≥ 0,
+///   D² / (2 |V|)           otherwise.
+double LDD(double d0, double v, double dt);
+
+/// Most-optimistic integral over an *edge* gap (query-period head or tail)
+/// where the candidate's distance is known only at one boundary: the object
+/// approaches (or, read in reversed time, approached) the query at V_max.
+/// Equals LDD(d_known, −vmax, dt).
+double OptimisticEdgeGap(double d_known, double vmax, double dt);
+
+/// Most-pessimistic integral over an edge gap: the object diverges at V_max.
+/// Equals LDD(d_known, +vmax, dt).
+double PessimisticEdgeGap(double d_known, double vmax, double dt);
+
+/// Most-optimistic integral over an *interior* gap with distances `d0` at
+/// the gap start and `d1` at the gap end (Definition 3, last case): approach
+/// at V_max until the turning instant t° − t_k = (Δt + (d0 − d1)/V_max)/2,
+/// then recede to d1. Both legs clamp at distance 0. (The paper's printed
+/// t° formula carries the opposite sign on the distance difference, which
+/// contradicts its own Figure 4 geometry; see the derivation in bounds.cc.)
+double OptimisticInteriorGap(double d0, double d1, double vmax, double dt);
+
+/// Most-pessimistic integral over an interior gap (Definition 4): diverge at
+/// V_max until tᵖ − t_k = (Δt + (d1 − d0)/V_max)/2, then approach to d1.
+double PessimisticInteriorGap(double d0, double d1, double vmax, double dt);
+
+}  // namespace mst
+
+#endif  // MST_CORE_BOUNDS_H_

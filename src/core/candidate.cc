@@ -1,0 +1,116 @@
+#include "src/core/candidate.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/core/bounds.h"
+#include "src/util/check.h"
+
+namespace mst {
+
+CandidateList::CandidateList(TrajectoryId id, const TimeInterval& period)
+    : id_(id), period_(period) {
+  MST_CHECK(period.Duration() > 0.0);
+}
+
+void CandidateList::AddPiece(const TimeInterval& window,
+                             const DissimResult& integral, double dist_begin,
+                             double dist_end) {
+  MST_CHECK(window.Duration() > 0.0);
+  MST_CHECK(period_.Covers(window));
+  covered_.Accumulate(integral);
+
+  Piece piece{window.begin, window.end, dist_begin, dist_end};
+  const auto pos = std::lower_bound(
+      pieces_.begin(), pieces_.end(), piece,
+      [](const Piece& a, const Piece& b) { return a.begin < b.begin; });
+  const size_t idx = static_cast<size_t>(pos - pieces_.begin());
+  // Segments of one trajectory are time-disjoint, so pieces can only touch
+  // at shared sample timestamps (allow a measure-zero tolerance for safety).
+  const double tol = 1e-9 * period_.Duration();
+  if (idx > 0) {
+    MST_CHECK_MSG(pieces_[idx - 1].end <= piece.begin + tol,
+                  "overlapping coverage pieces for one trajectory");
+  }
+  if (idx < pieces_.size()) {
+    MST_CHECK_MSG(piece.end <= pieces_[idx].begin + tol,
+                  "overlapping coverage pieces for one trajectory");
+  }
+  pieces_.insert(pos, piece);
+
+  // Merge with the left and/or right neighbour when they touch.
+  size_t i = idx;
+  if (i > 0 && pieces_[i - 1].end >= pieces_[i].begin - tol) {
+    pieces_[i - 1].end = pieces_[i].end;
+    pieces_[i - 1].dist_end = pieces_[i].dist_end;
+    pieces_.erase(pieces_.begin() + static_cast<ptrdiff_t>(i));
+    --i;
+  }
+  if (i + 1 < pieces_.size() &&
+      pieces_[i].end >= pieces_[i + 1].begin - tol) {
+    pieces_[i].end = pieces_[i + 1].end;
+    pieces_[i].dist_end = pieces_[i + 1].dist_end;
+    pieces_.erase(pieces_.begin() + static_cast<ptrdiff_t>(i) + 1);
+  }
+}
+
+bool CandidateList::IsComplete() const {
+  const double tol = 1e-9 * period_.Duration();
+  return pieces_.size() == 1 && pieces_[0].begin <= period_.begin + tol &&
+         pieces_[0].end >= period_.end - tol;
+}
+
+bool CandidateList::CoversInterval(const TimeInterval& window) const {
+  const double tol = 1e-9 * period_.Duration();
+  for (const Piece& p : pieces_) {
+    if (p.begin <= window.begin + tol && window.end <= p.end + tol) {
+      return true;
+    }
+  }
+  return false;
+}
+
+double CandidateList::UncoveredDuration() const {
+  double covered = 0.0;
+  for (const Piece& p : pieces_) covered += p.end - p.begin;
+  return std::max(0.0, period_.Duration() - covered);
+}
+
+template <typename EdgeFn, typename InteriorFn>
+double CandidateList::SumGaps(double vmax, EdgeFn edge,
+                              InteriorFn interior) const {
+  // A candidate list is only created once a first piece has been retrieved.
+  MST_CHECK_MSG(!pieces_.empty(), "gap bounds need at least one piece");
+  double total = 0.0;
+  const Piece& first = pieces_.front();
+  if (first.begin > period_.begin) {
+    total += edge(first.dist_begin, vmax, first.begin - period_.begin);
+  }
+  for (size_t i = 0; i + 1 < pieces_.size(); ++i) {
+    const Piece& left = pieces_[i];
+    const Piece& right = pieces_[i + 1];
+    total += interior(left.dist_end, right.dist_begin, vmax,
+                      right.begin - left.end);
+  }
+  const Piece& last = pieces_.back();
+  if (last.end < period_.end) {
+    total += edge(last.dist_end, vmax, period_.end - last.end);
+  }
+  return total;
+}
+
+double CandidateList::OptDissim(double vmax) const {
+  return covered_.LowerBound() +
+         SumGaps(vmax, OptimisticEdgeGap, OptimisticInteriorGap);
+}
+
+double CandidateList::PesDissim(double vmax) const {
+  return covered_.value +
+         SumGaps(vmax, PessimisticEdgeGap, PessimisticInteriorGap);
+}
+
+double CandidateList::OptDissimInc(double mindist) const {
+  return covered_.LowerBound() + mindist * UncoveredDuration();
+}
+
+}  // namespace mst

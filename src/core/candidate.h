@@ -1,0 +1,90 @@
+// Per-candidate bookkeeping of the BFMST algorithm (§4): the list the paper
+// keeps in its Valid/Completed hash structures for each partially retrieved
+// trajectory — covered time intervals with their boundary distances, the
+// accumulated (partial) DISSIM and its Lemma 1 error, and the derived
+// OPTDISSIM / PESDISSIM / OPTDISSIMINC values.
+
+#ifndef MST_CORE_CANDIDATE_H_
+#define MST_CORE_CANDIDATE_H_
+
+#include <vector>
+
+#include "src/core/dissim.h"
+#include "src/geom/interval.h"
+#include "src/geom/trajectory.h"
+
+namespace mst {
+
+/// Coverage state of one candidate trajectory during a BFMST run. Pieces are
+/// added as leaf entries are retrieved from the index (in arbitrary order —
+/// best-first traversal does not respect time order); the list maintains
+/// them sorted and merged.
+class CandidateList {
+ public:
+  /// A candidate for query period `period` (positive duration).
+  CandidateList(TrajectoryId id, const TimeInterval& period);
+
+  TrajectoryId id() const { return id_; }
+  const TimeInterval& period() const { return period_; }
+
+  /// Records the retrieved interval `window` together with its distance
+  /// integral and the query-candidate distances at the window boundaries.
+  /// `window` must have positive duration, lie inside the period, and not
+  /// overlap previously added pieces by more than measure zero (checked):
+  /// index segments of one trajectory are time-disjoint.
+  void AddPiece(const TimeInterval& window, const DissimResult& integral,
+                double dist_begin, double dist_end);
+
+  /// True once the covered pieces span the whole query period.
+  bool IsComplete() const;
+
+  /// Total uncovered duration within the period.
+  double UncoveredDuration() const;
+
+  /// Accumulated DISSIM over the covered pieces (partial until complete).
+  const DissimResult& covered() const { return covered_; }
+
+  /// OPTDISSIM (Definition 3): covered lower bound + optimistic gap
+  /// integrals. A true lower bound of DISSIM (Lemma 2); the covered part
+  /// enters through its error-adjusted lower bound so the result stays a
+  /// valid bound under trapezoid integration.
+  double OptDissim(double vmax) const;
+
+  /// PESDISSIM (Definition 4): covered value + pessimistic gap integrals;
+  /// a true upper bound of DISSIM (Lemma 3).
+  double PesDissim(double vmax) const;
+
+  /// OPTDISSIMINC (Definition 5): covered lower bound + mindist · uncovered
+  /// duration. A lower bound of DISSIM when nodes are delivered in
+  /// non-decreasing MINDIST order and `mindist` is the current node's.
+  double OptDissimInc(double mindist) const;
+
+  /// Number of disjoint covered pieces (after merging).
+  size_t PieceCount() const { return pieces_.size(); }
+
+  /// True iff `window` lies inside one covered piece. Segment windows are
+  /// atomic (a segment is either fully retrieved or not), so this decides
+  /// whether a fetched segment was already accounted for.
+  bool CoversInterval(const TimeInterval& window) const;
+
+ private:
+  struct Piece {
+    double begin;
+    double end;
+    double dist_begin;
+    double dist_end;
+  };
+
+  // Walks the gaps between pieces, summing gap(d0, d1, interior?) values.
+  template <typename EdgeFn, typename InteriorFn>
+  double SumGaps(double vmax, EdgeFn edge, InteriorFn interior) const;
+
+  TrajectoryId id_;
+  TimeInterval period_;
+  std::vector<Piece> pieces_;  // sorted by begin, disjoint
+  DissimResult covered_;
+};
+
+}  // namespace mst
+
+#endif  // MST_CORE_CANDIDATE_H_

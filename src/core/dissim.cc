@@ -1,0 +1,194 @@
+#include "src/core/dissim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/util/check.h"
+
+namespace mst {
+namespace {
+
+// Antiderivative of sqrt(a τ² + b τ + c) for a > 0 and 4ac − b² > 0.
+double Antiderivative(double a, double b, double disc, double tau, double f) {
+  const double root_f = std::sqrt(f);
+  const double u = 2.0 * a * tau + b;
+  return u * root_f / (4.0 * a) +
+         disc / (8.0 * a * std::sqrt(a)) * std::asinh(u / std::sqrt(disc));
+}
+
+// ∫₀^L sqrt(a)·|τ − τ0| dτ (perfect-square trinomial).
+double PerfectSquareIntegral(double a, double tau0, double len) {
+  const double root_a = std::sqrt(a);
+  if (tau0 <= 0.0) {
+    return root_a * (len * len / 2.0 - tau0 * len);
+  }
+  if (tau0 >= len) {
+    return root_a * (tau0 * len - len * len / 2.0);
+  }
+  const double left = tau0;
+  const double right = len - tau0;
+  return root_a * (left * left + right * right) / 2.0;
+}
+
+}  // namespace
+
+double ExactSegmentIntegral(const DistanceTrinomial& tri) {
+  const double len = tri.dur;
+  MST_DCHECK(len > 0.0);
+  if (tri.a <= 0.0) {
+    // a == 0 implies b == 0 (the trinomial is a squared norm): constant D.
+    return std::sqrt(std::max(0.0, tri.c)) * len;
+  }
+  // Near-constant guard: when the quadratic term is negligible against c,
+  // the closed form suffers catastrophic cancellation (u/√disc with both
+  // tiny). D is then flat to ~1e-12 relative and Simpson's rule is exact to
+  // far beyond double precision (|b| ≤ 2√(ac) keeps the linear term small
+  // with it).
+  if (tri.a * len * len <= 1e-12 * tri.c) {
+    return (tri.ValueAt(0.0) + 4.0 * tri.ValueAt(0.5 * len) +
+            tri.ValueAt(len)) /
+           6.0 * len;
+  }
+  double disc = tri.FourAcMinusB2();
+  // Relative threshold: treat a tiny (possibly negative, from rounding)
+  // discriminant as the perfect-square case.
+  const double scale = std::max({tri.b * tri.b, 4.0 * tri.a * std::abs(tri.c),
+                                 1e-300});
+  if (disc <= 1e-12 * scale) {
+    return PerfectSquareIntegral(tri.a, tri.FlexTau(), len);
+  }
+  const double f0 = tri.SquaredAt(0.0);
+  const double f1 = tri.SquaredAt(len);
+  return Antiderivative(tri.a, tri.b, disc, len, f1) -
+         Antiderivative(tri.a, tri.b, disc, 0.0, f0);
+}
+
+DissimResult TrapezoidSegmentIntegral(const DistanceTrinomial& tri) {
+  const double len = tri.dur;
+  MST_DCHECK(len > 0.0);
+  DissimResult r;
+  r.value = 0.5 * (tri.ValueAt(0.0) + tri.ValueAt(len)) * len;
+  if (tri.a <= 0.0) {
+    r.error_bound = 0.0;  // constant distance: trapezoid is exact
+    return r;
+  }
+  // Lemma 1: |E| <= len³/12 · max D'' over [0, len]; D'' peaks where the
+  // trinomial is smallest (at the flex −b/2a clamped into the interval).
+  const double second = tri.SecondDerivativeAt(tri.ArgMinTau());
+  double bound = len * len * len / 12.0 * second;
+  if (!(bound < r.value)) {
+    // Unbounded (touching distance zero) or looser than the trivial bound:
+    // the integral is non-negative and the trapezoid over-estimates, so the
+    // value itself always bounds the error.
+    bound = r.value;
+  }
+  r.error_bound = bound;
+  return r;
+}
+
+DissimResult IntegrateSegment(const DistanceTrinomial& tri,
+                              IntegrationPolicy policy) {
+  switch (policy) {
+    case IntegrationPolicy::kExact:
+      return {ExactSegmentIntegral(tri), 0.0};
+    case IntegrationPolicy::kTrapezoid:
+      return TrapezoidSegmentIntegral(tri);
+    case IntegrationPolicy::kAdaptive: {
+      const DissimResult approx = TrapezoidSegmentIntegral(tri);
+      if (approx.error_bound <= kAdaptiveRelTol * approx.value) {
+        return approx;
+      }
+      return {ExactSegmentIntegral(tri), 0.0};
+    }
+  }
+  MST_CHECK_MSG(false, "unknown integration policy");
+}
+
+double DistanceAt(const Trajectory& q, const Trajectory& t, double time) {
+  const std::optional<Vec2> pq = q.PositionAt(time);
+  const std::optional<Vec2> pt = t.PositionAt(time);
+  MST_CHECK_MSG(pq.has_value() && pt.has_value(),
+                "DistanceAt outside a trajectory's lifespan");
+  return Distance(*pq, *pt);
+}
+
+DissimResult ComputeDissim(const Trajectory& q, const Trajectory& t,
+                           const TimeInterval& period,
+                           IntegrationPolicy policy) {
+  MST_CHECK_MSG(q.Covers(period) && t.Covers(period),
+                "DISSIM requires both trajectories valid over the period");
+  DissimResult total;
+  if (period.Duration() == 0.0) return total;
+
+  // Merge the two timestamp sequences restricted to the open period.
+  std::vector<double> cuts;
+  cuts.reserve(q.size() + t.size() + 2);
+  cuts.push_back(period.begin);
+  for (const TPoint& s : q.samples()) {
+    if (s.t > period.begin && s.t < period.end) cuts.push_back(s.t);
+  }
+  for (const TPoint& s : t.samples()) {
+    if (s.t > period.begin && s.t < period.end) cuts.push_back(s.t);
+  }
+  cuts.push_back(period.end);
+  std::sort(cuts.begin(), cuts.end());
+
+  std::optional<Vec2> q_prev = q.PositionAt(cuts.front());
+  std::optional<Vec2> t_prev = t.PositionAt(cuts.front());
+  for (size_t i = 0; i + 1 < cuts.size(); ++i) {
+    const double t0 = cuts[i];
+    const double t1 = cuts[i + 1];
+    if (t1 <= t0) continue;  // duplicate timestamps
+    const std::optional<Vec2> q_next = q.PositionAt(t1);
+    const std::optional<Vec2> t_next = t.PositionAt(t1);
+    MST_DCHECK(q_prev && t_prev && q_next && t_next);
+    const DistanceTrinomial tri =
+        DistanceTrinomial::Between(*q_prev, *q_next, *t_prev, *t_next, t1 - t0);
+    total.Accumulate(IntegrateSegment(tri, policy));
+    q_prev = q_next;
+    t_prev = t_next;
+  }
+  return total;
+}
+
+SegmentDissim ComputeSegmentDissim(const Trajectory& q, const LeafEntry& entry,
+                                   const TimeInterval& window,
+                                   IntegrationPolicy policy) {
+  MST_CHECK(window.Duration() > 0.0);
+  MST_CHECK(entry.t0 <= window.begin && window.end <= entry.t1);
+  MST_CHECK(q.Covers(window));
+
+  const TPoint a = entry.Start();
+  const TPoint b = entry.End();
+  auto entry_pos = [&](double time) { return Lerp(a, b, time); };
+
+  std::vector<double> cuts;
+  cuts.push_back(window.begin);
+  for (const TPoint& s : q.samples()) {
+    if (s.t > window.begin && s.t < window.end) cuts.push_back(s.t);
+  }
+  cuts.push_back(window.end);
+  // Query samples are already sorted; cuts is sorted by construction.
+
+  SegmentDissim out;
+  Vec2 q_prev = *q.PositionAt(cuts.front());
+  Vec2 e_prev = entry_pos(cuts.front());
+  out.dist_begin = Distance(q_prev, e_prev);
+  for (size_t i = 0; i + 1 < cuts.size(); ++i) {
+    const double t0 = cuts[i];
+    const double t1 = cuts[i + 1];
+    if (t1 <= t0) continue;
+    const Vec2 q_next = *q.PositionAt(t1);
+    const Vec2 e_next = entry_pos(t1);
+    const DistanceTrinomial tri =
+        DistanceTrinomial::Between(q_prev, q_next, e_prev, e_next, t1 - t0);
+    out.integral.Accumulate(IntegrateSegment(tri, policy));
+    q_prev = q_next;
+    e_prev = e_next;
+  }
+  out.dist_end = Distance(q_prev, e_prev);
+  return out;
+}
+
+}  // namespace mst

@@ -1,0 +1,36 @@
+#include "src/core/linear_scan.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace mst {
+
+std::vector<MstResult> LinearScanKMst(const TrajectoryStore& store,
+                                      const Trajectory& query,
+                                      const TimeInterval& period, int k,
+                                      IntegrationPolicy policy,
+                                      TrajectoryId exclude_id) {
+  MST_CHECK(k >= 1);
+  MST_CHECK(period.Duration() > 0.0);
+  MST_CHECK(query.Covers(period));
+
+  std::vector<MstResult> all;
+  all.reserve(store.size());
+  for (const Trajectory& t : store.trajectories()) {
+    if (t.id() == exclude_id) continue;
+    if (!t.Covers(period)) continue;
+    const DissimResult d = ComputeDissim(query, t, period, policy);
+    all.push_back({t.id(), d.value, d.error_bound});
+  }
+  std::sort(all.begin(), all.end(), [](const MstResult& a, const MstResult& b) {
+    if (a.dissim != b.dissim) return a.dissim < b.dissim;
+    return a.id < b.id;
+  });
+  if (all.size() > static_cast<size_t>(k)) {
+    all.resize(static_cast<size_t>(k));
+  }
+  return all;
+}
+
+}  // namespace mst

@@ -1,0 +1,30 @@
+// Index-free exact k-MST baseline: computes DISSIM(Q, T) for every eligible
+// trajectory in the store and keeps the k smallest. Serves as the ground
+// truth in tests and as the "no index" comparison point in the ablation
+// benches.
+
+#ifndef MST_CORE_LINEAR_SCAN_H_
+#define MST_CORE_LINEAR_SCAN_H_
+
+#include <vector>
+
+#include "src/core/dissim.h"
+#include "src/core/mst_search.h"
+#include "src/geom/interval.h"
+#include "src/geom/trajectory.h"
+
+namespace mst {
+
+/// Brute-force k-MST over `store`. Only trajectories covering `period` are
+/// eligible; `exclude_id` (optional) is skipped. Results are ordered by
+/// ascending dissimilarity, ties broken by id — the same contract as
+/// BFMstSearch::Search.
+std::vector<MstResult> LinearScanKMst(
+    const TrajectoryStore& store, const Trajectory& query,
+    const TimeInterval& period, int k,
+    IntegrationPolicy policy = IntegrationPolicy::kExact,
+    TrajectoryId exclude_id = kInvalidTrajectoryId);
+
+}  // namespace mst
+
+#endif  // MST_CORE_LINEAR_SCAN_H_

@@ -1,0 +1,303 @@
+#include "src/core/mst_search.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "src/core/candidate.h"
+#include "src/geom/mindist.h"
+#include "src/util/check.h"
+
+namespace mst {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Best-first queue element; min-ordered by (mindist, page) — the page id
+// tiebreak makes traversal deterministic.
+struct QueueEntry {
+  double mindist;
+  PageId page;
+
+  bool operator>(const QueueEntry& o) const {
+    if (mindist != o.mindist) return mindist > o.mindist;
+    return page > o.page;
+  }
+};
+
+// The "k-buffer": tracks, for every live candidate, an upper bound of its
+// true DISSIM (exact-side value for completed candidates, PESDISSIM for
+// partial ones) and answers "current kth best upper bound" queries.
+class UpperBounds {
+ public:
+  explicit UpperBounds(int k) : k_(k) {}
+
+  void Update(TrajectoryId id, double upper) {
+    const auto it = current_.find(id);
+    if (it != current_.end()) {
+      ordered_.erase(ordered_.find({it->second, id}));
+      it->second = upper;
+    } else {
+      current_[id] = upper;
+    }
+    ordered_.insert({upper, id});
+  }
+
+  void Remove(TrajectoryId id) {
+    const auto it = current_.find(id);
+    if (it == current_.end()) return;
+    ordered_.erase(ordered_.find({it->second, id}));
+    current_.erase(it);
+  }
+
+  /// kth smallest upper bound, or +inf while fewer than k candidates exist.
+  double KthValue() const {
+    if (static_cast<int>(ordered_.size()) < k_) return kInf;
+    auto it = ordered_.begin();
+    std::advance(it, k_ - 1);
+    return it->first;
+  }
+
+  size_t size() const { return ordered_.size(); }
+
+ private:
+  int k_;
+  std::set<std::pair<double, TrajectoryId>> ordered_;
+  std::unordered_map<TrajectoryId, double> current_;
+};
+
+}  // namespace
+
+BFMstSearch::BFMstSearch(const TrajectoryIndex* index,
+                         const TrajectoryStore* store)
+    : index_(index), store_(store) {
+  MST_CHECK(index != nullptr && store != nullptr);
+}
+
+std::vector<MstResult> BFMstSearch::Search(const Trajectory& query,
+                                           const TimeInterval& period,
+                                           const MstOptions& options,
+                                           MstStats* stats_out) const {
+  MST_CHECK_MSG(options.k >= 1, "k must be at least 1");
+  MST_CHECK_MSG(period.Duration() > 0.0, "query period must have duration");
+  MST_CHECK_MSG(query.Covers(period),
+                "query trajectory must cover the query period");
+
+  MstStats stats;
+  stats.total_nodes = index_->NodeCount();
+  index_->ResetAccessCounters();
+
+  std::vector<MstResult> results;
+  if (index_->empty()) {
+    if (stats_out != nullptr) *stats_out = stats;
+    return results;
+  }
+
+  const double vmax = options.vmax_override >= 0.0
+                          ? options.vmax_override
+                          : index_->max_speed() + query.MaxSpeed();
+
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                      std::greater<QueueEntry>>
+      queue;
+  queue.push({0.0, index_->root()});
+  ++stats.heap_pushes;
+
+  std::unordered_map<TrajectoryId, CandidateList> valid;
+  std::unordered_map<TrajectoryId, CandidateList> completed;
+  std::unordered_set<TrajectoryId> rejected;
+  UpperBounds uppers(options.k);
+
+  while (!queue.empty()) {
+    const QueueEntry top = queue.top();
+    queue.pop();
+
+    // Heuristic 2: MINDISSIMINC termination. The quick first test
+    // (MINDIST · period length) avoids scanning the Valid set on most pops,
+    // exactly as the paper describes at the end of §4.
+    if (options.use_heuristic2) {
+      const double kth = uppers.KthValue();
+      if (kth < kInf) {
+        double mindissiminc = top.mindist * period.Duration();
+        if (mindissiminc > kth) {
+          for (const auto& [id, list] : valid) {
+            mindissiminc = std::min(mindissiminc,
+                                    list.OptDissimInc(top.mindist));
+            if (mindissiminc <= kth) break;
+          }
+          if (mindissiminc > kth) {
+            stats.terminated_by_heuristic2 = true;
+            break;
+          }
+        }
+      }
+    }
+
+    IndexNode node = index_->ReadNode(top.page);
+
+    if (!node.IsLeaf()) {
+      for (const InternalEntry& e : node.internals) {
+        const double d = MinDist(query, e.mbb, period);
+        if (std::isinf(d)) continue;  // no temporal overlap with the period
+        queue.push({d, e.child});
+        ++stats.heap_pushes;
+      }
+      continue;
+    }
+
+    // Leaf: process entries in temporal order (the paper's line 10; TB-tree
+    // leaves are already sorted, the 3D R-tree's need it).
+    std::sort(node.leaves.begin(), node.leaves.end(),
+              [](const LeafEntry& a, const LeafEntry& b) {
+                if (a.t0 != b.t0) return a.t0 < b.t0;
+                return a.traj_id < b.traj_id;
+              });
+    for (const LeafEntry& e : node.leaves) {
+      ++stats.leaf_entries_seen;
+      const TrajectoryId id = e.traj_id;
+      if (id == options.exclude_id) continue;
+      if (rejected.contains(id) || completed.contains(id)) continue;
+      const TimeInterval window = period.Intersect(e.TimeSpan());
+      if (window.Duration() <= 0.0) continue;
+
+      auto it = valid.find(id);
+      if (it == valid.end()) {
+        const Trajectory* t = store_->Find(id);
+        if (t == nullptr || !t->Covers(period)) {
+          rejected.insert(id);
+          ++stats.candidates_ineligible;
+          continue;
+        }
+        it = valid.emplace(id, CandidateList(id, period)).first;
+        ++stats.candidates_created;
+      }
+      CandidateList& list = it->second;
+
+      const SegmentDissim seg =
+          ComputeSegmentDissim(query, e, window, options.policy);
+      list.AddPiece(window, seg.integral, seg.dist_begin, seg.dist_end);
+
+      if (list.IsComplete()) {
+        uppers.Update(id, list.covered().value);
+        completed.emplace(id, std::move(list));
+        valid.erase(it);
+        ++stats.candidates_completed;
+        continue;
+      }
+      uppers.Update(id, list.PesDissim(vmax));
+      if (options.use_heuristic1) {
+        const double kth = uppers.KthValue();
+        if (list.OptDissim(vmax) > kth) {
+          uppers.Remove(id);
+          rejected.insert(id);
+          valid.erase(it);
+          ++stats.candidates_rejected;
+          continue;
+        }
+      }
+      // Eager completion (extension): a contender on an index with a direct
+      // trajectory access path gets its remaining segments through the
+      // chain right away.
+      if (options.use_eager_completion && index_->SupportsTrajectoryFetch()) {
+        const double kth = uppers.KthValue();
+        if (static_cast<int>(uppers.size()) <= options.k ||
+            list.OptDissim(vmax) <= kth) {
+          for (const LeafEntry& seg : index_->FetchTrajectorySegments(id)) {
+            const TimeInterval w = period.Intersect(seg.TimeSpan());
+            if (w.Duration() <= 0.0 || list.CoversInterval(w)) continue;
+            const SegmentDissim sd =
+                ComputeSegmentDissim(query, seg, w, options.policy);
+            list.AddPiece(w, sd.integral, sd.dist_begin, sd.dist_end);
+            ++stats.leaf_entries_seen;
+          }
+          if (list.IsComplete()) {
+            uppers.Update(id, list.covered().value);
+            completed.emplace(id, std::move(list));
+            valid.erase(it);
+            ++stats.candidates_completed;
+            ++stats.eager_completions;
+          }
+        }
+      }
+    }
+  }
+
+  // Final ranking with error management (§4.4): keep every candidate whose
+  // lower bound does not exceed the kth smallest upper bound; resolve the
+  // survivors' exact order by recomputation when requested.
+  struct Survivor {
+    TrajectoryId id;
+    double lower;
+    double upper;
+    bool complete;
+  };
+  std::vector<Survivor> pool;
+  pool.reserve(completed.size() + valid.size());
+  for (const auto& [id, list] : completed) {
+    pool.push_back({id, list.covered().LowerBound(), list.covered().value,
+                    true});
+  }
+  for (const auto& [id, list] : valid) {
+    pool.push_back({id, list.OptDissim(vmax), list.PesDissim(vmax), false});
+  }
+  if (pool.empty()) {
+    if (stats_out != nullptr) *stats_out = stats;
+    return results;
+  }
+
+  double kth_upper = kInf;
+  if (pool.size() >= static_cast<size_t>(options.k)) {
+    std::vector<double> ups;
+    ups.reserve(pool.size());
+    for (const Survivor& s : pool) ups.push_back(s.upper);
+    std::nth_element(ups.begin(), ups.begin() + (options.k - 1), ups.end());
+    kth_upper = ups[static_cast<size_t>(options.k - 1)];
+  }
+
+  for (const Survivor& s : pool) {
+    if (s.lower > kth_upper) continue;
+    MstResult r;
+    r.id = s.id;
+    if (options.exact_postprocess) {
+      r.dissim =
+          ComputeDissim(query, store_->Get(s.id), period,
+                        IntegrationPolicy::kExact)
+              .value;
+      r.error_bound = 0.0;
+      ++stats.exact_recomputations;
+    } else if (s.complete) {
+      const CandidateList& list = completed.at(s.id);
+      r.dissim = list.covered().value;
+      r.error_bound = list.covered().error_bound;
+    } else {
+      // Complete the partial candidate from the trajectory table with the
+      // search policy.
+      const DissimResult d =
+          ComputeDissim(query, store_->Get(s.id), period, options.policy);
+      r.dissim = d.value;
+      r.error_bound = d.error_bound;
+    }
+    results.push_back(r);
+  }
+
+  std::sort(results.begin(), results.end(),
+            [](const MstResult& a, const MstResult& b) {
+              if (a.dissim != b.dissim) return a.dissim < b.dissim;
+              return a.id < b.id;
+            });
+  if (results.size() > static_cast<size_t>(options.k)) {
+    results.resize(static_cast<size_t>(options.k));
+  }
+
+  stats.nodes_accessed = index_->node_accesses();
+  if (stats_out != nullptr) *stats_out = stats;
+  return results;
+}
+
+}  // namespace mst

@@ -1,0 +1,114 @@
+// BFMSTSearch (§4): best-first k-Most-Similar-Trajectory search over any
+// R-tree-family trajectory index, using MINDIST node ordering (Hjaltason–
+// Samet), the speed-dependent OPTDISSIM/PESDISSIM candidate bounds
+// (Heuristic 1) and the speed-independent MINDISSIMINC termination test
+// (Heuristic 2), with the §4.4 error management for the trapezoid
+// approximation and an exact post-processing step.
+
+#ifndef MST_CORE_MST_SEARCH_H_
+#define MST_CORE_MST_SEARCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/dissim.h"
+#include "src/geom/interval.h"
+#include "src/geom/trajectory.h"
+#include "src/index/trajectory_index.h"
+
+namespace mst {
+
+/// One answer of a k-MST query.
+struct MstResult {
+  TrajectoryId id = kInvalidTrajectoryId;
+  /// DISSIM(Q, T) over the query period. Exact when error_bound == 0.
+  double dissim = 0.0;
+  /// One-sided bound: the true DISSIM lies in [dissim − error_bound, dissim].
+  double error_bound = 0.0;
+};
+
+/// Per-query instrumentation.
+struct MstStats {
+  int64_t nodes_accessed = 0;
+  int64_t total_nodes = 0;
+  int64_t leaf_entries_seen = 0;
+  int64_t heap_pushes = 0;
+  int64_t candidates_created = 0;
+  int64_t candidates_completed = 0;
+  int64_t candidates_rejected = 0;   // by Heuristic 1
+  int64_t candidates_ineligible = 0; // lifespan does not cover the period
+  int64_t eager_completions = 0;     // candidates completed via chain fetch
+  int64_t exact_recomputations = 0;  // post-processing integrals
+  bool terminated_by_heuristic2 = false;
+
+  /// Fraction of index nodes the query never touched ("pruned space").
+  double PruningPower() const {
+    if (total_nodes <= 0) return 0.0;
+    return 1.0 - static_cast<double>(nodes_accessed) /
+                     static_cast<double>(total_nodes);
+  }
+};
+
+/// Query knobs. Defaults reproduce the paper's configuration.
+struct MstOptions {
+  /// Number of most-similar trajectories to return.
+  int k = 1;
+  /// Integration of covered pieces during the search.
+  IntegrationPolicy policy = IntegrationPolicy::kTrapezoid;
+  /// Heuristic 1: reject candidates whose OPTDISSIM exceeds the current kth
+  /// best upper bound.
+  bool use_heuristic1 = true;
+  /// Heuristic 2: terminate when the popped node's MINDISSIMINC exceeds the
+  /// current kth best upper bound.
+  bool use_heuristic2 = true;
+  /// Recompute the surviving candidates with the exact closed form so the
+  /// returned dissimilarities (and their order) are exact (§4.4's
+  /// post-processing). With false, incomplete winners are completed with
+  /// `policy` and results carry their error bounds.
+  bool exact_postprocess = true;
+  /// V_max for the speed-dependent bounds. Negative (default) means
+  /// index.max_speed() + query.MaxSpeed(), as defined in Table 1.
+  double vmax_override = -1.0;
+  /// Eager completion (this repository's extension; off by default, which
+  /// is the paper-faithful behaviour): when the index offers a direct
+  /// per-trajectory access path (the TB-tree's leaf chains) and a candidate
+  /// looks like a contender (OPTDISSIM at or below the current kth upper
+  /// bound, or the buffer is not full yet), fetch its remaining segments
+  /// through the chain and complete it immediately. This tightens the kth
+  /// bound early and buys earlier Heuristic 2 termination, at the price of
+  /// chain page reads. No effect on result correctness or on indexes
+  /// without a fetch path.
+  bool use_eager_completion = false;
+  /// Trajectory id to skip (useful when the query is itself stored in the
+  /// index); kInvalidTrajectoryId skips nothing.
+  TrajectoryId exclude_id = kInvalidTrajectoryId;
+};
+
+/// k-MST search engine bound to one index + the trajectory table backing it.
+/// The store provides lifespans for eligibility checks and the segments
+/// needed by exact post-processing; the traversal itself reads only the
+/// index, as in the paper.
+class BFMstSearch {
+ public:
+  /// Neither pointer is owned; both must outlive the searcher.
+  BFMstSearch(const TrajectoryIndex* index, const TrajectoryStore* store);
+
+  /// Runs a k-MST query for `query` over `period`. Requirements (checked):
+  /// the query trajectory covers the period, the period has positive
+  /// duration, options.k >= 1. Returns at most k results ordered by
+  /// ascending dissimilarity. Trajectories whose lifespan does not cover the
+  /// period are not eligible (Definition 1 needs both trajectories valid
+  /// throughout).
+  std::vector<MstResult> Search(const Trajectory& query,
+                                const TimeInterval& period,
+                                const MstOptions& options = MstOptions(),
+                                MstStats* stats = nullptr) const;
+
+ private:
+  const TrajectoryIndex* index_;
+  const TrajectoryStore* store_;
+};
+
+}  // namespace mst
+
+#endif  // MST_CORE_MST_SEARCH_H_

@@ -1,0 +1,82 @@
+#include "src/core/profile.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/core/dissim.h"
+#include "src/geom/moving_distance.h"
+#include "src/util/check.h"
+
+namespace mst {
+
+DistanceExtrema ComputeDistanceExtrema(const Trajectory& q,
+                                       const Trajectory& t,
+                                       const TimeInterval& period) {
+  MST_CHECK(q.Covers(period) && t.Covers(period));
+  DistanceExtrema out;
+  const double d0 = DistanceAt(q, t, period.begin);
+  out.min_distance = d0;
+  out.min_at = period.begin;
+  out.max_distance = d0;
+  out.max_at = period.begin;
+  if (period.Duration() == 0.0) return out;
+
+  std::vector<double> cuts;
+  cuts.push_back(period.begin);
+  for (const TPoint& s : q.samples()) {
+    if (s.t > period.begin && s.t < period.end) cuts.push_back(s.t);
+  }
+  for (const TPoint& s : t.samples()) {
+    if (s.t > period.begin && s.t < period.end) cuts.push_back(s.t);
+  }
+  cuts.push_back(period.end);
+  std::sort(cuts.begin(), cuts.end());
+
+  Vec2 q_prev = *q.PositionAt(cuts.front());
+  Vec2 t_prev = *t.PositionAt(cuts.front());
+  for (size_t i = 0; i + 1 < cuts.size(); ++i) {
+    const double t0 = cuts[i];
+    const double t1 = cuts[i + 1];
+    if (t1 <= t0) continue;
+    const Vec2 q_next = *q.PositionAt(t1);
+    const Vec2 t_next = *t.PositionAt(t1);
+    const DistanceTrinomial tri =
+        DistanceTrinomial::Between(q_prev, q_next, t_prev, t_next, t1 - t0);
+    // Interior or boundary minimum of this convex piece.
+    const double arg = tri.ArgMinTau();
+    const double piece_min = tri.ValueAt(arg);
+    if (piece_min < out.min_distance) {
+      out.min_distance = piece_min;
+      out.min_at = t0 + arg;
+    }
+    // Maximum of a convex piece sits at its right boundary (the left one
+    // was covered as the previous piece's right, or as the period begin).
+    const double d_end = tri.ValueAt(tri.dur);
+    if (d_end > out.max_distance) {
+      out.max_distance = d_end;
+      out.max_at = t1;
+    }
+    q_prev = q_next;
+    t_prev = t_next;
+  }
+  return out;
+}
+
+std::vector<ProfilePoint> SampleDistanceProfile(const Trajectory& q,
+                                                const Trajectory& t,
+                                                const TimeInterval& period,
+                                                int samples) {
+  MST_CHECK(samples >= 2);
+  MST_CHECK(q.Covers(period) && t.Covers(period));
+  std::vector<ProfilePoint> out;
+  out.reserve(static_cast<size_t>(samples));
+  for (int i = 0; i < samples; ++i) {
+    const double time =
+        period.begin +
+        period.Duration() * static_cast<double>(i) / (samples - 1);
+    out.push_back({time, DistanceAt(q, t, time)});
+  }
+  return out;
+}
+
+}  // namespace mst

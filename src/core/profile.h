@@ -1,0 +1,49 @@
+// Analysis utilities over the inter-object distance function D(t): exact
+// extrema over a period and sampled profiles for plotting/debugging. These
+// are the quantities Figures 2–6 of the paper draw; having them as library
+// functions makes the bounds machinery inspectable.
+
+#ifndef MST_CORE_PROFILE_H_
+#define MST_CORE_PROFILE_H_
+
+#include <vector>
+
+#include "src/geom/interval.h"
+#include "src/geom/point.h"
+#include "src/geom/trajectory.h"
+
+namespace mst {
+
+/// Exact extrema of D(t) = |Q(t) − T(t)| over `period`, with the instants
+/// where they are attained.
+struct DistanceExtrema {
+  double min_distance = 0.0;
+  double min_at = 0.0;
+  double max_distance = 0.0;
+  double max_at = 0.0;
+};
+
+/// Computes the exact extrema by per-elementary-interval trinomial analysis
+/// (the minimum may be interior to an interval; the maximum is always at an
+/// interval boundary since D is convex per interval). Both trajectories
+/// must cover the period (checked).
+DistanceExtrema ComputeDistanceExtrema(const Trajectory& q,
+                                       const Trajectory& t,
+                                       const TimeInterval& period);
+
+/// One sampled point of a distance profile.
+struct ProfilePoint {
+  double t = 0.0;
+  double distance = 0.0;
+};
+
+/// Samples D(t) at `samples` >= 2 uniformly spaced instants across `period`
+/// (endpoints included). Exact at the sampled instants.
+std::vector<ProfilePoint> SampleDistanceProfile(const Trajectory& q,
+                                                const Trajectory& t,
+                                                const TimeInterval& period,
+                                                int samples);
+
+}  // namespace mst
+
+#endif  // MST_CORE_PROFILE_H_

@@ -1,0 +1,234 @@
+#include "src/core/time_relaxed.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <set>
+#include <unordered_set>
+#include <utility>
+
+#include "src/geom/mindist.h"
+#include "src/util/check.h"
+
+namespace mst {
+namespace {
+
+// DISSIM of the query shifted by `s` against `t`, over the shifted query's
+// full duration (exact integration: this is an offline analysis metric).
+double ObjectiveAt(const Trajectory& query, const Trajectory& t, double s) {
+  const Trajectory shifted = ShiftInTime(query, s);
+  return ComputeDissim(shifted, t, shifted.Lifespan(),
+                       IntegrationPolicy::kExact)
+      .value;
+}
+
+}  // namespace
+
+Trajectory ShiftInTime(const Trajectory& query, double shift) {
+  std::vector<TPoint> samples = query.samples();
+  for (TPoint& p : samples) p.t += shift;
+  return Trajectory(query.id(), std::move(samples));
+}
+
+std::optional<TimeRelaxedMatch> TimeRelaxedDissim(const Trajectory& query,
+                                                  const Trajectory& t,
+                                                  int coarse_steps,
+                                                  double tol) {
+  MST_CHECK(coarse_steps >= 1);
+  const double q_dur = query.Lifespan().Duration();
+  MST_CHECK_MSG(q_dur > 0.0, "time-relaxed search needs a moving query");
+  // Feasible shifts keep [q.start + s, q.end + s] inside t's lifespan.
+  const double s_lo = t.start_time() - query.start_time();
+  const double s_hi = t.end_time() - query.end_time();
+  if (s_hi < s_lo) return std::nullopt;
+
+  // Coarse sampling.
+  double best_s = s_lo;
+  double best_v = ObjectiveAt(query, t, s_lo);
+  const double span = s_hi - s_lo;
+  const int steps = span > 0.0 ? coarse_steps : 0;
+  for (int i = 1; i <= steps; ++i) {
+    const double s = s_lo + span * static_cast<double>(i) / steps;
+    const double v = ObjectiveAt(query, t, s);
+    if (v < best_v) {
+      best_v = v;
+      best_s = s;
+    }
+  }
+
+  // Golden-section refinement inside the bracket around the best sample.
+  if (span > 0.0) {
+    const double step = span / steps;
+    double a = std::max(s_lo, best_s - step);
+    double b = std::min(s_hi, best_s + step);
+    const double inv_phi = (std::sqrt(5.0) - 1.0) / 2.0;
+    double c = b - inv_phi * (b - a);
+    double d = a + inv_phi * (b - a);
+    double fc = ObjectiveAt(query, t, c);
+    double fd = ObjectiveAt(query, t, d);
+    const double abs_tol = std::max(tol * span, 1e-12);
+    while (b - a > abs_tol) {
+      if (fc < fd) {
+        b = d;
+        d = c;
+        fd = fc;
+        c = b - inv_phi * (b - a);
+        fc = ObjectiveAt(query, t, c);
+      } else {
+        a = c;
+        c = d;
+        fc = fd;
+        d = a + inv_phi * (b - a);
+        fd = ObjectiveAt(query, t, d);
+      }
+    }
+    const double s_mid = 0.5 * (a + b);
+    const double v_mid = ObjectiveAt(query, t, s_mid);
+    if (v_mid < best_v) {
+      best_v = v_mid;
+      best_s = s_mid;
+    }
+  }
+
+  return TimeRelaxedMatch{t.id(), best_s, best_v};
+}
+
+namespace {
+
+// Time-free spatial distance between the query's path (as a polyline) and a
+// rectangle footprint: the key ordering nodes in the index-accelerated
+// search. The moving-point machinery doubles as a static segment-to-rect
+// distance (time is just the parameterization).
+double PathRectDistance(const Trajectory& query, const Mbb3& box) {
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i + 1 < query.size(); ++i) {
+    const Vec2 a = query.sample(i).p;
+    const Vec2 b = query.sample(i + 1).p;
+    if (a == b) {
+      best = std::min(best,
+                      PointRectDistance(a, box.xlo, box.ylo, box.xhi,
+                                        box.yhi));
+    } else {
+      best = std::min(best, MovingPointRectMinDistance(a, b, 1.0, box.xlo,
+                                                       box.ylo, box.xhi,
+                                                       box.yhi));
+    }
+    if (best <= 0.0) return 0.0;
+  }
+  if (query.size() == 1) {
+    best = PointRectDistance(query.sample(0).p, box.xlo, box.ylo, box.xhi,
+                             box.yhi);
+  }
+  return best;
+}
+
+}  // namespace
+
+std::vector<TimeRelaxedMatch> TimeRelaxedIndexKMst(
+    const TrajectoryIndex& index, const TrajectoryStore& store,
+    const Trajectory& query, int k, TrajectoryId exclude_id, int coarse_steps,
+    TimeRelaxedSearchStats* stats_out) {
+  MST_CHECK(k >= 1);
+  TimeRelaxedSearchStats stats;
+  stats.total_nodes = index.NodeCount();
+  index.ResetAccessCounters();
+
+  std::vector<TimeRelaxedMatch> results;
+  if (index.empty()) {
+    if (stats_out != nullptr) *stats_out = stats;
+    return results;
+  }
+  const double q_dur = query.Lifespan().Duration();
+
+  struct QueueEntry {
+    double dist;
+    PageId page;
+    bool operator>(const QueueEntry& o) const {
+      if (dist != o.dist) return dist > o.dist;
+      return page > o.page;
+    }
+  };
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                      std::greater<QueueEntry>>
+      queue;
+  queue.push({0.0, index.root()});
+
+  std::unordered_set<TrajectoryId> seen;
+  std::set<std::pair<double, TrajectoryId>> best;  // exact refined dissims
+  auto kth = [&]() {
+    if (static_cast<int>(best.size()) < k) {
+      return std::numeric_limits<double>::infinity();
+    }
+    auto it = best.begin();
+    std::advance(it, k - 1);
+    return it->first;
+  };
+
+  while (!queue.empty()) {
+    const QueueEntry top = queue.top();
+    queue.pop();
+    // DISSIM of any shift of Q against any trajectory whose segments all
+    // live at spatial distance >= top.dist is at least q_dur * top.dist.
+    if (q_dur * top.dist >= kth()) {
+      stats.terminated_early = true;
+      break;
+    }
+    const IndexNode node = index.ReadNode(top.page);
+    if (node.IsLeaf()) {
+      for (const LeafEntry& e : node.leaves) {
+        if (e.traj_id == exclude_id || seen.contains(e.traj_id)) continue;
+        seen.insert(e.traj_id);
+        const Trajectory* t = store.Find(e.traj_id);
+        if (t == nullptr) continue;
+        const std::optional<TimeRelaxedMatch> match =
+            TimeRelaxedDissim(query, *t, coarse_steps);
+        ++stats.candidates_refined;
+        if (match.has_value()) {
+          best.insert({match->dissim, match->id});
+          results.push_back(*match);
+        }
+      }
+      continue;
+    }
+    for (const InternalEntry& e : node.internals) {
+      const double d = PathRectDistance(query, e.mbb);
+      if (q_dur * d < kth()) queue.push({d, e.child});
+    }
+  }
+
+  std::sort(results.begin(), results.end(),
+            [](const TimeRelaxedMatch& a, const TimeRelaxedMatch& b) {
+              if (a.dissim != b.dissim) return a.dissim < b.dissim;
+              return a.id < b.id;
+            });
+  if (results.size() > static_cast<size_t>(k)) {
+    results.resize(static_cast<size_t>(k));
+  }
+  stats.nodes_accessed = index.node_accesses();
+  if (stats_out != nullptr) *stats_out = stats;
+  return results;
+}
+
+std::vector<TimeRelaxedMatch> TimeRelaxedKMst(const TrajectoryStore& store,
+                                              const Trajectory& query, int k,
+                                              TrajectoryId exclude_id,
+                                              int coarse_steps) {
+  MST_CHECK(k >= 1);
+  std::vector<TimeRelaxedMatch> all;
+  for (const Trajectory& t : store.trajectories()) {
+    if (t.id() == exclude_id) continue;
+    const std::optional<TimeRelaxedMatch> m =
+        TimeRelaxedDissim(query, t, coarse_steps);
+    if (m.has_value()) all.push_back(*m);
+  }
+  std::sort(all.begin(), all.end(),
+            [](const TimeRelaxedMatch& a, const TimeRelaxedMatch& b) {
+              if (a.dissim != b.dissim) return a.dissim < b.dissim;
+              return a.id < b.id;
+            });
+  if (all.size() > static_cast<size_t>(k)) all.resize(static_cast<size_t>(k));
+  return all;
+}
+
+}  // namespace mst

@@ -1,0 +1,78 @@
+// Time-Relaxed MST (the paper's §6 future work, implemented here as an
+// extension): the minimum DISSIM between a query trajectory and a data
+// trajectory over all temporal shifts of the query — "how similar are the
+// routes, regardless of when the query object departs".
+
+#ifndef MST_CORE_TIME_RELAXED_H_
+#define MST_CORE_TIME_RELAXED_H_
+
+#include <vector>
+
+#include "src/core/dissim.h"
+#include "src/geom/trajectory.h"
+#include "src/index/trajectory_index.h"
+
+namespace mst {
+
+/// Minimum-dissimilarity shift of a query against one trajectory.
+struct TimeRelaxedMatch {
+  TrajectoryId id = kInvalidTrajectoryId;
+  /// Amount added to every query timestamp at the optimum.
+  double shift = 0.0;
+  /// DISSIM of the shifted query against the trajectory over the shifted
+  /// query's full duration.
+  double dissim = 0.0;
+};
+
+/// Returns the query translated by `shift` in time (positions unchanged).
+Trajectory ShiftInTime(const Trajectory& query, double shift);
+
+/// Minimizes s ↦ DISSIM(shift(Q, s), T) over the shifts that keep the whole
+/// (shifted) query period inside T's lifespan. The objective is piecewise
+/// smooth but not convex; the minimizer samples `coarse_steps` + 1 shifts
+/// uniformly, then refines the best bracket by golden-section search to
+/// relative precision `tol` of the shift range. Returns nullopt when T's
+/// lifespan is shorter than the query's duration (no feasible shift).
+std::optional<TimeRelaxedMatch> TimeRelaxedDissim(const Trajectory& query,
+                                                  const Trajectory& t,
+                                                  int coarse_steps = 64,
+                                                  double tol = 1e-4);
+
+/// Linear-scan k-most-similar under the time-relaxed metric (ascending
+/// dissim, ties by id). Trajectories without a feasible shift are skipped.
+std::vector<TimeRelaxedMatch> TimeRelaxedKMst(
+    const TrajectoryStore& store, const Trajectory& query, int k,
+    TrajectoryId exclude_id = kInvalidTrajectoryId, int coarse_steps = 64);
+
+/// Instrumentation of the index-accelerated variant.
+struct TimeRelaxedSearchStats {
+  int64_t nodes_accessed = 0;
+  int64_t total_nodes = 0;
+  /// Candidates whose exact time-relaxed dissimilarity was computed (the
+  /// expensive refinement step the index exists to avoid).
+  int64_t candidates_refined = 0;
+  bool terminated_early = false;
+};
+
+/// Index-accelerated Time-Relaxed k-MST — this repository's realization of
+/// the paper's §6 "TRMST over trajectories indexed by R-tree-like
+/// structures" future work.
+///
+/// Because the shift is free, temporal pruning is unavailable; instead the
+/// index is traversed best-first by the *time-free* spatial distance
+/// between the query's path and each node's spatial footprint. For any
+/// shift, the synchronized position of a data trajectory lies on its own
+/// spatial path, so
+///     DISSIM(shift(Q, s), T) >= duration(Q) · dist(path(Q), path(T))
+/// and an unseen trajectory (all segments in unpopped nodes of key >= d)
+/// cannot beat duration(Q) · d — the termination test. Newly encountered
+/// candidates are refined exactly via TimeRelaxedDissim from the store.
+std::vector<TimeRelaxedMatch> TimeRelaxedIndexKMst(
+    const TrajectoryIndex& index, const TrajectoryStore& store,
+    const Trajectory& query, int k,
+    TrajectoryId exclude_id = kInvalidTrajectoryId, int coarse_steps = 64,
+    TimeRelaxedSearchStats* stats = nullptr);
+
+}  // namespace mst
+
+#endif  // MST_CORE_TIME_RELAXED_H_

@@ -1,0 +1,126 @@
+#include "src/gen/gstd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/util/check.h"
+#include "src/util/random.h"
+
+namespace mst {
+namespace {
+
+constexpr double kTwoPi = 2.0 * 3.14159265358979323846;
+
+// Reflects `v` (and flips the matching direction component) into [0, 1].
+void Bounce(double* v, double* dir) {
+  while (*v < 0.0 || *v > 1.0) {
+    if (*v < 0.0) {
+      *v = -*v;
+      *dir = -*dir;
+    } else {
+      *v = 2.0 - *v;
+      *dir = -*dir;
+    }
+  }
+}
+
+void Wrap(double* v) {
+  *v -= std::floor(*v);
+}
+
+}  // namespace
+
+TrajectoryStore GenerateGstd(const GstdOptions& options) {
+  MST_CHECK(options.num_objects >= 1);
+  MST_CHECK(options.samples_per_object >= 2);
+  MST_CHECK(options.time_end > options.time_begin);
+
+  Rng master(options.seed);
+  TrajectoryStore store;
+  const int n = options.samples_per_object;
+  const double duration = options.time_end - options.time_begin;
+
+  for (int obj = 0; obj < options.num_objects; ++obj) {
+    Rng rng = master.Fork(static_cast<uint64_t>(obj));
+
+    // Timestamps: a regular grid, optionally jittered, endpoints pinned so
+    // every trajectory covers the full window.
+    std::vector<double> times(static_cast<size_t>(n));
+    const double dt = duration / (n - 1);
+    times[0] = options.time_begin;
+    for (int i = 1; i < n - 1; ++i) {
+      double jitter = 0.0;
+      if (options.timestamp_jitter > 0.0) {
+        jitter = rng.Uniform(-options.timestamp_jitter,
+                             options.timestamp_jitter) *
+                 dt * 0.5;
+      }
+      times[static_cast<size_t>(i)] = options.time_begin + i * dt + jitter;
+    }
+    times[static_cast<size_t>(n - 1)] = options.time_end;
+    // Jitter cannot reorder (|jitter| < dt/2), but guard anyway.
+    for (int i = 1; i < n; ++i) {
+      if (times[static_cast<size_t>(i)] <= times[static_cast<size_t>(i - 1)]) {
+        times[static_cast<size_t>(i)] =
+            std::nextafter(times[static_cast<size_t>(i - 1)], 1e300);
+      }
+    }
+
+    // Initial position.
+    double x;
+    double y;
+    if (options.initial == GstdOptions::InitialDistribution::kUniform) {
+      x = rng.NextDouble();
+      y = rng.NextDouble();
+    } else {
+      x = std::clamp(rng.Normal(0.5, 0.15), 0.0, 1.0);
+      y = std::clamp(rng.Normal(0.5, 0.15), 0.0, 1.0);
+    }
+
+    double heading = rng.Uniform(0.0, kTwoPi);
+    std::vector<TPoint> samples;
+    samples.reserve(static_cast<size_t>(n));
+    samples.push_back({times[0], {x, y}});
+
+    for (int i = 1; i < n; ++i) {
+      const double step_dt =
+          times[static_cast<size_t>(i)] - times[static_cast<size_t>(i - 1)];
+      if (rng.Bernoulli(options.heading_change_prob)) {
+        heading = rng.Uniform(0.0, kTwoPi);
+      } else if (options.heading_jitter > 0.0) {
+        heading += rng.Uniform(-options.heading_jitter,
+                               options.heading_jitter);
+      }
+      double speed;
+      if (options.speed == GstdOptions::SpeedDistribution::kLogNormal) {
+        speed = rng.LogNormal(options.speed_param1, options.speed_param2);
+      } else {
+        speed = std::max(0.0, rng.Normal(options.speed_param1,
+                                         options.speed_param2));
+      }
+      speed *= options.speed_scale;
+
+      double dx = std::cos(heading) * speed * step_dt;
+      double dy = std::sin(heading) * speed * step_dt;
+      x += dx;
+      y += dy;
+      if (options.boundary == GstdOptions::Boundary::kBounce) {
+        double dirx = std::cos(heading);
+        double diry = std::sin(heading);
+        Bounce(&x, &dirx);
+        Bounce(&y, &diry);
+        heading = std::atan2(diry, dirx);
+      } else {
+        Wrap(&x);
+        Wrap(&y);
+      }
+      samples.push_back({times[static_cast<size_t>(i)], {x, y}});
+    }
+
+    store.Add(Trajectory(options.first_id + obj, std::move(samples)));
+  }
+  return store;
+}
+
+}  // namespace mst

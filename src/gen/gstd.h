@@ -1,0 +1,56 @@
+// GSTD-style synthetic trajectory generator (Theodoridis, Silva, Nascimento
+// — the paper's ref [17]). Reproduces the parameter surface §5.1 reports in
+// Table 2: N objects sampled ~2000 times over a unit space/time domain,
+// uniform initial placement, random headings, speed from a normal or
+// lognormal distribution.
+
+#ifndef MST_GEN_GSTD_H_
+#define MST_GEN_GSTD_H_
+
+#include <cstdint>
+
+#include "src/geom/trajectory.h"
+
+namespace mst {
+
+/// Generator parameters. Defaults produce the paper's S-series datasets
+/// (modulo object count): lognormal(1, 0.6) speeds, unit domains.
+struct GstdOptions {
+  enum class InitialDistribution { kUniform, kGaussian };
+  enum class SpeedDistribution { kNormal, kLogNormal };
+  enum class Boundary { kBounce, kWrap };
+
+  int num_objects = 100;
+  int samples_per_object = 2000;
+  /// Trajectories span [time_begin, time_end]; samples are equally spaced
+  /// (with optional jitter), so every object covers the full window — the
+  /// setting Definition 1 assumes.
+  double time_begin = 0.0;
+  double time_end = 1.0;
+  InitialDistribution initial = InitialDistribution::kUniform;
+  SpeedDistribution speed = SpeedDistribution::kLogNormal;
+  /// Mean (normal) or μ of the underlying normal (lognormal).
+  double speed_param1 = 1.0;
+  /// Std-dev (normal) or σ (lognormal); Table 2 uses σ = 0.6.
+  double speed_param2 = 0.6;
+  /// Multiplies drawn speeds into space units per time unit.
+  double speed_scale = 1.0;
+  /// Probability per step of drawing a fresh random heading.
+  double heading_change_prob = 0.15;
+  /// Max per-step heading jitter (radians) when the heading is kept.
+  double heading_jitter = 0.25;
+  Boundary boundary = Boundary::kBounce;
+  /// Fractional jitter of sample spacing (0 = perfectly regular sampling,
+  /// 0.4 = spacing varies ±40 %); first/last timestamps stay pinned.
+  double timestamp_jitter = 0.0;
+  uint64_t seed = 42;
+  /// Id assigned to the first object; ids are consecutive.
+  TrajectoryId first_id = 0;
+};
+
+/// Generates `options.num_objects` trajectories. Deterministic in the seed.
+TrajectoryStore GenerateGstd(const GstdOptions& options);
+
+}  // namespace mst
+
+#endif  // MST_GEN_GSTD_H_

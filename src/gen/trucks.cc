@@ -1,0 +1,187 @@
+#include "src/gen/trucks.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/util/check.h"
+#include "src/util/random.h"
+
+namespace mst {
+namespace {
+
+// The road skeleton: waypoints plus nearest-neighbour edges.
+struct RoadNetwork {
+  std::vector<Vec2> nodes;
+  std::vector<std::vector<int>> adjacency;
+};
+
+RoadNetwork BuildNetwork(const TrucksOptions& options, Rng* rng) {
+  RoadNetwork net;
+  net.nodes.reserve(static_cast<size_t>(options.num_waypoints));
+  for (int i = 0; i < options.num_waypoints; ++i) {
+    net.nodes.push_back({rng->Uniform(0.0, options.area_meters),
+                         rng->Uniform(0.0, options.area_meters)});
+  }
+  net.adjacency.assign(net.nodes.size(), {});
+  const int degree = std::max(1, options.waypoint_degree);
+  for (size_t i = 0; i < net.nodes.size(); ++i) {
+    // Indices of the `degree` nearest other nodes.
+    std::vector<int> order;
+    order.reserve(net.nodes.size() - 1);
+    for (size_t j = 0; j < net.nodes.size(); ++j) {
+      if (j != i) order.push_back(static_cast<int>(j));
+    }
+    std::partial_sort(order.begin(),
+                      order.begin() + std::min<size_t>(order.size(),
+                                                       static_cast<size_t>(degree)),
+                      order.end(), [&](int a, int b) {
+                        return (net.nodes[static_cast<size_t>(a)] -
+                                net.nodes[i]).Norm2() <
+                               (net.nodes[static_cast<size_t>(b)] -
+                                net.nodes[i]).Norm2();
+                      });
+    for (int k = 0; k < degree && k < static_cast<int>(order.size()); ++k) {
+      const int j = order[static_cast<size_t>(k)];
+      auto& ai = net.adjacency[i];
+      auto& aj = net.adjacency[static_cast<size_t>(j)];
+      if (std::find(ai.begin(), ai.end(), j) == ai.end()) ai.push_back(j);
+      if (std::find(aj.begin(), aj.end(), static_cast<int>(i)) == aj.end()) {
+        aj.push_back(static_cast<int>(i));
+      }
+    }
+  }
+  return net;
+}
+
+// Continuous movement state of one truck along the network.
+class TruckMotion {
+ public:
+  TruckMotion(const RoadNetwork* net, int start_node, double cruise_speed,
+              const TrucksOptions* options, Rng* rng)
+      : net_(net),
+        options_(options),
+        rng_(rng),
+        node_(start_node),
+        position_(net->nodes[static_cast<size_t>(start_node)]),
+        cruise_(cruise_speed) {
+    PickNextLeg();
+  }
+
+  Vec2 position() const { return position_; }
+
+  /// Advances the simulated motion by `dt` seconds.
+  void Advance(double dt) {
+    while (dt > 0.0) {
+      if (dwell_remaining_ > 0.0) {
+        const double used = std::min(dt, dwell_remaining_);
+        dwell_remaining_ -= used;
+        dt -= used;
+        continue;
+      }
+      const Vec2 target = net_->nodes[static_cast<size_t>(target_node_)];
+      const double dist = Distance(position_, target);
+      const double needed = dist / leg_speed_;
+      if (dt < needed) {
+        position_ = position_ + (target - position_) * (dt * leg_speed_ / dist);
+        return;
+      }
+      // Arrive at the target waypoint.
+      position_ = target;
+      dt -= needed;
+      node_ = target_node_;
+      if (rng_->Bernoulli(options_->dwell_prob)) {
+        // Exponential dwell with the configured mean.
+        double u = rng_->NextDouble();
+        if (u <= 1e-12) u = 1e-12;
+        dwell_remaining_ = -std::log(u) * options_->mean_dwell;
+      }
+      PickNextLeg();
+    }
+  }
+
+ private:
+  void PickNextLeg() {
+    const auto& nbrs = net_->adjacency[static_cast<size_t>(node_)];
+    MST_CHECK(!nbrs.empty());
+    int next = nbrs[rng_->UniformIndex(nbrs.size())];
+    // Avoid immediate backtracking when there is a choice.
+    if (next == prev_node_ && nbrs.size() > 1) {
+      for (int tries = 0; tries < 4 && next == prev_node_; ++tries) {
+        next = nbrs[rng_->UniformIndex(nbrs.size())];
+      }
+    }
+    prev_node_ = node_;
+    target_node_ = next;
+    leg_speed_ = cruise_ * rng_->Uniform(0.8, 1.2);
+  }
+
+  const RoadNetwork* net_;
+  const TrucksOptions* options_;
+  Rng* rng_;
+  int node_;
+  int prev_node_ = -1;
+  int target_node_ = -1;
+  Vec2 position_;
+  double cruise_;
+  double leg_speed_ = 1.0;
+  double dwell_remaining_ = 0.0;
+};
+
+}  // namespace
+
+TrajectoryStore GenerateTrucks(const TrucksOptions& options) {
+  MST_CHECK(options.num_trucks >= 1);
+  MST_CHECK(options.mean_samples_per_truck >= 4);
+  MST_CHECK(options.num_waypoints >= 2);
+  MST_CHECK(options.num_depots >= 1 &&
+            options.num_depots <= options.num_waypoints);
+
+  Rng master(options.seed);
+  Rng net_rng = master.Fork(0xdeadULL);
+  const RoadNetwork net = BuildNetwork(options, &net_rng);
+
+  TrajectoryStore store;
+  for (int truck = 0; truck < options.num_trucks; ++truck) {
+    Rng rng = master.Fork(static_cast<uint64_t>(truck) + 1);
+
+    const int span = options.mean_samples_per_truck * 3 / 10;
+    const int samples_n = static_cast<int>(rng.UniformInt(
+        options.mean_samples_per_truck - span,
+        options.mean_samples_per_truck + span));
+    const double dt = options.day_seconds / (samples_n - 1);
+
+    // Depots are the first `num_depots` waypoints.
+    const int depot =
+        static_cast<int>(rng.UniformIndex(static_cast<uint64_t>(
+            options.num_depots)));
+    const double cruise =
+        options.mean_speed * std::exp(rng.Normal(0.0, 0.25));
+
+    TruckMotion motion(&net, depot, cruise, &options, &rng);
+    std::vector<TPoint> samples;
+    samples.reserve(static_cast<size_t>(samples_n));
+    double now = 0.0;
+    samples.push_back({now, motion.position()});
+    for (int i = 1; i < samples_n; ++i) {
+      // Mild per-sample interval jitter keeps GPS-like irregularity while
+      // pinning the final timestamp to the end of the day.
+      double step = dt;
+      if (i < samples_n - 1) {
+        step *= rng.Uniform(0.85, 1.15);
+      } else {
+        step = options.day_seconds - now;
+      }
+      if (step <= 0.0) step = std::nextafter(0.0, 1.0);
+      motion.Advance(step);
+      now += step;
+      if (i == samples_n - 1) now = options.day_seconds;
+      if (now <= samples.back().t) now = std::nextafter(samples.back().t, 1e300);
+      samples.push_back({now, motion.position()});
+    }
+    store.Add(Trajectory(options.first_id + truck, std::move(samples)));
+  }
+  return store;
+}
+
+}  // namespace mst

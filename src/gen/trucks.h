@@ -1,0 +1,52 @@
+// "Trucks"-like fleet generator — the substitute for the real Trucks dataset
+// of rtreeportal.org the paper uses (273 trucks, 112 203 segments around
+// Athens), which is not obtainable offline. See DESIGN.md for the
+// substitution argument.
+//
+// A deterministic simulator: a random waypoint "road skeleton" is drawn in a
+// metric plane; each truck belongs to a depot and alternates trips along
+// road edges with dwell periods; per-truck cruise speeds and GPS sampling
+// intervals are heterogeneous, so the dataset exhibits exactly the
+// sampling-rate variety the DISSIM metric is designed to handle. Every
+// trajectory spans the same working-day window, matching the assumption of
+// Definition 1.
+
+#ifndef MST_GEN_TRUCKS_H_
+#define MST_GEN_TRUCKS_H_
+
+#include <cstdint>
+
+#include "src/geom/trajectory.h"
+
+namespace mst {
+
+/// Fleet parameters. Defaults match the real dataset's cardinalities:
+/// 273 trajectories and ≈112 K segments (≈411 samples per truck).
+struct TrucksOptions {
+  int num_trucks = 273;
+  /// Mean samples per truck; per-truck counts vary ±30 %.
+  int mean_samples_per_truck = 412;
+  /// Working day duration (seconds); all trajectories span [0, day].
+  double day_seconds = 28800.0;
+  /// Side of the square operating area (meters).
+  double area_meters = 40000.0;
+  int num_depots = 6;
+  int num_waypoints = 80;
+  /// Road edges per waypoint (nearest-neighbour connections).
+  int waypoint_degree = 3;
+  /// Mean cruise speed (m/s); per-truck speeds are lognormal around this.
+  double mean_speed = 11.0;
+  /// Probability of dwelling (stopping) at a reached waypoint.
+  double dwell_prob = 0.35;
+  /// Mean dwell duration (seconds).
+  double mean_dwell = 420.0;
+  uint64_t seed = 7;
+  TrajectoryId first_id = 0;
+};
+
+/// Generates the fleet. Deterministic in the seed.
+TrajectoryStore GenerateTrucks(const TrucksOptions& options);
+
+}  // namespace mst
+
+#endif  // MST_GEN_TRUCKS_H_

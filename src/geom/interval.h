@@ -1,0 +1,52 @@
+// Closed time intervals [begin, end] used for query periods, node temporal
+// extents, and the per-trajectory coverage bookkeeping of the MST search.
+
+#ifndef MST_GEOM_INTERVAL_H_
+#define MST_GEOM_INTERVAL_H_
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace mst {
+
+/// A closed interval of time [begin, end]. An interval with begin > end is
+/// considered empty; Duration() of an empty interval is 0.
+struct TimeInterval {
+  double begin = 0.0;
+  double end = 0.0;
+
+  /// Length of the interval; 0 if empty.
+  double Duration() const { return end > begin ? end - begin : 0.0; }
+
+  /// True iff begin > end (no instant belongs to the interval) — note a
+  /// degenerate single-instant interval [t, t] is NOT empty.
+  bool IsEmpty() const { return begin > end; }
+
+  /// True iff `t` lies inside the closed interval.
+  bool Contains(double t) const { return t >= begin && t <= end; }
+
+  /// True iff `other` is fully inside this interval.
+  bool Covers(const TimeInterval& other) const {
+    return !other.IsEmpty() && begin <= other.begin && other.end <= end;
+  }
+
+  /// True iff the closed intervals share at least one instant.
+  bool Overlaps(const TimeInterval& other) const {
+    return !IsEmpty() && !other.IsEmpty() && begin <= other.end &&
+           other.begin <= end;
+  }
+
+  /// Intersection (may be empty).
+  TimeInterval Intersect(const TimeInterval& other) const {
+    return {std::max(begin, other.begin), std::min(end, other.end)};
+  }
+
+  friend bool operator==(const TimeInterval& a, const TimeInterval& b) {
+    return a.begin == b.begin && a.end == b.end;
+  }
+};
+
+}  // namespace mst
+
+#endif  // MST_GEOM_INTERVAL_H_

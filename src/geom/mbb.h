@@ -1,0 +1,96 @@
+// 3D (x, y, t) minimum bounding boxes for index nodes and entries.
+
+#ifndef MST_GEOM_MBB_H_
+#define MST_GEOM_MBB_H_
+
+#include <algorithm>
+#include <limits>
+
+#include "src/geom/interval.h"
+#include "src/geom/point.h"
+
+namespace mst {
+
+/// Axis-aligned box over two spatial dimensions and time, as stored in the
+/// R-tree-family indexes. An default-constructed Mbb3 is "empty" (inverted
+/// bounds) and is the identity for Expand().
+struct Mbb3 {
+  double xlo = std::numeric_limits<double>::infinity();
+  double ylo = std::numeric_limits<double>::infinity();
+  double tlo = std::numeric_limits<double>::infinity();
+  double xhi = -std::numeric_limits<double>::infinity();
+  double yhi = -std::numeric_limits<double>::infinity();
+  double thi = -std::numeric_limits<double>::infinity();
+
+  /// Box spanning two timestamped samples (a trajectory segment's MBB).
+  static Mbb3 OfSegment(const TPoint& a, const TPoint& b) {
+    Mbb3 m;
+    m.xlo = std::min(a.p.x, b.p.x);
+    m.xhi = std::max(a.p.x, b.p.x);
+    m.ylo = std::min(a.p.y, b.p.y);
+    m.yhi = std::max(a.p.y, b.p.y);
+    m.tlo = std::min(a.t, b.t);
+    m.thi = std::max(a.t, b.t);
+    return m;
+  }
+
+  bool IsEmpty() const { return xlo > xhi || ylo > yhi || tlo > thi; }
+
+  /// Temporal extent [tlo, thi].
+  TimeInterval TimeExtent() const { return {tlo, thi}; }
+
+  /// Grows this box to cover `other`.
+  void Expand(const Mbb3& other) {
+    xlo = std::min(xlo, other.xlo);
+    ylo = std::min(ylo, other.ylo);
+    tlo = std::min(tlo, other.tlo);
+    xhi = std::max(xhi, other.xhi);
+    yhi = std::max(yhi, other.yhi);
+    thi = std::max(thi, other.thi);
+  }
+
+  /// Smallest box covering both inputs.
+  static Mbb3 Union(const Mbb3& a, const Mbb3& b) {
+    Mbb3 m = a;
+    m.Expand(b);
+    return m;
+  }
+
+  /// True iff the closed boxes share a point.
+  bool Intersects(const Mbb3& o) const {
+    return xlo <= o.xhi && o.xlo <= xhi && ylo <= o.yhi && o.ylo <= yhi &&
+           tlo <= o.thi && o.tlo <= thi;
+  }
+
+  /// True iff `o` lies fully inside this box.
+  bool Contains(const Mbb3& o) const {
+    return xlo <= o.xlo && o.xhi <= xhi && ylo <= o.ylo && o.yhi <= yhi &&
+           tlo <= o.tlo && o.thi <= thi;
+  }
+
+  /// Volume (x-extent * y-extent * t-extent); 0 for empty boxes.
+  double Volume() const {
+    if (IsEmpty()) return 0.0;
+    return (xhi - xlo) * (yhi - ylo) * (thi - tlo);
+  }
+
+  /// Sum of the three extents (the "margin" used by some split heuristics).
+  double Margin() const {
+    if (IsEmpty()) return 0.0;
+    return (xhi - xlo) + (yhi - ylo) + (thi - tlo);
+  }
+
+  /// Increase in volume caused by expanding this box to also cover `o`.
+  double Enlargement(const Mbb3& o) const {
+    return Union(*this, o).Volume() - Volume();
+  }
+
+  friend bool operator==(const Mbb3& a, const Mbb3& b) {
+    return a.xlo == b.xlo && a.ylo == b.ylo && a.tlo == b.tlo &&
+           a.xhi == b.xhi && a.yhi == b.yhi && a.thi == b.thi;
+  }
+};
+
+}  // namespace mst
+
+#endif  // MST_GEOM_MBB_H_

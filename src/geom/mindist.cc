@@ -1,0 +1,126 @@
+#include "src/geom/mindist.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "src/util/check.h"
+
+namespace mst {
+namespace {
+
+// Penalty distance along one axis: how far `v` lies outside [lo, hi].
+double AxisPenalty(double v, double lo, double hi) {
+  if (v < lo) return lo - v;
+  if (v > hi) return v - hi;
+  return 0.0;
+}
+
+// Adds the local times in (0, dur) at which the linear motion v0→v1 crosses
+// the boundary value `bound`.
+void AddCrossing(double v0, double v1, double dur, double bound,
+                 std::vector<double>* taus) {
+  const double dv = v1 - v0;
+  if (dv == 0.0) return;
+  const double tau = (bound - v0) / dv * dur;
+  if (tau > 0.0 && tau < dur) taus->push_back(tau);
+}
+
+}  // namespace
+
+double PointRectDistance(Vec2 p, double xlo, double ylo, double xhi,
+                         double yhi) {
+  const double dx = AxisPenalty(p.x, xlo, xhi);
+  const double dy = AxisPenalty(p.y, ylo, yhi);
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+double MovingPointRectMinDistance(Vec2 q0, Vec2 q1, double dur, double xlo,
+                                  double ylo, double xhi, double yhi) {
+  MST_CHECK(dur > 0.0);
+  // Breakpoints of the piecewise-linear axis penalties.
+  std::vector<double> taus;
+  taus.reserve(6);
+  taus.push_back(0.0);
+  taus.push_back(dur);
+  AddCrossing(q0.x, q1.x, dur, xlo, &taus);
+  AddCrossing(q0.x, q1.x, dur, xhi, &taus);
+  AddCrossing(q0.y, q1.y, dur, ylo, &taus);
+  AddCrossing(q0.y, q1.y, dur, yhi, &taus);
+  std::sort(taus.begin(), taus.end());
+
+  auto position = [&](double tau) -> Vec2 {
+    return q0 + (q1 - q0) * (tau / dur);
+  };
+
+  double best2 = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i + 1 < taus.size(); ++i) {
+    const double ta = taus[i];
+    const double tb = taus[i + 1];
+    const Vec2 pa = position(ta);
+    const Vec2 pb = position(tb);
+    const double dxa = AxisPenalty(pa.x, xlo, xhi);
+    const double dxb = AxisPenalty(pb.x, xlo, xhi);
+    const double dya = AxisPenalty(pa.y, ylo, yhi);
+    const double dyb = AxisPenalty(pb.y, ylo, yhi);
+    // Endpoints always contribute.
+    best2 = std::min(best2, dxa * dxa + dya * dya);
+    best2 = std::min(best2, dxb * dxb + dyb * dyb);
+    if (tb <= ta) continue;
+    // On this piece each axis penalty is linear: p(τ) = α τ + β.
+    const double ax = (dxb - dxa) / (tb - ta);
+    const double bx = dxa - ax * ta;
+    const double ay = (dyb - dya) / (tb - ta);
+    const double by = dya - ay * ta;
+    // Squared distance A τ² + B τ + C; interior vertex if A > 0.
+    const double coef_a = ax * ax + ay * ay;
+    const double coef_b = 2.0 * (ax * bx + ay * by);
+    if (coef_a > 0.0) {
+      const double tv = -coef_b / (2.0 * coef_a);
+      if (tv > ta && tv < tb) {
+        const double dxv = ax * tv + bx;
+        const double dyv = ay * tv + by;
+        best2 = std::min(best2, dxv * dxv + dyv * dyv);
+      }
+    }
+    if (best2 <= 0.0) return 0.0;
+  }
+  return std::sqrt(std::max(0.0, best2));
+}
+
+double MinDist(const Trajectory& q, const Mbb3& box,
+               const TimeInterval& period) {
+  const TimeInterval window =
+      period.Intersect(box.TimeExtent()).Intersect(q.Lifespan());
+  if (window.IsEmpty()) return std::numeric_limits<double>::infinity();
+
+  double best = std::numeric_limits<double>::infinity();
+  if (q.size() == 1 || window.Duration() == 0.0) {
+    const std::optional<Vec2> p = q.PositionAt(window.begin);
+    MST_DCHECK(p.has_value());
+    return PointRectDistance(*p, box.xlo, box.ylo, box.xhi, box.yhi);
+  }
+  for (size_t i = 0; i + 1 < q.size(); ++i) {
+    const TPoint& s0 = q.sample(i);
+    const TPoint& s1 = q.sample(i + 1);
+    const TimeInterval sub = window.Intersect({s0.t, s1.t});
+    if (sub.IsEmpty()) continue;
+    const double d = sub.Duration();
+    if (d == 0.0) {
+      const Vec2 p = Lerp(s0, s1, sub.begin);
+      best = std::min(
+          best, PointRectDistance(p, box.xlo, box.ylo, box.xhi, box.yhi));
+      continue;
+    }
+    const Vec2 p0 = Lerp(s0, s1, sub.begin);
+    const Vec2 p1 = Lerp(s0, s1, sub.end);
+    best = std::min(best, MovingPointRectMinDistance(p0, p1, d, box.xlo,
+                                                     box.ylo, box.xhi,
+                                                     box.yhi));
+    if (best <= 0.0) return 0.0;
+  }
+  return best;
+}
+
+}  // namespace mst

@@ -1,0 +1,39 @@
+// MINDIST(Q, N): minimum Euclidean distance between the (moving) query
+// trajectory and the spatial footprint of an index-node MBB, over the time
+// instants where both the query period and the node's temporal extent apply.
+// This is the node ordering key of the best-first MST search (adopted from
+// the NN-search work the paper cites as [6]).
+
+#ifndef MST_GEOM_MINDIST_H_
+#define MST_GEOM_MINDIST_H_
+
+#include "src/geom/interval.h"
+#include "src/geom/mbb.h"
+#include "src/geom/point.h"
+#include "src/geom/trajectory.h"
+
+namespace mst {
+
+/// Distance from a static point to the (closed) axis-aligned rectangle
+/// [xlo, xhi] × [ylo, yhi]; 0 when the point is inside.
+double PointRectDistance(Vec2 p, double xlo, double ylo, double xhi,
+                         double yhi);
+
+/// Minimum over local time τ ∈ [0, dur] of the distance between a point
+/// moving linearly q0→q1 and the static rectangle [xlo, xhi] × [ylo, yhi].
+/// Exact: the squared penalty distance is piecewise quadratic in τ with
+/// breakpoints where the moving point crosses a rectangle boundary line;
+/// each piece is minimized analytically. Requires dur > 0.
+double MovingPointRectMinDistance(Vec2 q0, Vec2 q1, double dur, double xlo,
+                                  double ylo, double xhi, double yhi);
+
+/// MINDIST(Q, N) of the paper: minimum distance between query trajectory `q`
+/// and box `box` over period ∩ box.TimeExtent() ∩ q.Lifespan(). Returns
+/// +infinity when that triple intersection is empty (the node holds nothing
+/// relevant to the query period).
+double MinDist(const Trajectory& q, const Mbb3& box,
+               const TimeInterval& period);
+
+}  // namespace mst
+
+#endif  // MST_GEOM_MINDIST_H_

@@ -1,0 +1,49 @@
+#include "src/geom/moving_distance.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/util/check.h"
+
+namespace mst {
+
+DistanceTrinomial DistanceTrinomial::Between(Vec2 q0, Vec2 q1, Vec2 p0,
+                                             Vec2 p1, double dur) {
+  MST_CHECK_MSG(dur > 0.0, "trinomial interval must have positive duration");
+  const Vec2 r0 = q0 - p0;
+  const Vec2 r1 = q1 - p1;
+  const Vec2 vr = (r1 - r0) / dur;
+  DistanceTrinomial tri;
+  tri.a = vr.Norm2();
+  tri.b = 2.0 * Dot(r0, vr);
+  tri.c = r0.Norm2();
+  tri.dur = dur;
+  return tri;
+}
+
+double DistanceTrinomial::ArgMinTau() const {
+  if (a <= 0.0) return 0.0;  // constant distance (a==0 implies b==0)
+  return std::clamp(FlexTau(), 0.0, dur);
+}
+
+double DistanceTrinomial::MinValue() const { return ValueAt(ArgMinTau()); }
+
+double DistanceTrinomial::MaxValue() const {
+  return std::max(ValueAt(0.0), ValueAt(dur));
+}
+
+double DistanceTrinomial::SecondDerivativeAt(double tau) const {
+  if (a <= 0.0) return 0.0;  // constant distance
+  const double f = SquaredAt(tau);
+  // Scale-aware "touching zero" test: at the minimum of a perfect-square
+  // trinomial, D = √a·|τ − τ0| has a curvature impulse (the kink), so the
+  // second derivative must be reported as unbounded, not 0.
+  const double scale =
+      std::max({c, std::abs(b) * dur, a * dur * dur, 1e-300});
+  if (f <= 1e-12 * scale) return std::numeric_limits<double>::infinity();
+  const double disc = FourAcMinusB2();
+  if (disc <= 0.0) return 0.0;  // |linear| away from the kink
+  return disc / (4.0 * f * std::sqrt(f));
+}
+
+}  // namespace mst

@@ -1,0 +1,61 @@
+// Distance-in-time between two linearly moving points: the trinomial
+// D(τ)² = a·τ² + b·τ + c of §3 / ref [6], with the calculus the DISSIM
+// machinery needs (value, minimum, flex of D, second derivative of D).
+
+#ifndef MST_GEOM_MOVING_DISTANCE_H_
+#define MST_GEOM_MOVING_DISTANCE_H_
+
+#include <cmath>
+
+#include "src/geom/point.h"
+
+namespace mst {
+
+/// Squared-distance trinomial between two points moving linearly over a
+/// common local-time interval [0, dur]. The trinomial is non-negative on all
+/// of R (it is a squared norm), hence a ≥ 0 and discriminant b² − 4ac ≤ 0.
+struct DistanceTrinomial {
+  double a = 0.0;
+  double b = 0.0;
+  double c = 0.0;
+  double dur = 0.0;
+
+  /// Builds the trinomial for a query moving q0→q1 and a data object moving
+  /// p0→p1 during the same interval of length `dur` > 0.
+  static DistanceTrinomial Between(Vec2 q0, Vec2 q1, Vec2 p0, Vec2 p1,
+                                   double dur);
+
+  /// D(τ)² (clamped at 0 against rounding).
+  double SquaredAt(double tau) const {
+    const double v = (a * tau + b) * tau + c;
+    return v > 0.0 ? v : 0.0;
+  }
+
+  /// D(τ) = sqrt(a τ² + b τ + c).
+  double ValueAt(double tau) const { return std::sqrt(SquaredAt(tau)); }
+
+  /// Discriminant-like quantity 4ac − b² (≥ 0 up to rounding).
+  double FourAcMinusB2() const { return 4.0 * a * c - b * b; }
+
+  /// τ* = −b / (2a): the instant of minimal distance and the flex of D''
+  /// referenced in Lemma 1. Requires a > 0.
+  double FlexTau() const { return -b / (2.0 * a); }
+
+  /// Minimum distance over local time [0, dur].
+  double MinValue() const;
+
+  /// Instant in [0, dur] where the minimum distance is attained.
+  double ArgMinTau() const;
+
+  /// Maximum distance over [0, dur] (attained at an endpoint: D is convex).
+  double MaxValue() const;
+
+  /// Second derivative D''(τ) = (4ac − b²) / (4 (aτ²+bτ+c)^{3/2}); returns
+  /// +infinity when the trinomial vanishes at τ (touching distance 0).
+  /// D'' ≥ 0 everywhere: the distance function is convex.
+  double SecondDerivativeAt(double tau) const;
+};
+
+}  // namespace mst
+
+#endif  // MST_GEOM_MOVING_DISTANCE_H_

@@ -1,0 +1,54 @@
+// Basic 2D vector and timestamped-point types shared across the library.
+
+#ifndef MST_GEOM_POINT_H_
+#define MST_GEOM_POINT_H_
+
+#include <cmath>
+
+namespace mst {
+
+/// 2D vector / position with the arithmetic the trajectory math needs.
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend Vec2 operator+(Vec2 a, Vec2 b) { return {a.x + b.x, a.y + b.y}; }
+  friend Vec2 operator-(Vec2 a, Vec2 b) { return {a.x - b.x, a.y - b.y}; }
+  friend Vec2 operator*(Vec2 a, double s) { return {a.x * s, a.y * s}; }
+  friend Vec2 operator*(double s, Vec2 a) { return a * s; }
+  friend Vec2 operator/(Vec2 a, double s) { return {a.x / s, a.y / s}; }
+  friend bool operator==(Vec2 a, Vec2 b) { return a.x == b.x && a.y == b.y; }
+
+  /// Dot product.
+  friend double Dot(Vec2 a, Vec2 b) { return a.x * b.x + a.y * b.y; }
+
+  /// Squared Euclidean norm.
+  double Norm2() const { return x * x + y * y; }
+
+  /// Euclidean norm.
+  double Norm() const { return std::sqrt(Norm2()); }
+};
+
+/// Euclidean distance between two positions.
+inline double Distance(Vec2 a, Vec2 b) { return (a - b).Norm(); }
+
+/// A trajectory sample: position `p` recorded at timestamp `t`.
+struct TPoint {
+  double t = 0.0;
+  Vec2 p;
+
+  friend bool operator==(const TPoint& a, const TPoint& b) {
+    return a.t == b.t && a.p == b.p;
+  }
+};
+
+/// Linear interpolation between two timestamped samples at time `t`.
+/// Requires a.t < b.t; `t` may lie outside [a.t, b.t] (extrapolates).
+inline Vec2 Lerp(const TPoint& a, const TPoint& b, double t) {
+  const double w = (t - a.t) / (b.t - a.t);
+  return a.p + (b.p - a.p) * w;
+}
+
+}  // namespace mst
+
+#endif  // MST_GEOM_POINT_H_

@@ -1,0 +1,133 @@
+#include "src/geom/trajectory.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "src/util/check.h"
+
+namespace mst {
+
+Trajectory::Trajectory(TrajectoryId id, std::vector<TPoint> samples)
+    : id_(id), samples_(std::move(samples)) {
+  MST_CHECK_MSG(!samples_.empty(), "trajectory needs at least one sample");
+  for (size_t i = 1; i < samples_.size(); ++i) {
+    MST_CHECK_MSG(samples_[i - 1].t < samples_[i].t,
+                  "trajectory timestamps must strictly increase");
+  }
+}
+
+std::optional<Vec2> Trajectory::PositionAt(double t) const {
+  if (t < start_time() || t > end_time()) return std::nullopt;
+  if (samples_.size() == 1) return samples_.front().p;
+  const std::optional<size_t> seg = SegmentAt(t);
+  MST_DCHECK(seg.has_value());
+  return Lerp(samples_[*seg], samples_[*seg + 1], t);
+}
+
+std::optional<size_t> Trajectory::SegmentAt(double t) const {
+  if (samples_.size() < 2 || t < start_time() || t > end_time()) {
+    return std::nullopt;
+  }
+  // First sample with timestamp > t; the segment starts one before it.
+  const auto it =
+      std::upper_bound(samples_.begin(), samples_.end(), t,
+                       [](double v, const TPoint& s) { return v < s.t; });
+  size_t idx = static_cast<size_t>(it - samples_.begin());
+  if (idx == samples_.size()) idx = samples_.size() - 1;  // t == end_time()
+  MST_DCHECK(idx >= 1);
+  return idx - 1;
+}
+
+std::optional<Trajectory> Trajectory::Slice(const TimeInterval& period) const {
+  const TimeInterval clipped = period.Intersect(Lifespan());
+  if (clipped.IsEmpty()) return std::nullopt;
+  std::vector<TPoint> out;
+  const std::optional<Vec2> head = PositionAt(clipped.begin);
+  MST_DCHECK(head.has_value());
+  out.push_back({clipped.begin, *head});
+  for (const TPoint& s : samples_) {
+    if (s.t > clipped.begin && s.t < clipped.end) out.push_back(s);
+  }
+  if (clipped.end > clipped.begin) {
+    const std::optional<Vec2> tail = PositionAt(clipped.end);
+    MST_DCHECK(tail.has_value());
+    out.push_back({clipped.end, *tail});
+  }
+  return Trajectory(id_, std::move(out));
+}
+
+double Trajectory::SpatialLength() const {
+  double total = 0.0;
+  for (size_t i = 1; i < samples_.size(); ++i) {
+    total += Distance(samples_[i - 1].p, samples_[i].p);
+  }
+  return total;
+}
+
+double Trajectory::MaxSpeed() const {
+  double v = 0.0;
+  for (size_t i = 1; i < samples_.size(); ++i) {
+    const double dt = samples_[i].t - samples_[i - 1].t;
+    const double d = Distance(samples_[i - 1].p, samples_[i].p);
+    v = std::max(v, d / dt);
+  }
+  return v;
+}
+
+Mbb3 Trajectory::Bounds() const {
+  Mbb3 m;
+  for (const TPoint& s : samples_) {
+    m.Expand(Mbb3::OfSegment(s, s));
+  }
+  return m;
+}
+
+void TrajectoryStore::Add(Trajectory trajectory) {
+  MST_CHECK_MSG(Find(trajectory.id()) == nullptr,
+                "duplicate trajectory id in store");
+  by_id_.emplace_back(trajectory.id(), trajectories_.size());
+  trajectories_.push_back(std::move(trajectory));
+  sorted_ = false;
+}
+
+void TrajectoryStore::EnsureSorted() const {
+  if (sorted_) return;
+  auto* self = const_cast<TrajectoryStore*>(this);
+  std::sort(self->by_id_.begin(), self->by_id_.end());
+  self->sorted_ = true;
+}
+
+const Trajectory* TrajectoryStore::Find(TrajectoryId id) const {
+  EnsureSorted();
+  const auto it = std::lower_bound(
+      by_id_.begin(), by_id_.end(), id,
+      [](const std::pair<TrajectoryId, size_t>& e, TrajectoryId v) {
+        return e.first < v;
+      });
+  if (it == by_id_.end() || it->first != id) return nullptr;
+  return &trajectories_[it->second];
+}
+
+const Trajectory& TrajectoryStore::Get(TrajectoryId id) const {
+  const Trajectory* t = Find(id);
+  MST_CHECK_MSG(t != nullptr, "trajectory id not in store");
+  return *t;
+}
+
+double TrajectoryStore::MaxSpeed() const {
+  double v = 0.0;
+  for (const Trajectory& t : trajectories_) v = std::max(v, t.MaxSpeed());
+  return v;
+}
+
+int64_t TrajectoryStore::TotalSegments() const {
+  int64_t n = 0;
+  for (const Trajectory& t : trajectories_) {
+    n += static_cast<int64_t>(t.SegmentCount());
+  }
+  return n;
+}
+
+}  // namespace mst

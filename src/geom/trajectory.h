@@ -1,0 +1,137 @@
+// The trajectory data model: a sequence of timestamped 2D samples with
+// linear interpolation in between (the MOD model of the paper, §3).
+
+#ifndef MST_GEOM_TRAJECTORY_H_
+#define MST_GEOM_TRAJECTORY_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/geom/interval.h"
+#include "src/geom/mbb.h"
+#include "src/geom/point.h"
+
+namespace mst {
+
+/// Identifier of a moving object / trajectory.
+using TrajectoryId = int64_t;
+
+/// Sentinel for "no trajectory".
+inline constexpr TrajectoryId kInvalidTrajectoryId = -1;
+
+/// A sampled trajectory of one moving object. Samples are kept sorted by
+/// strictly increasing timestamp; the object's position between consecutive
+/// samples is defined by linear interpolation. A trajectory needs at least
+/// two samples to describe movement (single-sample trajectories are allowed
+/// but have zero duration).
+class Trajectory {
+ public:
+  /// Builds a trajectory from samples. Samples must be non-empty and sorted
+  /// by strictly increasing timestamp (checked).
+  Trajectory(TrajectoryId id, std::vector<TPoint> samples);
+
+  Trajectory(const Trajectory&) = default;
+  Trajectory(Trajectory&&) = default;
+  Trajectory& operator=(const Trajectory&) = default;
+  Trajectory& operator=(Trajectory&&) = default;
+
+  TrajectoryId id() const { return id_; }
+
+  /// Number of samples.
+  size_t size() const { return samples_.size(); }
+
+  /// Number of line segments (size() - 1; 0 for a single sample).
+  size_t SegmentCount() const { return samples_.size() - 1; }
+
+  const TPoint& sample(size_t i) const { return samples_[i]; }
+  const std::vector<TPoint>& samples() const { return samples_; }
+
+  double start_time() const { return samples_.front().t; }
+  double end_time() const { return samples_.back().t; }
+
+  /// Lifespan [start_time, end_time].
+  TimeInterval Lifespan() const { return {start_time(), end_time()}; }
+
+  /// True iff the trajectory is defined over the whole closed `period`.
+  bool Covers(const TimeInterval& period) const {
+    return Lifespan().Covers(period);
+  }
+
+  /// Position at time `t`, linearly interpolated; nullopt outside the
+  /// lifespan.
+  std::optional<Vec2> PositionAt(double t) const;
+
+  /// Index `i` of the segment [sample(i), sample(i+1)] whose time range
+  /// contains `t` (the last such segment for boundary timestamps); nullopt
+  /// outside the lifespan or if the trajectory has a single sample.
+  std::optional<size_t> SegmentAt(double t) const;
+
+  /// Sub-trajectory restricted to `period` (clipped; endpoints interpolated
+  /// if `period` cuts through segments). Returns nullopt if `period` does not
+  /// intersect the lifespan in more than measure-zero fashion... precisely:
+  /// nullopt when the intersection of `period` with the lifespan is empty.
+  /// The slice keeps this trajectory's id.
+  std::optional<Trajectory> Slice(const TimeInterval& period) const;
+
+  /// Total spatial (polyline) length.
+  double SpatialLength() const;
+
+  /// Maximum speed over all segments (0 for single-sample trajectories).
+  /// Zero-duration segments cannot occur (timestamps strictly increase).
+  double MaxSpeed() const;
+
+  /// Bounding box over space and time.
+  Mbb3 Bounds() const;
+
+  friend bool operator==(const Trajectory& a, const Trajectory& b) {
+    return a.id_ == b.id_ && a.samples_ == b.samples_;
+  }
+
+ private:
+  TrajectoryId id_;
+  std::vector<TPoint> samples_;
+};
+
+/// An owning collection of trajectories with id lookup — the "trajectory
+/// table" of the MOD. BFMST uses it to (a) know each object's lifespan and
+/// (b) fetch remaining segments during exact post-processing (§4.4).
+class TrajectoryStore {
+ public:
+  TrajectoryStore() = default;
+
+  /// Adds a trajectory; ids must be unique (checked).
+  void Add(Trajectory trajectory);
+
+  /// Number of trajectories.
+  size_t size() const { return trajectories_.size(); }
+  bool empty() const { return trajectories_.empty(); }
+
+  /// Lookup by id; nullptr if absent.
+  const Trajectory* Find(TrajectoryId id) const;
+
+  /// Lookup by id; aborts if absent.
+  const Trajectory& Get(TrajectoryId id) const;
+
+  /// All trajectories, in insertion order.
+  const std::vector<Trajectory>& trajectories() const { return trajectories_; }
+
+  /// Maximum MaxSpeed() over the stored trajectories (0 when empty). Used as
+  /// the dataset component of V_max in the speed-dependent bounds.
+  double MaxSpeed() const;
+
+  /// Total number of line segments across all trajectories.
+  int64_t TotalSegments() const;
+
+ private:
+  std::vector<Trajectory> trajectories_;
+  // id -> index into trajectories_. Kept as a sorted vector: ids are dense in
+  // practice and the store is build-once/read-many.
+  std::vector<std::pair<TrajectoryId, size_t>> by_id_;
+  mutable bool sorted_ = true;
+  void EnsureSorted() const;
+};
+
+}  // namespace mst
+
+#endif  // MST_GEOM_TRAJECTORY_H_

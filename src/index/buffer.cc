@@ -1,0 +1,93 @@
+#include "src/index/buffer.h"
+
+#include "src/util/check.h"
+
+namespace mst {
+
+BufferManager::BufferManager(PageFile* file, size_t capacity_pages)
+    : file_(file), capacity_(capacity_pages) {
+  MST_CHECK(file != nullptr);
+  MST_CHECK_MSG(capacity_pages >= 1, "buffer needs at least one frame");
+}
+
+BufferManager::~BufferManager() { Flush(); }
+
+BufferManager::FrameList::iterator BufferManager::Touch(PageId id,
+                                                        bool load_from_disk) {
+  const auto it = index_.find(id);
+  if (it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return lru_.begin();
+  }
+  ++misses_;
+  EvictIfNeeded();
+  lru_.push_front(Frame{});
+  Frame& frame = lru_.front();
+  frame.id = id;
+  frame.dirty = false;
+  if (load_from_disk) {
+    file_->Read(id, &frame.page);
+  }
+  index_[id] = lru_.begin();
+  return lru_.begin();
+}
+
+void BufferManager::EvictIfNeeded() {
+  while (lru_.size() >= capacity_) {
+    Frame& victim = lru_.back();
+    WriteBack(victim);
+    index_.erase(victim.id);
+    lru_.pop_back();
+  }
+}
+
+void BufferManager::WriteBack(Frame& frame) {
+  if (frame.dirty) {
+    file_->Write(frame.id, frame.page);
+    frame.dirty = false;
+  }
+}
+
+const Page* BufferManager::Get(PageId id) {
+  ++logical_reads_;
+  return &Touch(id, /*load_from_disk=*/true)->page;
+}
+
+Page* BufferManager::GetMutable(PageId id) {
+  ++logical_reads_;
+  const auto it = Touch(id, /*load_from_disk=*/true);
+  it->dirty = true;
+  return &it->page;
+}
+
+PageId BufferManager::AllocatePage() {
+  const PageId id = file_->Allocate();
+  // Fresh page: resident dirty frame, no disk read needed.
+  const auto it = Touch(id, /*load_from_disk=*/false);
+  it->dirty = true;
+  return id;
+}
+
+void BufferManager::Flush() {
+  for (Frame& frame : lru_) WriteBack(frame);
+}
+
+void BufferManager::Clear() {
+  Flush();
+  lru_.clear();
+  index_.clear();
+}
+
+void BufferManager::SetCapacity(size_t capacity_pages) {
+  MST_CHECK(capacity_pages >= 1);
+  capacity_ = capacity_pages;
+  // Evict down to the new capacity.
+  while (lru_.size() > capacity_) {
+    Frame& victim = lru_.back();
+    WriteBack(victim);
+    index_.erase(victim.id);
+    lru_.pop_back();
+  }
+}
+
+}  // namespace mst

@@ -1,0 +1,86 @@
+// Write-back LRU buffer manager in front of a PageFile. The experiments run
+// with a buffer sized at 10 % of the index, capped at 1000 pages (§5).
+
+#ifndef MST_INDEX_BUFFER_H_
+#define MST_INDEX_BUFFER_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "src/index/pagefile.h"
+
+namespace mst {
+
+/// LRU page cache. Pages are pinned momentarily by value-semantics accessors:
+/// `Get()` returns a pointer valid until the next buffer call (single-threaded
+/// use, as in the paper's experiments).
+class BufferManager {
+ public:
+  /// `capacity_pages` must be >= 1. The buffer does not own `file`.
+  BufferManager(PageFile* file, size_t capacity_pages);
+
+  BufferManager(const BufferManager&) = delete;
+  BufferManager& operator=(const BufferManager&) = delete;
+
+  ~BufferManager();
+
+  /// Returns a read-only view of page `id`, faulting it in on a miss.
+  /// Counts one logical read; a miss additionally counts one physical read.
+  /// The pointer is invalidated by any subsequent buffer call.
+  const Page* Get(PageId id);
+
+  /// Returns a mutable view of page `id` and marks the frame dirty; the page
+  /// reaches the PageFile when evicted or on Flush().
+  Page* GetMutable(PageId id);
+
+  /// Allocates a fresh page in the underlying file and returns its id with a
+  /// zeroed, dirty frame already resident.
+  PageId AllocatePage();
+
+  /// Writes back every dirty frame (does not drop them from the cache).
+  void Flush();
+
+  /// Drops all frames after flushing. Used between experiment phases so each
+  /// query sequence starts against a cold or warm cache deliberately.
+  void Clear();
+
+  /// Resizes the cache capacity, evicting LRU frames if shrinking.
+  void SetCapacity(size_t capacity_pages);
+
+  size_t capacity() const { return capacity_; }
+
+  int64_t logical_reads() const { return logical_reads_; }
+
+  /// Buffer misses since construction or ResetCounters().
+  int64_t misses() const { return misses_; }
+
+  void ResetCounters() {
+    logical_reads_ = 0;
+    misses_ = 0;
+  }
+
+ private:
+  struct Frame {
+    PageId id = kInvalidPageId;
+    Page page;
+    bool dirty = false;
+  };
+  using FrameList = std::list<Frame>;
+
+  // Moves the frame for `id` to the MRU position, loading it if absent.
+  FrameList::iterator Touch(PageId id, bool load_from_disk);
+  void EvictIfNeeded();
+  void WriteBack(Frame& frame);
+
+  PageFile* file_;
+  size_t capacity_;
+  FrameList lru_;  // front = most recently used
+  std::unordered_map<PageId, FrameList::iterator> index_;
+  int64_t logical_reads_ = 0;
+  int64_t misses_ = 0;
+};
+
+}  // namespace mst
+
+#endif  // MST_INDEX_BUFFER_H_

@@ -1,0 +1,67 @@
+#include "src/index/node.h"
+
+#include <cstring>
+
+#include "src/util/check.h"
+
+namespace mst {
+
+Mbb3 IndexNode::Bounds() const {
+  Mbb3 m;
+  if (IsLeaf()) {
+    for (const LeafEntry& e : leaves) m.Expand(e.Bounds());
+  } else {
+    for (const InternalEntry& e : internals) m.Expand(e.mbb);
+  }
+  return m;
+}
+
+void IndexNode::EncodeTo(Page* page) const {
+  const int count = Count();
+  MST_CHECK_MSG(count <= kCapacity, "node overflow at encode time");
+  page->WriteAt<int32_t>(0, level);
+  page->WriteAt<int32_t>(4, count);
+  page->WriteAt<PageId>(8, parent);
+  page->WriteAt<PageId>(12, prev_leaf);
+  page->WriteAt<PageId>(16, next_leaf);
+  page->WriteAt<int32_t>(20, 0);
+  uint8_t* dst = page->bytes.data() + kHeaderSize;
+  if (IsLeaf()) {
+    if (count > 0) {
+      std::memcpy(dst, leaves.data(), static_cast<size_t>(count) * kEntrySize);
+    }
+  } else {
+    if (count > 0) {
+      std::memcpy(dst, internals.data(),
+                  static_cast<size_t>(count) * kEntrySize);
+    }
+  }
+}
+
+IndexNode IndexNode::Decode(const Page& page, PageId self) {
+  IndexNode node;
+  node.self = self;
+  node.level = page.ReadAt<int32_t>(0);
+  const int32_t count = page.ReadAt<int32_t>(4);
+  MST_CHECK_MSG(count >= 0 && count <= kCapacity, "corrupt node count");
+  node.parent = page.ReadAt<PageId>(8);
+  node.prev_leaf = page.ReadAt<PageId>(12);
+  node.next_leaf = page.ReadAt<PageId>(16);
+  const uint8_t* src = page.bytes.data() + kHeaderSize;
+  if (node.IsLeaf()) {
+    node.leaves.resize(static_cast<size_t>(count));
+    if (count > 0) {
+      std::memcpy(node.leaves.data(), src,
+                  static_cast<size_t>(count) * kEntrySize);
+    }
+  } else {
+    node.internals.resize(static_cast<size_t>(count));
+    if (count > 0) {
+      std::memcpy(node.internals.data(), src,
+                  static_cast<size_t>(count) * kEntrySize);
+    }
+  }
+  return node;
+}
+
+}  // namespace mst

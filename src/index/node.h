@@ -1,0 +1,107 @@
+// On-page node format shared by the 3D R-tree and the TB-tree.
+//
+// A node occupies exactly one 4 KB page:
+//   header  (24 bytes): level, entry count, parent page, and — for TB-tree
+//                       leaves — prev/next leaf of the same trajectory.
+//   entries (56 bytes each): either internal entries (child MBB + child page)
+//                       or leaf entries (one trajectory line segment).
+// Fanout is therefore (4096 - 24) / 56 = 72 entries at every level, which is
+// what yields index sizes in the ballpark of the paper's Table 2.
+
+#ifndef MST_INDEX_NODE_H_
+#define MST_INDEX_NODE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/geom/interval.h"
+#include "src/geom/mbb.h"
+#include "src/geom/point.h"
+#include "src/geom/trajectory.h"
+#include "src/index/pagefile.h"
+
+namespace mst {
+
+/// One indexed trajectory line segment, as stored in leaf pages. `t0 < t1`.
+struct LeafEntry {
+  TrajectoryId traj_id = kInvalidTrajectoryId;
+  double t0 = 0.0;
+  double x0 = 0.0;
+  double y0 = 0.0;
+  double t1 = 0.0;
+  double x1 = 0.0;
+  double y1 = 0.0;
+
+  /// Builds the entry for the segment sample `a` → sample `b` (a.t < b.t).
+  static LeafEntry Of(TrajectoryId id, const TPoint& a, const TPoint& b) {
+    return {id, a.t, a.p.x, a.p.y, b.t, b.p.x, b.p.y};
+  }
+
+  TPoint Start() const { return {t0, {x0, y0}}; }
+  TPoint End() const { return {t1, {x1, y1}}; }
+  TimeInterval TimeSpan() const { return {t0, t1}; }
+
+  /// Speed of the object along this segment.
+  double Speed() const {
+    return Distance(Start().p, End().p) / (t1 - t0);
+  }
+
+  Mbb3 Bounds() const { return Mbb3::OfSegment(Start(), End()); }
+
+  friend bool operator==(const LeafEntry& a, const LeafEntry& b) {
+    return a.traj_id == b.traj_id && a.t0 == b.t0 && a.x0 == b.x0 &&
+           a.y0 == b.y0 && a.t1 == b.t1 && a.x1 == b.x1 && a.y1 == b.y1;
+  }
+};
+static_assert(sizeof(LeafEntry) == 56, "page layout depends on this size");
+static_assert(std::is_trivially_copyable_v<LeafEntry>);
+
+/// Routing entry of an internal node: child MBB + child page id.
+struct InternalEntry {
+  Mbb3 mbb;
+  PageId child = kInvalidPageId;
+  int32_t pad = 0;
+};
+static_assert(sizeof(InternalEntry) == 56, "page layout depends on this size");
+static_assert(std::is_trivially_copyable_v<InternalEntry>);
+
+/// A decoded index node. `level` 0 is a leaf (uses `leaves`); higher levels
+/// are internal (use `internals`).
+struct IndexNode {
+  static constexpr size_t kHeaderSize = 24;
+  static constexpr size_t kEntrySize = 56;
+  /// Maximum entries per node (same at every level): 72 with 4 KB pages.
+  static constexpr int kCapacity =
+      static_cast<int>((kPageSize - kHeaderSize) / kEntrySize);
+
+  PageId self = kInvalidPageId;
+  int32_t level = 0;
+  PageId parent = kInvalidPageId;
+  /// TB-tree per-trajectory leaf chaining; unused (-1) in the 3D R-tree.
+  PageId prev_leaf = kInvalidPageId;
+  PageId next_leaf = kInvalidPageId;
+
+  std::vector<InternalEntry> internals;
+  std::vector<LeafEntry> leaves;
+
+  bool IsLeaf() const { return level == 0; }
+
+  int Count() const {
+    return static_cast<int>(IsLeaf() ? leaves.size() : internals.size());
+  }
+
+  bool IsFull() const { return Count() >= kCapacity; }
+
+  /// Union MBB over the node's entries (empty box for an empty node).
+  Mbb3 Bounds() const;
+
+  /// Serializes into `page` (asserts Count() <= kCapacity).
+  void EncodeTo(Page* page) const;
+
+  /// Parses a node from `page`; `self` is recorded for convenience.
+  static IndexNode Decode(const Page& page, PageId self);
+};
+
+}  // namespace mst
+
+#endif  // MST_INDEX_NODE_H_

@@ -1,0 +1,110 @@
+// Simulated disk: a flat file of fixed-size 4 KB pages with read/write
+// accounting. The experimental setup of the paper (§5) measures index size
+// and node accesses in terms of 4 KB pages; this module is the substrate for
+// that accounting.
+
+#ifndef MST_INDEX_PAGEFILE_H_
+#define MST_INDEX_PAGEFILE_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "src/util/check.h"
+
+namespace mst {
+
+/// Disk page size used by all indexes (matches the paper's 4 KB setup).
+inline constexpr size_t kPageSize = 4096;
+
+/// Identifier of a page within a PageFile.
+using PageId = int32_t;
+
+/// Sentinel for "no page".
+inline constexpr PageId kInvalidPageId = -1;
+
+/// One fixed-size page of raw bytes, with bounds-checked scalar access
+/// helpers used by the node serializers.
+struct Page {
+  std::array<uint8_t, kPageSize> bytes{};
+
+  /// Writes a trivially copyable value at byte offset `off`.
+  template <typename T>
+  void WriteAt(size_t off, const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    MST_DCHECK(off + sizeof(T) <= kPageSize);
+    std::memcpy(bytes.data() + off, &value, sizeof(T));
+  }
+
+  /// Reads a trivially copyable value from byte offset `off`.
+  template <typename T>
+  T ReadAt(size_t off) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    MST_DCHECK(off + sizeof(T) <= kPageSize);
+    T value;
+    std::memcpy(&value, bytes.data() + off, sizeof(T));
+    return value;
+  }
+};
+
+/// Counters of simulated disk traffic.
+struct IoStats {
+  int64_t physical_reads = 0;
+  int64_t physical_writes = 0;
+
+  void Reset() { *this = IoStats(); }
+};
+
+/// An append-allocated, in-memory array of pages standing in for the index
+/// file on disk. Reads/writes are counted as physical I/O; the BufferManager
+/// sits in front of it to absorb repeated accesses.
+class PageFile {
+ public:
+  PageFile() = default;
+
+  PageFile(const PageFile&) = delete;
+  PageFile& operator=(const PageFile&) = delete;
+
+  /// Allocates a fresh zeroed page and returns its id.
+  PageId Allocate() {
+    pages_.emplace_back();
+    return static_cast<PageId>(pages_.size() - 1);
+  }
+
+  /// Copies page `id` into `*out`, counting one physical read.
+  void Read(PageId id, Page* out) {
+    MST_CHECK(IsValid(id));
+    ++stats_.physical_reads;
+    *out = pages_[static_cast<size_t>(id)];
+  }
+
+  /// Overwrites page `id`, counting one physical write.
+  void Write(PageId id, const Page& page) {
+    MST_CHECK(IsValid(id));
+    ++stats_.physical_writes;
+    pages_[static_cast<size_t>(id)] = page;
+  }
+
+  /// True iff `id` names an allocated page.
+  bool IsValid(PageId id) const {
+    return id >= 0 && static_cast<size_t>(id) < pages_.size();
+  }
+
+  /// Number of allocated pages.
+  int64_t PageCount() const { return static_cast<int64_t>(pages_.size()); }
+
+  /// Total size of the simulated file in bytes.
+  int64_t SizeBytes() const { return PageCount() * kPageSize; }
+
+  IoStats& stats() { return stats_; }
+  const IoStats& stats() const { return stats_; }
+
+ private:
+  std::vector<Page> pages_;
+  IoStats stats_;
+};
+
+}  // namespace mst
+
+#endif  // MST_INDEX_PAGEFILE_H_

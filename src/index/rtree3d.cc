@@ -1,0 +1,352 @@
+#include "src/index/rtree3d.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+
+#include "src/util/check.h"
+
+namespace mst {
+namespace {
+
+// Lexicographic (volume enlargement, margin enlargement) cost of growing
+// `base` to cover `add`. The margin term breaks the pervasive volume-0 ties
+// caused by degenerate (axis-parallel) segment MBBs.
+struct GrowCost {
+  double dvolume;
+  double dmargin;
+  double volume;
+
+  bool operator<(const GrowCost& o) const {
+    if (dvolume != o.dvolume) return dvolume < o.dvolume;
+    if (dmargin != o.dmargin) return dmargin < o.dmargin;
+    return volume < o.volume;
+  }
+};
+
+GrowCost CostOf(const Mbb3& base, const Mbb3& add) {
+  const Mbb3 u = Mbb3::Union(base, add);
+  return {u.Volume() - base.Volume(), u.Margin() - base.Margin(),
+          base.Volume()};
+}
+
+}  // namespace
+
+std::vector<int> QuadraticSplit(const std::vector<Mbb3>& boxes, int min_fill) {
+  const int n = static_cast<int>(boxes.size());
+  MST_CHECK(n >= 2);
+  MST_CHECK(min_fill >= 1 && 2 * min_fill <= n);
+
+  // PickSeeds: the pair wasting the most space if grouped together.
+  int seed_a = 0;
+  int seed_b = 1;
+  double worst = -std::numeric_limits<double>::infinity();
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      const Mbb3 u = Mbb3::Union(boxes[i], boxes[j]);
+      const double dead =
+          u.Volume() - boxes[i].Volume() - boxes[j].Volume() +
+          1e-9 * (u.Margin() - boxes[i].Margin() - boxes[j].Margin());
+      if (dead > worst) {
+        worst = dead;
+        seed_a = i;
+        seed_b = j;
+      }
+    }
+  }
+
+  std::vector<int> group(boxes.size(), -1);
+  group[seed_a] = 0;
+  group[seed_b] = 1;
+  Mbb3 cover[2] = {boxes[seed_a], boxes[seed_b]};
+  int count[2] = {1, 1};
+  int remaining = n - 2;
+
+  while (remaining > 0) {
+    // If one group needs every remaining entry to reach min_fill, take them.
+    for (int g = 0; g < 2; ++g) {
+      if (count[g] + remaining == min_fill) {
+        for (int i = 0; i < n; ++i) {
+          if (group[i] < 0) {
+            group[i] = g;
+            cover[g].Expand(boxes[i]);
+            ++count[g];
+          }
+        }
+        remaining = 0;
+        break;
+      }
+    }
+    if (remaining == 0) break;
+
+    // PickNext: the entry with the greatest preference between groups.
+    int pick = -1;
+    double best_diff = -1.0;
+    GrowCost pick_cost[2] = {};
+    for (int i = 0; i < n; ++i) {
+      if (group[i] >= 0) continue;
+      const GrowCost c0 = CostOf(cover[0], boxes[i]);
+      const GrowCost c1 = CostOf(cover[1], boxes[i]);
+      const double diff = std::abs(c0.dvolume - c1.dvolume) +
+                          1e-9 * std::abs(c0.dmargin - c1.dmargin);
+      if (diff > best_diff) {
+        best_diff = diff;
+        pick = i;
+        pick_cost[0] = c0;
+        pick_cost[1] = c1;
+      }
+    }
+    MST_DCHECK(pick >= 0);
+    int g;
+    if (pick_cost[0] < pick_cost[1]) {
+      g = 0;
+    } else if (pick_cost[1] < pick_cost[0]) {
+      g = 1;
+    } else {
+      g = count[0] <= count[1] ? 0 : 1;
+    }
+    group[pick] = g;
+    cover[g].Expand(boxes[pick]);
+    ++count[g];
+    --remaining;
+  }
+  return group;
+}
+
+RTree3D::RTree3D(const Options& options) : TrajectoryIndex(options) {}
+
+namespace {
+
+// Reorders `items` into Sort-Tile-Recursive packing order on the center
+// coordinates (t, then x, then y) so that consecutive capacity-sized chunks
+// form spatially compact tiles. `center` maps an item to its MBB center.
+template <typename Item, typename CenterFn>
+void TileOrder(std::vector<Item>* items, CenterFn center) {
+  const size_t n = items->size();
+  const size_t cap = static_cast<size_t>(IndexNode::kCapacity);
+  const size_t pages = (n + cap - 1) / cap;
+  if (pages <= 1) return;
+
+  auto by_axis = [&center](int axis) {
+    return [axis, &center](const Item& a, const Item& b) {
+      const auto ca = center(a);
+      const auto cb = center(b);
+      return ca[axis] < cb[axis];
+    };
+  };
+
+  std::sort(items->begin(), items->end(), by_axis(0));  // time
+  const size_t nslabs = static_cast<size_t>(
+      std::ceil(std::cbrt(static_cast<double>(pages))));
+  const size_t slab_n = (n + nslabs - 1) / nslabs;
+  for (size_t s0 = 0; s0 < n; s0 += slab_n) {
+    const size_t s1 = std::min(n, s0 + slab_n);
+    std::sort(items->begin() + static_cast<ptrdiff_t>(s0),
+              items->begin() + static_cast<ptrdiff_t>(s1), by_axis(1));  // x
+    const size_t slab_pages = (s1 - s0 + cap - 1) / cap;
+    const size_t nruns = static_cast<size_t>(
+        std::ceil(std::sqrt(static_cast<double>(slab_pages))));
+    const size_t run_n = (s1 - s0 + nruns - 1) / nruns;
+    for (size_t r0 = s0; r0 < s1; r0 += run_n) {
+      const size_t r1 = std::min(s1, r0 + run_n);
+      std::sort(items->begin() + static_cast<ptrdiff_t>(r0),
+                items->begin() + static_cast<ptrdiff_t>(r1),
+                by_axis(2));  // y
+    }
+  }
+}
+
+std::array<double, 3> CenterOf(const Mbb3& m) {
+  return {0.5 * (m.tlo + m.thi), 0.5 * (m.xlo + m.xhi),
+          0.5 * (m.ylo + m.yhi)};
+}
+
+}  // namespace
+
+void RTree3D::BulkLoad(const TrajectoryStore& store) {
+  MST_CHECK_MSG(empty(), "BulkLoad requires an empty tree");
+  std::vector<LeafEntry> entries;
+  entries.reserve(static_cast<size_t>(store.TotalSegments()));
+  for (const Trajectory& t : store.trajectories()) {
+    for (size_t i = 0; i + 1 < t.size(); ++i) {
+      entries.push_back(LeafEntry::Of(t.id(), t.sample(i), t.sample(i + 1)));
+    }
+  }
+  if (entries.empty()) return;
+  for (const LeafEntry& e : entries) NoteInsert(e);
+
+  TileOrder(&entries,
+            [](const LeafEntry& e) { return CenterOf(e.Bounds()); });
+
+  // Pack the leaf level.
+  std::vector<InternalEntry> level_items;
+  const size_t cap = static_cast<size_t>(IndexNode::kCapacity);
+  for (size_t i = 0; i < entries.size(); i += cap) {
+    IndexNode leaf;
+    leaf.self = AllocateNode();
+    leaf.level = 0;
+    leaf.leaves.assign(
+        entries.begin() + static_cast<ptrdiff_t>(i),
+        entries.begin() +
+            static_cast<ptrdiff_t>(std::min(entries.size(), i + cap)));
+    WriteNode(leaf);
+    level_items.push_back({leaf.Bounds(), leaf.self, 0});
+  }
+
+  // Pack upper levels until a single node remains.
+  int level = 1;
+  while (level_items.size() > 1) {
+    TileOrder(&level_items,
+              [](const InternalEntry& e) { return CenterOf(e.mbb); });
+    std::vector<InternalEntry> next;
+    for (size_t i = 0; i < level_items.size(); i += cap) {
+      IndexNode node;
+      node.self = AllocateNode();
+      node.level = level;
+      node.internals.assign(
+          level_items.begin() + static_cast<ptrdiff_t>(i),
+          level_items.begin() +
+              static_cast<ptrdiff_t>(std::min(level_items.size(), i + cap)));
+      WriteNode(node);
+      next.push_back({node.Bounds(), node.self, 0});
+    }
+    level_items = std::move(next);
+    ++level;
+  }
+  set_root(level_items.front().child);
+  set_height(level);
+}
+
+int ChooseSubtreeIndex(const IndexNode& node, const Mbb3& box) {
+  MST_DCHECK(!node.IsLeaf() && node.Count() > 0);
+  int best = 0;
+  GrowCost best_cost = CostOf(node.internals[0].mbb, box);
+  for (int i = 1; i < node.Count(); ++i) {
+    const GrowCost cost = CostOf(node.internals[i].mbb, box);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = i;
+    }
+  }
+  return best;
+}
+
+int RTree3D::ChooseSubtree(const IndexNode& node, const Mbb3& box) {
+  return ChooseSubtreeIndex(node, box);
+}
+
+void RTree3D::ExpandPath(const std::vector<Step>& path, const Mbb3& box) {
+  for (auto it = path.rbegin(); it != path.rend(); ++it) {
+    IndexNode node = ReadNodeForUpdate(it->node);
+    node.internals[it->child_idx].mbb.Expand(box);
+    WriteNode(node);
+  }
+}
+
+void RTree3D::Insert(const LeafEntry& entry) {
+  NoteInsert(entry);
+  const Mbb3 box = entry.Bounds();
+
+  if (empty()) {
+    IndexNode leaf;
+    leaf.self = AllocateNode();
+    leaf.level = 0;
+    leaf.leaves.push_back(entry);
+    WriteNode(leaf);
+    set_root(leaf.self);
+    set_height(1);
+    return;
+  }
+
+  // Descend to the best leaf, recording the path.
+  std::vector<Step> path;
+  PageId cur = root();
+  IndexNode node = ReadNodeForUpdate(cur);
+  while (!node.IsLeaf()) {
+    const int child = ChooseSubtree(node, box);
+    path.push_back({cur, child});
+    cur = node.internals[child].child;
+    node = ReadNodeForUpdate(cur);
+  }
+
+  if (!node.IsFull()) {
+    node.leaves.push_back(entry);
+    WriteNode(node);
+    ExpandPath(path, box);
+    return;
+  }
+
+  // Leaf overflow: quadratic split.
+  const int min_fill = std::max(
+      1, static_cast<int>(IndexNode::kCapacity * kMinFillFraction));
+  std::vector<LeafEntry> all = node.leaves;
+  all.push_back(entry);
+  std::vector<Mbb3> boxes;
+  boxes.reserve(all.size());
+  for (const LeafEntry& e : all) boxes.push_back(e.Bounds());
+  const std::vector<int> split = QuadraticSplit(boxes, min_fill);
+
+  IndexNode right;
+  right.self = AllocateNode();
+  right.level = 0;
+  node.leaves.clear();
+  for (size_t i = 0; i < all.size(); ++i) {
+    (split[i] == 0 ? node.leaves : right.leaves).push_back(all[i]);
+  }
+  WriteNode(node);
+  WriteNode(right);
+
+  Mbb3 left_box = node.Bounds();
+  Mbb3 right_box = right.Bounds();
+  PageId right_id = right.self;
+  int split_level = 1;  // level of the node that must absorb `right_id`
+
+  // Propagate the split upward.
+  while (!path.empty()) {
+    const Step step = path.back();
+    path.pop_back();
+    IndexNode parent = ReadNodeForUpdate(step.node);
+    parent.internals[step.child_idx].mbb = left_box;
+    if (!parent.IsFull()) {
+      parent.internals.push_back({right_box, right_id, 0});
+      WriteNode(parent);
+      // The subtree's union grew exactly by `box`; expand the ancestors.
+      ExpandPath(path, box);
+      return;
+    }
+    std::vector<InternalEntry> entries = parent.internals;
+    entries.push_back({right_box, right_id, 0});
+    std::vector<Mbb3> eboxes;
+    eboxes.reserve(entries.size());
+    for (const InternalEntry& e : entries) eboxes.push_back(e.mbb);
+    const std::vector<int> esplit = QuadraticSplit(eboxes, min_fill);
+
+    IndexNode sibling;
+    sibling.self = AllocateNode();
+    sibling.level = parent.level;
+    parent.internals.clear();
+    for (size_t i = 0; i < entries.size(); ++i) {
+      (esplit[i] == 0 ? parent.internals : sibling.internals)
+          .push_back(entries[i]);
+    }
+    WriteNode(parent);
+    WriteNode(sibling);
+    left_box = parent.Bounds();
+    right_box = sibling.Bounds();
+    right_id = sibling.self;
+    split_level = parent.level + 1;
+  }
+
+  // The root itself split: grow the tree.
+  IndexNode new_root;
+  new_root.self = AllocateNode();
+  new_root.level = split_level;
+  new_root.internals.push_back({left_box, root(), 0});
+  new_root.internals.push_back({right_box, right_id, 0});
+  WriteNode(new_root);
+  set_root(new_root.self);
+  set_height(height() + 1);
+}
+
+}  // namespace mst

@@ -1,0 +1,66 @@
+// 3D R-tree over trajectory segments (Guttman insertion with quadratic
+// split), one of the two general-purpose spatiotemporal indexes the paper
+// runs BFMST on (its ref [19]).
+
+#ifndef MST_INDEX_RTREE3D_H_
+#define MST_INDEX_RTREE3D_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/index/node.h"
+#include "src/index/trajectory_index.h"
+
+namespace mst {
+
+/// Classic R-tree treating segments as 3D (x, y, t) boxes. ChooseSubtree
+/// minimizes (volume enlargement, margin enlargement, volume)
+/// lexicographically — the margin tiebreak matters because degenerate
+/// segment MBBs (axis-parallel movement) have zero volume.
+class RTree3D : public TrajectoryIndex {
+ public:
+  /// Minimum node fill after a split, as a fraction of capacity (Guttman's
+  /// recommended 40 %).
+  static constexpr double kMinFillFraction = 0.4;
+
+  explicit RTree3D(const Options& options = Options());
+
+  void Insert(const LeafEntry& entry) override;
+
+  std::string name() const override { return "3D R-tree"; }
+
+  /// Sort-Tile-Recursive bulk loading (Leutenegger et al.): packs all
+  /// segments of `store` into ~100 %-full leaves by tiling on (t, x, y),
+  /// then packs the upper levels the same way. Produces a far smaller tree
+  /// than one-by-one insertion (no quadratic-split dead space); the result
+  /// remains a perfectly ordinary R-tree — later Insert() calls work.
+  /// Must be called on an empty tree (checked).
+  void BulkLoad(const TrajectoryStore& store);
+
+ private:
+  struct Step {
+    PageId node;
+    int child_idx;
+  };
+
+  // Index of the child of `node` best suited to receive `box`.
+  static int ChooseSubtree(const IndexNode& node, const Mbb3& box);
+
+  // Expands the MBB of the routing entries along `path` by `box`, bottom-up.
+  void ExpandPath(const std::vector<Step>& path, const Mbb3& box);
+};
+
+/// Guttman quadratic split of `boxes` (size kCapacity + 1) into two groups of
+/// at least `min_fill` each. Returns group membership: result[i] is 0 or 1.
+/// Exposed for direct unit testing.
+std::vector<int> QuadraticSplit(const std::vector<Mbb3>& boxes, int min_fill);
+
+/// Index of the child of internal `node` best suited to absorb `box` under
+/// the (volume enlargement, margin enlargement, volume) ordering. Shared by
+/// the R-tree-style insertion paths (3D R-tree and STR-tree).
+int ChooseSubtreeIndex(const IndexNode& node, const Mbb3& box);
+
+}  // namespace mst
+
+#endif  // MST_INDEX_RTREE3D_H_

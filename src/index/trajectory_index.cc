@@ -1,0 +1,130 @@
+#include "src/index/trajectory_index.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/util/check.h"
+
+namespace mst {
+
+TrajectoryIndex::TrajectoryIndex(const Options& options)
+    : file_(), buffer_(&file_, options.build_buffer_pages) {}
+
+TrajectoryIndex::~TrajectoryIndex() = default;
+
+void TrajectoryIndex::BuildFrom(const TrajectoryStore& store) {
+  // Global temporal arrival order: all objects move simultaneously, so their
+  // segments reach the MOD interleaved by segment start time.
+  struct Pending {
+    double t0;
+    uint32_t traj;
+    uint32_t seg;
+  };
+  std::vector<Pending> arrivals;
+  arrivals.reserve(static_cast<size_t>(store.TotalSegments()));
+  const auto& trajs = store.trajectories();
+  for (uint32_t ti = 0; ti < trajs.size(); ++ti) {
+    const Trajectory& t = trajs[ti];
+    for (uint32_t si = 0; si + 1 < t.size(); ++si) {
+      arrivals.push_back({t.sample(si).t, ti, si});
+    }
+  }
+  std::sort(arrivals.begin(), arrivals.end(),
+            [](const Pending& a, const Pending& b) {
+              if (a.t0 != b.t0) return a.t0 < b.t0;
+              if (a.traj != b.traj) return a.traj < b.traj;
+              return a.seg < b.seg;
+            });
+  for (const Pending& p : arrivals) {
+    const Trajectory& t = trajs[p.traj];
+    Insert(LeafEntry::Of(t.id(), t.sample(p.seg), t.sample(p.seg + 1)));
+  }
+}
+
+IndexNode TrajectoryIndex::ReadNode(PageId id) const {
+  ++node_accesses_;
+  const Page* page = buffer_.Get(id);
+  return IndexNode::Decode(*page, id);
+}
+
+IndexNode TrajectoryIndex::ReadNodeForUpdate(PageId id) {
+  const Page* page = buffer_.Get(id);
+  return IndexNode::Decode(*page, id);
+}
+
+void TrajectoryIndex::WriteNode(const IndexNode& node) {
+  MST_DCHECK(node.self != kInvalidPageId);
+  Page* page = buffer_.GetMutable(node.self);
+  node.EncodeTo(page);
+}
+
+PageId TrajectoryIndex::AllocateNode() { return buffer_.AllocatePage(); }
+
+void TrajectoryIndex::ExpandAncestorsViaParents(PageId node_id,
+                                                const Mbb3& box) {
+  IndexNode node = ReadNodeForUpdate(node_id);
+  PageId cur = node_id;
+  PageId parent_id = node.parent;
+  while (parent_id != kInvalidPageId) {
+    IndexNode parent = ReadNodeForUpdate(parent_id);
+    bool found = false;
+    for (InternalEntry& e : parent.internals) {
+      if (e.child == cur) {
+        e.mbb.Expand(box);
+        found = true;
+        break;
+      }
+    }
+    MST_CHECK_MSG(found, "broken parent pointer");
+    WriteNode(parent);
+    cur = parent_id;
+    parent_id = parent.parent;
+  }
+}
+
+void TrajectoryIndex::NoteInsert(const LeafEntry& entry) {
+  ++entry_count_;
+  max_speed_ = std::max(max_speed_, entry.Speed());
+}
+
+void TrajectoryIndex::ConfigurePaperBuffer() {
+  const int64_t pages = NodeCount();
+  const int64_t target =
+      std::clamp<int64_t>(pages / 10, /*lo=*/1, /*hi=*/1000);
+  buffer_.Clear();
+  buffer_.SetCapacity(static_cast<size_t>(target));
+}
+
+void TrajectoryIndex::CheckSubtree(PageId id, int expected_level,
+                                   const Mbb3* parent_box,
+                                   PageId parent_id) const {
+  const IndexNode node = ReadNode(id);
+  MST_CHECK_MSG(node.level == expected_level, "node level mismatch");
+  MST_CHECK(node.Count() <= IndexNode::kCapacity);
+  if (parent_box != nullptr) {
+    MST_CHECK_MSG(parent_box->Contains(node.Bounds()),
+                  "parent MBB does not contain child contents");
+  }
+  if (node.parent != kInvalidPageId) {
+    MST_CHECK_MSG(node.parent == parent_id, "stale parent pointer");
+  }
+  if (node.IsLeaf()) {
+    for (const LeafEntry& e : node.leaves) {
+      MST_CHECK(e.t0 < e.t1);
+      MST_CHECK(e.traj_id != kInvalidTrajectoryId);
+    }
+    return;
+  }
+  MST_CHECK_MSG(node.Count() > 0, "empty internal node");
+  for (const InternalEntry& e : node.internals) {
+    MST_CHECK(e.child != kInvalidPageId);
+    CheckSubtree(e.child, expected_level - 1, &e.mbb, id);
+  }
+}
+
+void TrajectoryIndex::CheckInvariants() const {
+  if (empty()) return;
+  CheckSubtree(root_, height_ - 1, nullptr, kInvalidPageId);
+}
+
+}  // namespace mst

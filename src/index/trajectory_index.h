@@ -1,0 +1,148 @@
+// Common interface of the R-tree-family trajectory indexes (3D R-tree and
+// TB-tree). The point of the paper is that MST search needs nothing beyond
+// this general-purpose interface — no dedicated similarity index.
+
+#ifndef MST_INDEX_TRAJECTORY_INDEX_H_
+#define MST_INDEX_TRAJECTORY_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/geom/trajectory.h"
+#include "src/index/buffer.h"
+#include "src/index/node.h"
+#include "src/index/pagefile.h"
+
+namespace mst {
+
+/// Abstract paged trajectory index over 3D (x, y, t) line segments.
+///
+/// Shared machinery (page file, buffer manager, node I/O and access
+/// accounting, dataset max-speed tracking) lives here; subclasses implement
+/// the insertion policy. The index stores one LeafEntry per trajectory
+/// segment, exactly as in the paper's setup.
+class TrajectoryIndex {
+ public:
+  /// Construction-time knobs. `build_buffer_pages` is the cache used while
+  /// building; ConfigurePaperBuffer() later shrinks it to the experiment
+  /// setting (10 % of the index, max 1000 pages).
+  struct Options {
+    size_t build_buffer_pages = 4096;
+  };
+
+  virtual ~TrajectoryIndex();
+
+  TrajectoryIndex(const TrajectoryIndex&) = delete;
+  TrajectoryIndex& operator=(const TrajectoryIndex&) = delete;
+
+  /// Inserts one trajectory segment.
+  virtual void Insert(const LeafEntry& entry) = 0;
+
+  /// Short human-readable name ("3D R-tree", "TB-tree").
+  virtual std::string name() const = 0;
+
+  /// True when the index offers a direct per-trajectory access path (the
+  /// TB-tree's chained leaves). Enables BFMST's eager-completion
+  /// optimization.
+  virtual bool SupportsTrajectoryFetch() const { return false; }
+
+  /// All segments of one trajectory in temporal order, through the direct
+  /// access path; empty when unsupported or unknown id. Node reads are
+  /// accounted like any other access.
+  virtual std::vector<LeafEntry> FetchTrajectorySegments(TrajectoryId) const {
+    return {};
+  }
+
+  /// Inserts every segment of every trajectory in `store`, in temporal order
+  /// per trajectory, trajectories interleaved round-robin as produced by
+  /// concurrently moving objects (the realistic MOD arrival order, which the
+  /// TB-tree's append policy is designed for).
+  void BuildFrom(const TrajectoryStore& store);
+
+  /// Root page id; kInvalidPageId while the index is empty.
+  PageId root() const { return root_; }
+
+  bool empty() const { return root_ == kInvalidPageId; }
+
+  /// Height of the tree (1 = root is a leaf); 0 when empty.
+  int height() const { return height_; }
+
+  /// Reads and decodes a node through the buffer, counting one node access.
+  IndexNode ReadNode(PageId id) const;
+
+  /// Number of nodes (== allocated pages).
+  int64_t NodeCount() const { return file_.PageCount(); }
+
+  /// Index size in bytes (pages * 4 KB).
+  int64_t SizeBytes() const { return file_.SizeBytes(); }
+
+  /// Total leaf entries inserted.
+  int64_t EntryCount() const { return entry_count_; }
+
+  /// Max speed observed across inserted segments — the dataset component of
+  /// V_max used by the speed-dependent pruning bounds (Table 1).
+  double max_speed() const { return max_speed_; }
+
+  /// Node accesses (logical node reads) since the last ResetAccessCounters().
+  int64_t node_accesses() const { return node_accesses_; }
+  void ResetAccessCounters() const { node_accesses_ = 0; }
+
+  /// Shrinks the buffer to the paper's experiment setting — 10 % of the index
+  /// size with a 1000-page cap — and drops cached frames.
+  void ConfigurePaperBuffer();
+
+  BufferManager& buffer() const { return buffer_; }
+  PageFile& file() { return file_; }
+
+  /// Structural invariant check (MBB containment, counts, parent links where
+  /// maintained). Aborts on violation; O(nodes). For tests.
+  void CheckInvariants() const;
+
+ protected:
+  explicit TrajectoryIndex(const Options& options);
+
+  /// Decodes a node for modification; changes must be stored via WriteNode.
+  IndexNode ReadNodeForUpdate(PageId id);
+
+  /// Serializes `node` into its page (marks the frame dirty).
+  void WriteNode(const IndexNode& node);
+
+  /// Expands ancestor routing MBBs by `box`, starting from `node`'s entry in
+  /// its parent and following parent pointers to the root. Only valid for
+  /// index variants that maintain parent pointers (TB-tree, STR-tree).
+  void ExpandAncestorsViaParents(PageId node, const Mbb3& box);
+
+  /// Allocates a fresh node page.
+  PageId AllocateNode();
+
+  /// Bookkeeping hooks for subclasses.
+  void set_root(PageId root) { root_ = root; }
+  void set_height(int height) { height_ = height; }
+  void NoteInsert(const LeafEntry& entry);
+
+  /// Restores aggregate counters when deserializing an index from disk.
+  void RestoreStats(int64_t entry_count, double max_speed) {
+    entry_count_ = entry_count;
+    max_speed_ = max_speed;
+  }
+
+ private:
+  // Recursive helper of CheckInvariants. `parent_id` validates parent
+  // pointers where a variant maintains them (non-kInvalidPageId headers).
+  void CheckSubtree(PageId id, int expected_level, const Mbb3* parent_box,
+                    PageId parent_id) const;
+
+  mutable PageFile file_;
+  mutable BufferManager buffer_;
+  PageId root_ = kInvalidPageId;
+  int height_ = 0;
+  int64_t entry_count_ = 0;
+  double max_speed_ = 0.0;
+  mutable int64_t node_accesses_ = 0;
+};
+
+}  // namespace mst
+
+#endif  // MST_INDEX_TRAJECTORY_INDEX_H_

@@ -1,0 +1,240 @@
+#include "src/io/csv.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/util/check.h"
+
+namespace mst {
+namespace {
+
+// RAII FILE handle.
+struct FileCloser {
+  void operator()(FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<FILE, FileCloser>;
+
+void SetError(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+}
+
+// Splits `line` on `sep`, trimming spaces; empty fields preserved.
+std::vector<std::string> Split(const std::string& line, char sep) {
+  std::vector<std::string> fields;
+  size_t start = 0;
+  while (true) {
+    const size_t pos = line.find(sep, start);
+    std::string field = line.substr(
+        start, pos == std::string::npos ? std::string::npos : pos - start);
+    // Trim.
+    const size_t first = field.find_first_not_of(" \t\r");
+    const size_t last = field.find_last_not_of(" \t\r");
+    fields.push_back(first == std::string::npos
+                         ? std::string()
+                         : field.substr(first, last - first + 1));
+    if (pos == std::string::npos) break;
+    start = pos + 1;
+  }
+  return fields;
+}
+
+bool ParseDouble(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size();
+}
+
+bool ParseId(const std::string& s, TrajectoryId* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtoll(s.c_str(), &end, 10);
+  return end == s.c_str() + s.size();
+}
+
+// Reads all lines of `path`; nullopt on open failure.
+std::optional<std::vector<std::string>> ReadLines(const std::string& path,
+                                                  std::string* error) {
+  FilePtr file(std::fopen(path.c_str(), "r"));
+  if (file == nullptr) {
+    SetError(error, "cannot open " + path);
+    return std::nullopt;
+  }
+  std::vector<std::string> lines;
+  std::string current;
+  char buf[4096];
+  while (std::fgets(buf, sizeof(buf), file.get()) != nullptr) {
+    current += buf;
+    if (!current.empty() && current.back() == '\n') {
+      current.pop_back();
+      if (!current.empty() && current.back() == '\r') current.pop_back();
+      lines.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) lines.push_back(std::move(current));
+  return lines;
+}
+
+// Days since epoch-ish ordinal for dd/mm/yyyy (proleptic Gregorian; only
+// differences matter).
+std::optional<int64_t> DateOrdinal(const std::string& date) {
+  int d = 0;
+  int m = 0;
+  int y = 0;
+  if (std::sscanf(date.c_str(), "%d/%d/%d", &d, &m, &y) != 3) {
+    return std::nullopt;
+  }
+  // Howard Hinnant's days_from_civil.
+  y -= m <= 2;
+  const int era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy =
+      (153u * static_cast<unsigned>(m + (m > 2 ? -3 : 9)) + 2u) / 5u +
+      static_cast<unsigned>(d) - 1u;
+  const unsigned doe = yoe * 365u + yoe / 4u - yoe / 100u + doy;
+  return static_cast<int64_t>(era) * 146097 + static_cast<int64_t>(doe) -
+         719468;
+}
+
+std::optional<int64_t> TimeOfDaySeconds(const std::string& time) {
+  int h = 0;
+  int m = 0;
+  int s = 0;
+  if (std::sscanf(time.c_str(), "%d:%d:%d", &h, &m, &s) != 3) {
+    return std::nullopt;
+  }
+  return static_cast<int64_t>(h) * 3600 + m * 60 + s;
+}
+
+}  // namespace
+
+bool SaveTrajectoriesCsv(const TrajectoryStore& store,
+                         const std::string& path) {
+  FilePtr file(std::fopen(path.c_str(), "w"));
+  if (file == nullptr) return false;
+  std::fprintf(file.get(), "# traj_id,t,x,y\n");
+  for (const Trajectory& t : store.trajectories()) {
+    for (const TPoint& s : t.samples()) {
+      if (std::fprintf(file.get(), "%lld,%.17g,%.17g,%.17g\n",
+                       static_cast<long long>(t.id()), s.t, s.p.x,
+                       s.p.y) < 0) {
+        return false;
+      }
+    }
+  }
+  return std::fflush(file.get()) == 0;
+}
+
+std::optional<TrajectoryStore> LoadTrajectoriesCsv(const std::string& path,
+                                                   std::string* error) {
+  const auto lines = ReadLines(path, error);
+  if (!lines.has_value()) return std::nullopt;
+
+  TrajectoryStore store;
+  TrajectoryId current_id = kInvalidTrajectoryId;
+  std::vector<TPoint> samples;
+  auto flush = [&]() {
+    if (!samples.empty()) {
+      store.Add(Trajectory(current_id, std::move(samples)));
+      samples.clear();
+    }
+  };
+  size_t line_no = 0;
+  for (const std::string& line : *lines) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    const std::vector<std::string> f = Split(line, ',');
+    TrajectoryId id;
+    double t;
+    double x;
+    double y;
+    if (f.size() != 4 || !ParseId(f[0], &id) || !ParseDouble(f[1], &t) ||
+        !ParseDouble(f[2], &x) || !ParseDouble(f[3], &y)) {
+      SetError(error, path + ": malformed line " + std::to_string(line_no));
+      return std::nullopt;
+    }
+    if (id != current_id) {
+      flush();
+      current_id = id;
+    } else if (!samples.empty() && t <= samples.back().t) {
+      SetError(error, path + ": non-increasing timestamp at line " +
+                          std::to_string(line_no));
+      return std::nullopt;
+    }
+    samples.push_back({t, {x, y}});
+  }
+  flush();
+  return store;
+}
+
+std::optional<TrajectoryStore> LoadTrucksPortalCsv(const std::string& path,
+                                                   std::string* error) {
+  const auto lines = ReadLines(path, error);
+  if (!lines.has_value()) return std::nullopt;
+
+  struct Row {
+    TrajectoryId id;
+    int64_t timestamp;
+    Vec2 p;
+  };
+  std::vector<Row> rows;
+  int64_t min_ts = INT64_MAX;
+  size_t line_no = 0;
+  for (const std::string& line : *lines) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    const std::vector<std::string> f = Split(line, ';');
+    // obj-id;traj-id;date;time;lat;lon;x;y
+    TrajectoryId traj_id;
+    double x;
+    double y;
+    if (f.size() < 8 || !ParseId(f[1], &traj_id) || !ParseDouble(f[6], &x) ||
+        !ParseDouble(f[7], &y)) {
+      SetError(error, path + ": malformed line " + std::to_string(line_no));
+      return std::nullopt;
+    }
+    const auto day = DateOrdinal(f[2]);
+    const auto tod = TimeOfDaySeconds(f[3]);
+    if (!day.has_value() || !tod.has_value()) {
+      SetError(error,
+               path + ": bad date/time at line " + std::to_string(line_no));
+      return std::nullopt;
+    }
+    const int64_t ts = *day * 86400 + *tod;
+    min_ts = std::min(min_ts, ts);
+    rows.push_back({traj_id, ts, {x, y}});
+  }
+  if (rows.empty()) {
+    SetError(error, path + ": no data rows");
+    return std::nullopt;
+  }
+
+  // Group per trajectory, sort by time, drop duplicate timestamps.
+  std::map<TrajectoryId, std::vector<TPoint>> grouped;
+  for (const Row& r : rows) {
+    grouped[r.id].push_back(
+        {static_cast<double>(r.timestamp - min_ts), r.p});
+  }
+  TrajectoryStore store;
+  for (auto& [id, samples] : grouped) {
+    std::sort(samples.begin(), samples.end(),
+              [](const TPoint& a, const TPoint& b) { return a.t < b.t; });
+    std::vector<TPoint> unique;
+    for (const TPoint& s : samples) {
+      if (unique.empty() || s.t > unique.back().t) unique.push_back(s);
+    }
+    store.Add(Trajectory(id, std::move(unique)));
+  }
+  return store;
+}
+
+}  // namespace mst

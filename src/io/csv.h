@@ -1,0 +1,43 @@
+// Trajectory dataset import/export.
+//
+// Two on-disk formats are supported:
+//  * the library's native CSV: one sample per line, `traj_id,t,x,y`,
+//    samples of one trajectory consecutive and sorted by time;
+//  * the R-tree-portal "Trucks" format the paper's real dataset ships in
+//    (semicolon-separated: obj-id;traj-id;date(dd/mm/yyyy);time(hh:mm:ss);
+//    lat;lon;x;y) — so the §5.2 quality experiment can be re-run against
+//    the real data when a copy is available.
+//
+// The library does not use exceptions: loaders return std::nullopt and fill
+// `*error` on malformed input.
+
+#ifndef MST_IO_CSV_H_
+#define MST_IO_CSV_H_
+
+#include <optional>
+#include <string>
+
+#include "src/geom/trajectory.h"
+
+namespace mst {
+
+/// Writes the store in native CSV. Returns false on I/O failure.
+bool SaveTrajectoriesCsv(const TrajectoryStore& store,
+                         const std::string& path);
+
+/// Loads native CSV written by SaveTrajectoriesCsv (or by hand). Lines
+/// starting with '#' and blank lines are ignored. Samples of one trajectory
+/// must be consecutive and in increasing time order.
+std::optional<TrajectoryStore> LoadTrajectoriesCsv(const std::string& path,
+                                                   std::string* error);
+
+/// Loads the R-tree-portal Trucks format. Trajectory identity is the
+/// `traj-id` column; timestamps are seconds since the earliest date/time in
+/// the file; coordinates are the metric x;y columns. Duplicate timestamps
+/// within a trajectory keep the first sample.
+std::optional<TrajectoryStore> LoadTrucksPortalCsv(const std::string& path,
+                                                   std::string* error);
+
+}  // namespace mst
+
+#endif  // MST_IO_CSV_H_

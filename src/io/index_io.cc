@@ -1,0 +1,139 @@
+#include "src/io/index_io.h"
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "src/util/check.h"
+
+namespace mst {
+namespace {
+
+constexpr char kMagic[8] = {'M', 'S', 'T', 'I', 'D', 'X', '0', '1'};
+
+struct FileCloser {
+  void operator()(FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<FILE, FileCloser>;
+
+// Fixed-size header following the magic.
+struct Header {
+  int64_t page_count = 0;
+  PageId root = kInvalidPageId;
+  int32_t height = 0;
+  int64_t entry_count = 0;
+  double max_speed = 0.0;
+  char name[32] = {};
+};
+static_assert(std::is_trivially_copyable_v<Header>);
+
+/// Read-only deserialized index: pages restored verbatim; insertion state
+/// (chains, rightmost paths) is gone, so Insert aborts.
+class LoadedIndex : public TrajectoryIndex {
+ public:
+  LoadedIndex(const Options& options, std::string name)
+      : TrajectoryIndex(options), name_(std::move(name)) {}
+
+  void Insert(const LeafEntry&) override {
+    MST_CHECK_MSG(false, "a loaded index is read-only");
+  }
+
+  std::string name() const override { return name_; }
+
+  void Restore(const Header& header, const std::vector<Page>& pages) {
+    for (const Page& page : pages) {
+      const PageId id = buffer().AllocatePage();
+      Page* frame = buffer().GetMutable(id);
+      *frame = page;
+    }
+    buffer().Flush();
+    set_root(header.root);
+    set_height(header.height);
+    RestoreStats(header.entry_count, header.max_speed);
+  }
+
+ private:
+  std::string name_;
+};
+
+void SetError(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+}
+
+}  // namespace
+
+bool SaveIndex(const TrajectoryIndex& index, const std::string& path) {
+  FilePtr file(std::fopen(path.c_str(), "wb"));
+  if (file == nullptr) return false;
+
+  // Make sure every dirty frame is on the simulated disk first.
+  index.buffer().Flush();
+
+  Header header;
+  header.page_count = index.NodeCount();
+  header.root = index.root();
+  header.height = index.height();
+  header.entry_count = index.EntryCount();
+  header.max_speed = index.max_speed();
+  const std::string name = index.name();
+  std::strncpy(header.name, name.c_str(), sizeof(header.name) - 1);
+
+  if (std::fwrite(kMagic, 1, sizeof(kMagic), file.get()) != sizeof(kMagic)) {
+    return false;
+  }
+  if (std::fwrite(&header, 1, sizeof(header), file.get()) != sizeof(header)) {
+    return false;
+  }
+  // Page payload, read through the buffer so accounting stays consistent.
+  for (PageId id = 0; id < header.page_count; ++id) {
+    const Page* page = index.buffer().Get(id);
+    if (std::fwrite(page->bytes.data(), 1, kPageSize, file.get()) !=
+        kPageSize) {
+      return false;
+    }
+  }
+  return std::fflush(file.get()) == 0;
+}
+
+std::unique_ptr<TrajectoryIndex> LoadIndex(const std::string& path,
+                                           std::string* error) {
+  FilePtr file(std::fopen(path.c_str(), "rb"));
+  if (file == nullptr) {
+    SetError(error, "cannot open " + path);
+    return nullptr;
+  }
+  char magic[sizeof(kMagic)];
+  if (std::fread(magic, 1, sizeof(magic), file.get()) != sizeof(magic) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    SetError(error, path + ": not an index file");
+    return nullptr;
+  }
+  Header header;
+  if (std::fread(&header, 1, sizeof(header), file.get()) != sizeof(header)) {
+    SetError(error, path + ": truncated header");
+    return nullptr;
+  }
+  if (header.page_count < 0 || header.height < 0 ||
+      (header.page_count > 0 &&
+       (header.root < 0 || header.root >= header.page_count))) {
+    SetError(error, path + ": corrupt header");
+    return nullptr;
+  }
+  std::vector<Page> pages(static_cast<size_t>(header.page_count));
+  for (Page& page : pages) {
+    if (std::fread(page.bytes.data(), 1, kPageSize, file.get()) !=
+        kPageSize) {
+      SetError(error, path + ": truncated page payload");
+      return nullptr;
+    }
+  }
+  header.name[sizeof(header.name) - 1] = '\0';
+  auto index = std::make_unique<LoadedIndex>(
+      TrajectoryIndex::Options(), std::string(header.name) + " (loaded)");
+  index->Restore(header, pages);
+  return index;
+}
+
+}  // namespace mst

@@ -1,0 +1,29 @@
+// Index persistence: serialize a built trajectory index (its 4 KB pages
+// plus root/height/counter metadata) to a file and load it back for
+// querying. A loaded index is read-only — the build-time in-memory state of
+// the insertion policies (trajectory chains, rightmost paths) is not
+// persisted, and BFMST/range/NN search never needs it.
+
+#ifndef MST_IO_INDEX_IO_H_
+#define MST_IO_INDEX_IO_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "src/index/trajectory_index.h"
+
+namespace mst {
+
+/// Writes `index` (pages + metadata) to `path`. Returns false on I/O error.
+bool SaveIndex(const TrajectoryIndex& index, const std::string& path);
+
+/// Loads an index previously written by SaveIndex. The returned index
+/// answers all read-side queries; calling Insert on it aborts. Returns
+/// nullptr and fills `*error` on failure.
+std::unique_ptr<TrajectoryIndex> LoadIndex(const std::string& path,
+                                           std::string* error);
+
+}  // namespace mst
+
+#endif  // MST_IO_INDEX_IO_H_

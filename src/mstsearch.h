@@ -1,0 +1,58 @@
+// Umbrella header: the full public API of the mstsearch library.
+//
+// Most programs need only a subset — the per-module headers are all
+// self-contained — but including this one header gives:
+//
+//   data model      Trajectory, TrajectoryStore, TimeInterval, Mbb3
+//   metric          ComputeDissim, IntegrationPolicy, DissimResult
+//   indexes         RTree3D, TBTree, STRTree (all TrajectoryIndex)
+//   search          BFMstSearch (k-MST), LinearScanKMst,
+//                   TimeRelaxedDissim / TimeRelaxedKMst / TimeRelaxedIndexKMst
+//   classical       RangeSegments/RangeTrajectories/RangeTopological,
+//                   PointKnn / TrajectoryKnn, SelectivityEstimator
+//   baselines       LcssDistance(-Interpolated), EdrDistance(-Interpolated),
+//                   DtwDistance, Normalize / ResampleLike
+//   compression     TdTrCompress(-ByFraction)
+//   generators      GenerateGstd, GenerateTrucks
+//   persistence     SaveTrajectoriesCsv / LoadTrajectoriesCsv /
+//                   LoadTrucksPortalCsv, SaveIndex / LoadIndex
+
+#ifndef MST_MSTSEARCH_H_
+#define MST_MSTSEARCH_H_
+
+#include "src/compress/td_tr.h"
+#include "src/core/bounds.h"
+#include "src/core/candidate.h"
+#include "src/core/dissim.h"
+#include "src/core/linear_scan.h"
+#include "src/core/mst_search.h"
+#include "src/core/profile.h"
+#include "src/core/time_relaxed.h"
+#include "src/gen/gstd.h"
+#include "src/gen/trucks.h"
+#include "src/geom/interval.h"
+#include "src/geom/mbb.h"
+#include "src/geom/mindist.h"
+#include "src/geom/moving_distance.h"
+#include "src/geom/point.h"
+#include "src/geom/trajectory.h"
+#include "src/index/buffer.h"
+#include "src/index/node.h"
+#include "src/index/pagefile.h"
+#include "src/index/rtree3d.h"
+#include "src/index/strtree.h"
+#include "src/index/tbtree.h"
+#include "src/index/trajectory_index.h"
+#include "src/io/csv.h"
+#include "src/io/index_io.h"
+#include "src/query/cnn.h"
+#include "src/query/nn.h"
+#include "src/query/range.h"
+#include "src/query/selectivity.h"
+#include "src/sim/dtw.h"
+#include "src/sim/edr.h"
+#include "src/sim/lcss.h"
+#include "src/sim/owd.h"
+#include "src/sim/preprocess.h"
+
+#endif  // MST_MSTSEARCH_H_

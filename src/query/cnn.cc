@@ -1,0 +1,224 @@
+#include "src/query/cnn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "src/geom/mindist.h"
+#include "src/geom/moving_distance.h"
+#include "src/query/nn.h"
+#include "src/util/check.h"
+
+namespace mst {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Roots of A τ² + B τ + C = 0 inside (lo, hi], ascending.
+void RootsInRange(double a, double b, double c, double lo, double hi,
+                  std::vector<double>* out) {
+  auto add = [&](double r) {
+    if (r > lo && r <= hi) out->push_back(r);
+  };
+  if (a == 0.0) {
+    if (b != 0.0) add(-c / b);
+    return;
+  }
+  const double disc = b * b - 4.0 * a * c;
+  if (disc < 0.0) return;
+  const double sq = std::sqrt(disc);
+  // Numerically stable pair.
+  const double q = -0.5 * (b + (b >= 0.0 ? sq : -sq));
+  add(q / a);
+  if (q != 0.0) add(c / q);
+  std::sort(out->begin(), out->end());
+}
+
+// Per-candidate squared-distance quadratic on one elementary interval,
+// in local time τ ∈ [0, dur].
+struct CandidateQuad {
+  TrajectoryId id;
+  DistanceTrinomial tri;
+};
+
+// Lower-envelope sweep over one elementary interval. Appends pieces (in
+// global time) to `out`, merging with the previous piece when the winner
+// repeats.
+void SweepInterval(const std::vector<CandidateQuad>& quads, double t0,
+                   double dur, std::vector<CnnPiece>* out) {
+  MST_DCHECK(!quads.empty());
+  const double eps = std::max(1e-12, 1e-9 * dur);
+
+  auto winner_at = [&](double tau) {
+    size_t best = 0;
+    double best_v = kInf;
+    for (size_t i = 0; i < quads.size(); ++i) {
+      const double v = quads[i].tri.SquaredAt(tau);
+      if (v < best_v ||
+          (v == best_v && quads[i].id < quads[best].id)) {
+        best_v = v;
+        best = i;
+      }
+    }
+    return best;
+  };
+
+  double tau = 0.0;
+  size_t winner = winner_at(std::min(eps, dur * 0.5));
+  int guard = static_cast<int>(quads.size() * quads.size()) * 4 + 16;
+  while (tau < dur && guard-- > 0) {
+    // Earliest instant where some challenger crosses below the winner.
+    double cross = dur;
+    const DistanceTrinomial& w = quads[winner].tri;
+    for (size_t j = 0; j < quads.size(); ++j) {
+      if (j == winner) continue;
+      const DistanceTrinomial& o = quads[j].tri;
+      std::vector<double> roots;
+      RootsInRange(w.a - o.a, w.b - o.b, w.c - o.c, tau + eps, dur, &roots);
+      for (const double r : roots) {
+        if (r >= cross) break;
+        // Challenger must actually be below just after the root.
+        const double probe = std::min(dur, r + eps);
+        if (o.SquaredAt(probe) < w.SquaredAt(probe)) {
+          cross = r;
+          break;
+        }
+      }
+    }
+
+    const double piece_end = cross;
+    const double d_begin = quads[winner].tri.ValueAt(tau);
+    const double d_end = quads[winner].tri.ValueAt(piece_end);
+    const TrajectoryId id = quads[winner].id;
+    if (!out->empty() && out->back().id == id &&
+        std::abs(out->back().interval.end - (t0 + tau)) <= eps) {
+      out->back().interval.end = t0 + piece_end;
+      out->back().dist_end = d_end;
+    } else {
+      out->push_back({{t0 + tau, t0 + piece_end}, id, d_begin, d_end});
+    }
+    if (piece_end >= dur) break;
+    tau = piece_end;
+    winner = winner_at(std::min(dur, tau + eps));
+  }
+}
+
+}  // namespace
+
+std::vector<CnnPiece> ComputeNnEnvelope(
+    const TrajectoryStore& store, const std::vector<TrajectoryId>& candidates,
+    const Trajectory& query, const TimeInterval& period) {
+  MST_CHECK(query.Covers(period));
+  std::vector<CnnPiece> out;
+  if (candidates.empty() || period.Duration() <= 0.0) return out;
+
+  std::vector<const Trajectory*> trajs;
+  trajs.reserve(candidates.size());
+  for (const TrajectoryId id : candidates) {
+    const Trajectory* t = store.Find(id);
+    MST_CHECK_MSG(t != nullptr, "unknown CNN candidate id");
+    MST_CHECK_MSG(t->Covers(period), "CNN candidate must cover the period");
+    trajs.push_back(t);
+  }
+
+  // Elementary intervals: merged sample instants of query and candidates.
+  std::vector<double> cuts;
+  cuts.push_back(period.begin);
+  auto add_samples = [&](const Trajectory& t) {
+    for (const TPoint& s : t.samples()) {
+      if (s.t > period.begin && s.t < period.end) cuts.push_back(s.t);
+    }
+  };
+  add_samples(query);
+  for (const Trajectory* t : trajs) add_samples(*t);
+  cuts.push_back(period.end);
+  std::sort(cuts.begin(), cuts.end());
+
+  std::vector<Vec2> prev_pos(trajs.size());
+  Vec2 q_prev = *query.PositionAt(cuts.front());
+  for (size_t i = 0; i < trajs.size(); ++i) {
+    prev_pos[i] = *trajs[i]->PositionAt(cuts.front());
+  }
+  std::vector<CandidateQuad> quads(trajs.size());
+
+  for (size_t c = 0; c + 1 < cuts.size(); ++c) {
+    const double t0 = cuts[c];
+    const double t1 = cuts[c + 1];
+    if (t1 <= t0) continue;
+    const double dur = t1 - t0;
+    const Vec2 q_next = *query.PositionAt(t1);
+    for (size_t i = 0; i < trajs.size(); ++i) {
+      const Vec2 next = *trajs[i]->PositionAt(t1);
+      quads[i].id = trajs[i]->id();
+      quads[i].tri = DistanceTrinomial::Between(q_prev, q_next, prev_pos[i],
+                                                next, dur);
+      prev_pos[i] = next;
+    }
+    q_prev = q_next;
+    SweepInterval(quads, t0, dur, &out);
+  }
+  return out;
+}
+
+std::vector<CnnPiece> ContinuousNearestNeighbor(const TrajectoryIndex& index,
+                                                const TrajectoryStore& store,
+                                                const Trajectory& query,
+                                                const TimeInterval& period) {
+  MST_CHECK(query.Covers(period));
+  MST_CHECK(period.Duration() > 0.0);
+  std::vector<CnnPiece> out;
+  if (index.empty()) return out;
+
+  // Phase 1: seed candidates — the few nearest-by-minimum trajectories.
+  std::vector<TrajectoryId> seeds;
+  for (const NnResult& r : TrajectoryKnn(index, query, period, 4)) {
+    if (const Trajectory* t = store.Find(r.id);
+        t != nullptr && t->Covers(period)) {
+      seeds.push_back(r.id);
+    }
+  }
+  if (seeds.empty()) return out;
+  const std::vector<CnnPiece> seed_env =
+      ComputeNnEnvelope(store, seeds, query, period);
+  double umax = 0.0;
+  for (const CnnPiece& p : seed_env) {
+    umax = std::max({umax, p.dist_begin, p.dist_end});
+  }
+
+  // Phase 2: any trajectory dipping below umax at some instant could own a
+  // piece; gather them with a MINDIST-pruned traversal.
+  std::vector<TrajectoryId> candidates = seeds;
+  std::vector<PageId> stack = {index.root()};
+  while (!stack.empty()) {
+    const PageId page = stack.back();
+    stack.pop_back();
+    const IndexNode node = index.ReadNode(page);
+    if (node.IsLeaf()) {
+      for (const LeafEntry& e : node.leaves) {
+        const TimeInterval window = period.Intersect(e.TimeSpan());
+        if (window.Duration() <= 0.0) continue;
+        if (MinDist(query, e.Bounds(), period) > umax) continue;
+        candidates.push_back(e.traj_id);
+      }
+      continue;
+    }
+    for (const InternalEntry& e : node.internals) {
+      if (MinDist(query, e.mbb, period) <= umax) stack.push_back(e.child);
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  // Eligibility filter.
+  std::vector<TrajectoryId> eligible;
+  for (const TrajectoryId id : candidates) {
+    if (const Trajectory* t = store.Find(id);
+        t != nullptr && t->Covers(period)) {
+      eligible.push_back(id);
+    }
+  }
+  return ComputeNnEnvelope(store, eligible, query, period);
+}
+
+}  // namespace mst

@@ -1,0 +1,54 @@
+// Historical Continuous Nearest Neighbour search (the paper's ref [6],
+// Frentzos/Gratsias/Pelekis/Theodoridis): given a moving query and a time
+// period, report WHICH trajectory is nearest during WHICH sub-interval —
+// the piecewise lower envelope of the candidates' distance-in-time
+// functions. This is the query whose MINDIST machinery the MST paper
+// adopts; implementing it completes the substrate.
+//
+// Algorithm: (1) seed an upper bound with the k nearest trajectories by
+// minimum distance, (2) gather every trajectory that dips below the seed
+// envelope's maximum via a MINDIST-pruned traversal, (3) compute the exact
+// lower envelope across elementary intervals (merged sample timestamps),
+// where each candidate's squared distance is a quadratic and envelope
+// breakpoints are quadratic-equality roots.
+
+#ifndef MST_QUERY_CNN_H_
+#define MST_QUERY_CNN_H_
+
+#include <vector>
+
+#include "src/geom/interval.h"
+#include "src/geom/trajectory.h"
+#include "src/index/trajectory_index.h"
+
+namespace mst {
+
+/// One piece of a continuous-NN answer: `id` is the nearest trajectory
+/// throughout `interval`; `dist_begin`/`dist_end` are the distances at the
+/// piece boundaries.
+struct CnnPiece {
+  TimeInterval interval;
+  TrajectoryId id = kInvalidTrajectoryId;
+  double dist_begin = 0.0;
+  double dist_end = 0.0;
+};
+
+/// Continuous NN of `query` over `period`. Pieces are returned in temporal
+/// order, cover the period exactly, and adjacent pieces have distinct ids.
+/// Only trajectories covering the whole period are eligible (consistent
+/// with the MST search; see DESIGN.md). The query must cover the period
+/// (checked). Returns an empty vector when no trajectory is eligible.
+std::vector<CnnPiece> ContinuousNearestNeighbor(const TrajectoryIndex& index,
+                                                const TrajectoryStore& store,
+                                                const Trajectory& query,
+                                                const TimeInterval& period);
+
+/// Exact lower-envelope computation over an explicit candidate set
+/// (exposed for testing and for store-only use without an index).
+std::vector<CnnPiece> ComputeNnEnvelope(
+    const TrajectoryStore& store, const std::vector<TrajectoryId>& candidates,
+    const Trajectory& query, const TimeInterval& period);
+
+}  // namespace mst
+
+#endif  // MST_QUERY_CNN_H_

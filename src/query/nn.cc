@@ -1,0 +1,174 @@
+#include "src/query/nn.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <queue>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "src/geom/mindist.h"
+#include "src/geom/moving_distance.h"
+#include "src/util/check.h"
+
+namespace mst {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct QueueEntry {
+  double mindist;
+  PageId page;
+  bool operator>(const QueueEntry& o) const {
+    if (mindist != o.mindist) return mindist > o.mindist;
+    return page > o.page;
+  }
+};
+
+// Tracks each candidate's best (smallest) distance so far and answers
+// "current kth-best distinct distance" queries.
+class BestDistances {
+ public:
+  explicit BestDistances(int k) : k_(k) {}
+
+  void Offer(TrajectoryId id, double distance) {
+    const auto it = best_.find(id);
+    if (it == best_.end()) {
+      best_[id] = distance;
+      ordered_.insert({distance, id});
+      return;
+    }
+    if (distance >= it->second) return;
+    ordered_.erase(ordered_.find({it->second, id}));
+    it->second = distance;
+    ordered_.insert({distance, id});
+  }
+
+  double KthValue() const {
+    if (static_cast<int>(ordered_.size()) < k_) return kInf;
+    auto it = ordered_.begin();
+    std::advance(it, k_ - 1);
+    return it->first;
+  }
+
+  std::vector<NnResult> TopK() const {
+    std::vector<NnResult> out;
+    for (const auto& [dist, id] : ordered_) {
+      if (static_cast<int>(out.size()) == k_) break;
+      out.push_back({id, dist});
+    }
+    return out;
+  }
+
+ private:
+  int k_;
+  std::map<TrajectoryId, double> best_;
+  std::set<std::pair<double, TrajectoryId>> ordered_;
+};
+
+// Minimum distance between the (possibly moving) query and one indexed
+// segment over window = period ∩ segment span (∩ query lifespan for moving
+// queries). Returns +inf when the window is empty.
+template <typename SegmentDistanceFn, typename NodeDistanceFn>
+std::vector<NnResult> BestFirstKnn(const TrajectoryIndex& index, int k,
+                                   SegmentDistanceFn segment_distance,
+                                   NodeDistanceFn node_distance) {
+  MST_CHECK(k >= 1);
+  BestDistances best(k);
+  if (index.empty()) return best.TopK();
+
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                      std::greater<QueueEntry>>
+      queue;
+  queue.push({0.0, index.root()});
+  while (!queue.empty()) {
+    const QueueEntry top = queue.top();
+    queue.pop();
+    if (top.mindist >= best.KthValue()) break;  // exact termination
+    const IndexNode node = index.ReadNode(top.page);
+    if (node.IsLeaf()) {
+      for (const LeafEntry& e : node.leaves) {
+        const double d = segment_distance(e);
+        if (d < kInf) best.Offer(e.traj_id, d);
+      }
+      continue;
+    }
+    for (const InternalEntry& e : node.internals) {
+      const double d = node_distance(e.mbb);
+      if (d < kInf && d < best.KthValue()) queue.push({d, e.child});
+    }
+  }
+  return best.TopK();
+}
+
+}  // namespace
+
+std::vector<NnResult> PointKnn(const TrajectoryIndex& index, Vec2 point,
+                               const TimeInterval& period, int k) {
+  MST_CHECK(!period.IsEmpty());
+  const auto segment_distance = [&](const LeafEntry& e) -> double {
+    const TimeInterval window = period.Intersect(e.TimeSpan());
+    if (window.IsEmpty()) return kInf;
+    const TPoint a = e.Start();
+    const TPoint b = e.End();
+    if (window.Duration() == 0.0) {
+      return Distance(point, Lerp(a, b, window.begin));
+    }
+    const DistanceTrinomial tri = DistanceTrinomial::Between(
+        point, point, Lerp(a, b, window.begin), Lerp(a, b, window.end),
+        window.Duration());
+    return tri.MinValue();
+  };
+  const auto node_distance = [&](const Mbb3& box) -> double {
+    if (!box.TimeExtent().Overlaps(period)) return kInf;
+    return PointRectDistance(point, box.xlo, box.ylo, box.xhi, box.yhi);
+  };
+  return BestFirstKnn(index, k, segment_distance, node_distance);
+}
+
+std::vector<NnResult> TrajectoryKnn(const TrajectoryIndex& index,
+                                    const Trajectory& query,
+                                    const TimeInterval& period, int k) {
+  MST_CHECK(!period.IsEmpty());
+  MST_CHECK_MSG(query.Covers(period),
+                "query trajectory must cover the query period");
+  const auto segment_distance = [&](const LeafEntry& e) -> double {
+    const TimeInterval window = period.Intersect(e.TimeSpan());
+    if (window.IsEmpty()) return kInf;
+    const TPoint a = e.Start();
+    const TPoint b = e.End();
+    if (window.Duration() == 0.0) {
+      return Distance(*query.PositionAt(window.begin),
+                      Lerp(a, b, window.begin));
+    }
+    // Merge the query's sample instants inside the window; minimize the
+    // trinomial on every elementary interval.
+    double best = kInf;
+    double t_prev = window.begin;
+    Vec2 q_prev = *query.PositionAt(t_prev);
+    Vec2 e_prev = Lerp(a, b, t_prev);
+    auto advance = [&](double t_next) {
+      if (t_next <= t_prev) return;
+      const Vec2 q_next = *query.PositionAt(t_next);
+      const Vec2 e_next = Lerp(a, b, t_next);
+      const DistanceTrinomial tri = DistanceTrinomial::Between(
+          q_prev, q_next, e_prev, e_next, t_next - t_prev);
+      best = std::min(best, tri.MinValue());
+      t_prev = t_next;
+      q_prev = q_next;
+      e_prev = e_next;
+    };
+    for (const TPoint& s : query.samples()) {
+      if (s.t > window.begin && s.t < window.end) advance(s.t);
+    }
+    advance(window.end);
+    return best;
+  };
+  const auto node_distance = [&](const Mbb3& box) -> double {
+    return MinDist(query, box, period);
+  };
+  return BestFirstKnn(index, k, segment_distance, node_distance);
+}
+
+}  // namespace mst

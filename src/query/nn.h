@@ -1,0 +1,43 @@
+// Classical k-nearest-neighbour queries over trajectory indexes, following
+// the historical-NN formulation of the paper's ref [6] (Frentzos et al.,
+// "Algorithms for Nearest Neighbor Search on Moving Object Trajectories"):
+// the distance of a data trajectory is its *minimum* distance from the
+// query (point or trajectory) over the query period; search proceeds
+// best-first over node MINDISTs (Hjaltason–Samet).
+
+#ifndef MST_QUERY_NN_H_
+#define MST_QUERY_NN_H_
+
+#include <vector>
+
+#include "src/geom/interval.h"
+#include "src/geom/point.h"
+#include "src/geom/trajectory.h"
+#include "src/index/trajectory_index.h"
+
+namespace mst {
+
+/// One nearest-neighbour answer: the trajectory and its minimum distance
+/// from the query during the query period.
+struct NnResult {
+  TrajectoryId id = kInvalidTrajectoryId;
+  double distance = 0.0;
+};
+
+/// k trajectories coming nearest to the static `point` at any instant of
+/// `period`, ascending by distance (ties by id). Exact. `k >= 1` (checked);
+/// fewer results when fewer trajectories touch the period.
+std::vector<NnResult> PointKnn(const TrajectoryIndex& index, Vec2 point,
+                               const TimeInterval& period, int k);
+
+/// k trajectories coming nearest to the moving `query` during `period`
+/// (distance measured between time-synchronized positions, the historical
+/// continuous NN of [6] collapsed to its minimum). The query must cover the
+/// period (checked). Exact; ascending by distance.
+std::vector<NnResult> TrajectoryKnn(const TrajectoryIndex& index,
+                                    const Trajectory& query,
+                                    const TimeInterval& period, int k);
+
+}  // namespace mst
+
+#endif  // MST_QUERY_NN_H_

@@ -1,0 +1,76 @@
+#include "src/query/range.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace mst {
+namespace {
+
+// True iff position `p` lies in the window's spatial footprint.
+bool InsideSpatial(const Mbb3& window, Vec2 p) {
+  return p.x >= window.xlo && p.x <= window.xhi && p.y >= window.ylo &&
+         p.y <= window.yhi;
+}
+
+}  // namespace
+
+std::vector<LeafEntry> RangeSegments(const TrajectoryIndex& index,
+                                     const Mbb3& window) {
+  std::vector<LeafEntry> out;
+  if (index.empty()) return out;
+  std::vector<PageId> stack = {index.root()};
+  while (!stack.empty()) {
+    const PageId page = stack.back();
+    stack.pop_back();
+    const IndexNode node = index.ReadNode(page);
+    if (node.IsLeaf()) {
+      for (const LeafEntry& e : node.leaves) {
+        if (e.Bounds().Intersects(window)) out.push_back(e);
+      }
+      continue;
+    }
+    for (const InternalEntry& e : node.internals) {
+      if (e.mbb.Intersects(window)) stack.push_back(e.child);
+    }
+  }
+  return out;
+}
+
+std::vector<TrajectoryId> RangeTrajectories(const TrajectoryIndex& index,
+                                            const Mbb3& window) {
+  std::vector<TrajectoryId> ids;
+  for (const LeafEntry& e : RangeSegments(index, window)) {
+    ids.push_back(e.traj_id);
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+
+std::vector<TrajectoryId> RangeTopological(const TrajectoryIndex& index,
+                                           const TrajectoryStore& store,
+                                           const Mbb3& window,
+                                           RangeRelation relation) {
+  const std::vector<TrajectoryId> candidates =
+      RangeTrajectories(index, window);
+  if (relation == RangeRelation::kIntersects) return candidates;
+
+  std::vector<TrajectoryId> out;
+  for (const TrajectoryId id : candidates) {
+    const Trajectory* t = store.Find(id);
+    if (t == nullptr) continue;
+    const std::optional<Vec2> at_begin = t->PositionAt(window.tlo);
+    const std::optional<Vec2> at_end = t->PositionAt(window.thi);
+    if (!at_begin.has_value() || !at_end.has_value()) continue;
+    const bool in_begin = InsideSpatial(window, *at_begin);
+    const bool in_end = InsideSpatial(window, *at_end);
+    const bool keep = relation == RangeRelation::kLeaves
+                          ? (in_begin && !in_end)
+                          : (!in_begin && in_end);
+    if (keep) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace mst

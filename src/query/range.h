@@ -1,0 +1,49 @@
+// Classical spatiotemporal range (window) queries over the R-tree-family
+// trajectory indexes. The paper's pitch is that one general-purpose index
+// serves range, topological, nearest-neighbour AND most-similar-trajectory
+// queries (§1); this module supplies the classical side.
+
+#ifndef MST_QUERY_RANGE_H_
+#define MST_QUERY_RANGE_H_
+
+#include <vector>
+
+#include "src/geom/mbb.h"
+#include "src/geom/trajectory.h"
+#include "src/index/trajectory_index.h"
+
+namespace mst {
+
+/// How a trajectory relates to a spatiotemporal window — the topological
+/// predicates of range search over movement data.
+enum class RangeRelation {
+  /// At least one sampled segment's MBB intersects the window.
+  kIntersects,
+  /// The object is inside the spatial box at the window's start time and
+  /// outside at its end time (it left the region during the window).
+  kLeaves,
+  /// Outside at the start, inside at the end (it entered the region).
+  kEnters,
+};
+
+/// All index segments whose MBB intersects `window`, in unspecified order.
+std::vector<LeafEntry> RangeSegments(const TrajectoryIndex& index,
+                                     const Mbb3& window);
+
+/// Distinct ids of trajectories with at least one segment intersecting
+/// `window`, ascending.
+std::vector<TrajectoryId> RangeTrajectories(const TrajectoryIndex& index,
+                                            const Mbb3& window);
+
+/// Trajectories satisfying the topological `relation` against `window`.
+/// `store` supplies exact interpolated positions for the enters/leaves
+/// predicates (candidates are found through the index; the refinement step
+/// evaluates positions at the window's boundary instants). Ascending ids.
+std::vector<TrajectoryId> RangeTopological(const TrajectoryIndex& index,
+                                           const TrajectoryStore& store,
+                                           const Mbb3& window,
+                                           RangeRelation relation);
+
+}  // namespace mst
+
+#endif  // MST_QUERY_RANGE_H_

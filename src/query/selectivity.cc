@@ -1,0 +1,123 @@
+#include "src/query/selectivity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace mst {
+namespace {
+
+// Per-bin overlap of [lo, hi] with the equi-width bins of domain axis
+// [dlo, dhi]: calls fn(bin, overlap_length) for each overlapped bin; for a
+// degenerate interval (lo == hi) inside the domain, one call with length 0.
+template <typename Fn>
+void ForEachBin(double lo, double hi, double dlo, double dhi, int bins,
+                Fn fn) {
+  lo = std::max(lo, dlo);
+  hi = std::min(hi, dhi);
+  if (lo > hi) return;
+  const double width = (dhi - dlo) / bins;
+  if (width <= 0.0) {
+    fn(0, 0.0);
+    return;
+  }
+  int first = static_cast<int>((lo - dlo) / width);
+  int last = static_cast<int>((hi - dlo) / width);
+  first = std::clamp(first, 0, bins - 1);
+  last = std::clamp(last, 0, bins - 1);
+  for (int b = first; b <= last; ++b) {
+    const double cell_lo = dlo + b * width;
+    const double cell_hi = cell_lo + width;
+    const double overlap = std::min(hi, cell_hi) - std::max(lo, cell_lo);
+    fn(b, std::max(0.0, overlap));
+  }
+}
+
+// Fraction helper: overlap/extent with degenerate intervals counting fully.
+double Frac(double overlap, double extent) {
+  if (extent <= 0.0) return 1.0;
+  return std::clamp(overlap / extent, 0.0, 1.0);
+}
+
+}  // namespace
+
+SelectivityEstimator::SelectivityEstimator(const Options& options,
+                                           const Mbb3& domain)
+    : options_(options), domain_(domain) {
+  MST_CHECK(options.bins_x >= 1 && options.bins_y >= 1 && options.bins_t >= 1);
+  cells_.assign(static_cast<size_t>(options.bins_x) *
+                    static_cast<size_t>(options.bins_y) *
+                    static_cast<size_t>(options.bins_t),
+                0.0);
+}
+
+size_t SelectivityEstimator::CellIndex(int ix, int iy, int it) const {
+  return (static_cast<size_t>(it) * static_cast<size_t>(options_.bins_y) +
+          static_cast<size_t>(iy)) *
+             static_cast<size_t>(options_.bins_x) +
+         static_cast<size_t>(ix);
+}
+
+SelectivityEstimator SelectivityEstimator::Build(const TrajectoryStore& store,
+                                                 const Options& options) {
+  Mbb3 domain;
+  for (const Trajectory& t : store.trajectories()) {
+    domain.Expand(t.Bounds());
+  }
+  SelectivityEstimator est(options, domain);
+  if (domain.IsEmpty()) return est;
+
+  for (const Trajectory& t : store.trajectories()) {
+    for (size_t i = 0; i + 1 < t.size(); ++i) {
+      const Mbb3 box = Mbb3::OfSegment(t.sample(i), t.sample(i + 1));
+      // Spread one unit of mass proportionally to per-axis overlap
+      // fractions of the segment's MBB.
+      ForEachBin(box.xlo, box.xhi, domain.xlo, domain.xhi, options.bins_x,
+                 [&](int ix, double ox) {
+        const double fx = Frac(ox, box.xhi - box.xlo);
+        ForEachBin(box.ylo, box.yhi, domain.ylo, domain.yhi, options.bins_y,
+                   [&](int iy, double oy) {
+          const double fy = Frac(oy, box.yhi - box.ylo);
+          ForEachBin(box.tlo, box.thi, domain.tlo, domain.thi,
+                     options.bins_t, [&](int it, double ot) {
+            const double ft = Frac(ot, box.thi - box.tlo);
+            est.cells_[est.CellIndex(ix, iy, it)] += fx * fy * ft;
+          });
+        });
+      });
+      est.total_ += 1.0;
+    }
+  }
+  return est;
+}
+
+double SelectivityEstimator::EstimateRangeCount(const Mbb3& window) const {
+  if (domain_.IsEmpty() || window.IsEmpty()) return 0.0;
+  if (!domain_.Intersects(window)) return 0.0;
+  const double wx = (domain_.xhi - domain_.xlo) / options_.bins_x;
+  const double wy = (domain_.yhi - domain_.ylo) / options_.bins_y;
+  const double wt = (domain_.thi - domain_.tlo) / options_.bins_t;
+  double sum = 0.0;
+  ForEachBin(window.xlo, window.xhi, domain_.xlo, domain_.xhi,
+             options_.bins_x, [&](int ix, double ox) {
+    const double fx = Frac(ox, wx);
+    ForEachBin(window.ylo, window.yhi, domain_.ylo, domain_.yhi,
+               options_.bins_y, [&](int iy, double oy) {
+      const double fy = Frac(oy, wy);
+      ForEachBin(window.tlo, window.thi, domain_.tlo, domain_.thi,
+                 options_.bins_t, [&](int it, double ot) {
+        const double ft = Frac(ot, wt);
+        sum += cells_[CellIndex(ix, iy, it)] * fx * fy * ft;
+      });
+    });
+  });
+  return sum;
+}
+
+double SelectivityEstimator::EstimateRangeSelectivity(
+    const Mbb3& window) const {
+  return total_ > 0.0 ? EstimateRangeCount(window) / total_ : 0.0;
+}
+
+}  // namespace mst

@@ -1,0 +1,66 @@
+// Selectivity estimation for spatiotemporal range queries — the paper's
+// second future-work direction (§6, building on Tao/Sun/Papadias [18]): a
+// query optimizer choosing between index-based MST search, range filtering,
+// and linear scan needs cheap cardinality estimates.
+//
+// The estimator is a 3D (x, y, t) equi-width histogram over segment MBBs:
+// each segment spreads one unit of mass over the cells its MBB overlaps,
+// proportionally to the overlap volume; a range estimate sums, per cell,
+// the stored mass scaled by the cell/window overlap fraction (uniformity
+// assumption within cells).
+
+#ifndef MST_QUERY_SELECTIVITY_H_
+#define MST_QUERY_SELECTIVITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/geom/mbb.h"
+#include "src/geom/trajectory.h"
+
+namespace mst {
+
+/// Histogram-based range-count estimator.
+class SelectivityEstimator {
+ public:
+  struct Options {
+    int bins_x = 32;
+    int bins_y = 32;
+    int bins_t = 32;
+  };
+
+  /// Builds the histogram over every segment of every trajectory. The
+  /// histogram domain is the dataset's bounding box.
+  static SelectivityEstimator Build(const TrajectoryStore& store,
+                                    const Options& options);
+  static SelectivityEstimator Build(const TrajectoryStore& store) {
+    return Build(store, Options());
+  }
+
+  /// Estimated number of segments whose MBB intersects `window`.
+  double EstimateRangeCount(const Mbb3& window) const;
+
+  /// EstimateRangeCount normalized by the total segment count (0 when the
+  /// dataset is empty).
+  double EstimateRangeSelectivity(const Mbb3& window) const;
+
+  /// Total mass (== number of indexed segments).
+  double total() const { return total_; }
+
+  /// Histogram domain.
+  const Mbb3& domain() const { return domain_; }
+
+ private:
+  SelectivityEstimator(const Options& options, const Mbb3& domain);
+
+  size_t CellIndex(int ix, int iy, int it) const;
+
+  Options options_;
+  Mbb3 domain_;
+  std::vector<double> cells_;
+  double total_ = 0.0;
+};
+
+}  // namespace mst
+
+#endif  // MST_QUERY_SELECTIVITY_H_

@@ -1,0 +1,46 @@
+#include "src/sim/dtw.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace mst {
+
+double DtwDistance(const Trajectory& a, const Trajectory& b,
+                   const DtwOptions& options) {
+  const int n = static_cast<int>(a.size());
+  const int m = static_cast<int>(b.size());
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  // A band narrower than the length difference admits no warping path;
+  // widen it, as is standard (Keogh's band adjustment).
+  int window = options.window;
+  if (window >= 0) window = std::max(window, std::abs(n - m));
+
+  std::vector<double> prev(static_cast<size_t>(m) + 1, kInf);
+  std::vector<double> cur(static_cast<size_t>(m) + 1, kInf);
+  prev[0] = 0.0;
+  for (int i = 1; i <= n; ++i) {
+    std::fill(cur.begin(), cur.end(), kInf);
+    int j_lo = 1;
+    int j_hi = m;
+    if (window >= 0) {
+      j_lo = std::max(1, i - window);
+      j_hi = std::min(m, i + window);
+    }
+    const Vec2 pa = a.sample(static_cast<size_t>(i - 1)).p;
+    for (int j = j_lo; j <= j_hi; ++j) {
+      const double cost =
+          Distance(pa, b.sample(static_cast<size_t>(j - 1)).p);
+      const double best =
+          std::min({prev[static_cast<size_t>(j - 1)],
+                    prev[static_cast<size_t>(j)],
+                    cur[static_cast<size_t>(j - 1)]});
+      cur[static_cast<size_t>(j)] = best + cost;
+    }
+    std::swap(prev, cur);
+  }
+  return prev[static_cast<size_t>(m)];
+}
+
+}  // namespace mst

@@ -1,0 +1,26 @@
+// Dynamic Time Warping distance (Berndt & Clifford, the paper's ref [2]).
+// The paper discusses DTW but omits it from the plots because LCSS and EDR
+// dominate it; we include it as an additional comparison point.
+
+#ifndef MST_SIM_DTW_H_
+#define MST_SIM_DTW_H_
+
+#include "src/geom/trajectory.h"
+
+namespace mst {
+
+/// DTW parameters.
+struct DtwOptions {
+  /// Sakoe–Chiba band half-width in samples; < 0 means unconstrained.
+  int window = -1;
+};
+
+/// DTW distance with Euclidean point cost (sum over the optimal warping
+/// path). +infinity if the band admits no path (cannot happen for
+/// window < 0).
+double DtwDistance(const Trajectory& a, const Trajectory& b,
+                   const DtwOptions& options = DtwOptions());
+
+}  // namespace mst
+
+#endif  // MST_SIM_DTW_H_

@@ -1,0 +1,59 @@
+#include "src/sim/edr.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/sim/preprocess.h"
+#include "src/util/check.h"
+
+namespace mst {
+namespace {
+
+bool Matches(const TPoint& a, const TPoint& b, double epsilon) {
+  return std::abs(a.p.x - b.p.x) <= epsilon &&
+         std::abs(a.p.y - b.p.y) <= epsilon;
+}
+
+}  // namespace
+
+int EdrDistance(const Trajectory& a, const Trajectory& b,
+                const EdrOptions& options) {
+  MST_CHECK(options.epsilon > 0.0);
+  const int n = static_cast<int>(a.size());
+  const int m = static_cast<int>(b.size());
+  // Rolling two-row edit-distance DP.
+  std::vector<int> prev(static_cast<size_t>(m) + 1);
+  std::vector<int> cur(static_cast<size_t>(m) + 1);
+  for (int j = 0; j <= m; ++j) prev[static_cast<size_t>(j)] = j;
+  for (int i = 1; i <= n; ++i) {
+    cur[0] = i;
+    const TPoint& ai = a.sample(static_cast<size_t>(i - 1));
+    for (int j = 1; j <= m; ++j) {
+      const int subcost =
+          Matches(ai, b.sample(static_cast<size_t>(j - 1)), options.epsilon)
+              ? 0
+              : 1;
+      cur[static_cast<size_t>(j)] =
+          std::min({prev[static_cast<size_t>(j - 1)] + subcost,
+                    prev[static_cast<size_t>(j)] + 1,
+                    cur[static_cast<size_t>(j - 1)] + 1});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[static_cast<size_t>(m)];
+}
+
+double EdrDistanceNormalized(const Trajectory& a, const Trajectory& b,
+                             const EdrOptions& options) {
+  const double denom = static_cast<double>(std::max(a.size(), b.size()));
+  return static_cast<double>(EdrDistance(a, b, options)) / denom;
+}
+
+int EdrDistanceInterpolated(const Trajectory& query, const Trajectory& data,
+                            const EdrOptions& options) {
+  const Trajectory resampled = ResampleLike(query, data);
+  return EdrDistance(resampled, data, options);
+}
+
+}  // namespace mst

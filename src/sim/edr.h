@@ -1,0 +1,36 @@
+// Edit Distance on Real sequences (Chen, Özsu, Oria — the paper's ref [5])
+// and the paper's "EDR-I" interpolation-improved variant.
+//
+// EDR(A, B) is the minimum number of insert / delete / replace operations
+// converting A into B, where two samples "match" (replace cost 0) when both
+// coordinate differences are at most ε. Lower = more similar.
+
+#ifndef MST_SIM_EDR_H_
+#define MST_SIM_EDR_H_
+
+#include "src/geom/trajectory.h"
+
+namespace mst {
+
+/// EDR parameters. [5] recommends ε = a quarter of the maximum coordinate
+/// standard deviation of the (normalized) dataset.
+struct EdrOptions {
+  double epsilon = 0.25;
+};
+
+/// Raw edit distance (0 … max(n, m)).
+int EdrDistance(const Trajectory& a, const Trajectory& b,
+                const EdrOptions& options);
+
+/// Edit distance normalized by max(n, m) into [0, 1].
+double EdrDistanceNormalized(const Trajectory& a, const Trajectory& b,
+                             const EdrOptions& options);
+
+/// EDR-I (§5.2): the query is linearly resampled at the data trajectory's
+/// timestamps before the edit distance is computed.
+int EdrDistanceInterpolated(const Trajectory& query, const Trajectory& data,
+                            const EdrOptions& options);
+
+}  // namespace mst
+
+#endif  // MST_SIM_EDR_H_

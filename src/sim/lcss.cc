@@ -1,0 +1,71 @@
+#include "src/sim/lcss.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/sim/preprocess.h"
+#include "src/util/check.h"
+
+namespace mst {
+namespace {
+
+bool Matches(const TPoint& a, const TPoint& b, double epsilon) {
+  return std::abs(a.p.x - b.p.x) < epsilon &&
+         std::abs(a.p.y - b.p.y) < epsilon;
+}
+
+}  // namespace
+
+int LcssLength(const Trajectory& a, const Trajectory& b,
+               const LcssOptions& options) {
+  MST_CHECK(options.epsilon > 0.0);
+  const int n = static_cast<int>(a.size());
+  const int m = static_cast<int>(b.size());
+  // Rolling two-row DP; dp[j] = LCSS(a[0..i), b[0..j)).
+  std::vector<int> prev(static_cast<size_t>(m) + 1, 0);
+  std::vector<int> cur(static_cast<size_t>(m) + 1, 0);
+  for (int i = 1; i <= n; ++i) {
+    // Window restriction: only |i - j| <= delta may match; cells outside the
+    // band simply inherit (standard banded LCSS).
+    int j_lo = 1;
+    int j_hi = m;
+    if (options.delta >= 0) {
+      j_lo = std::max(1, i - options.delta);
+      j_hi = std::min(m, i + options.delta);
+    }
+    for (int j = 1; j < j_lo; ++j) cur[j] = prev[j];
+    for (int j = j_lo; j <= j_hi; ++j) {
+      if (Matches(a.sample(static_cast<size_t>(i - 1)),
+                  b.sample(static_cast<size_t>(j - 1)), options.epsilon)) {
+        cur[j] = prev[j - 1] + 1;
+      } else {
+        cur[j] = std::max(prev[j], cur[j - 1]);
+      }
+    }
+    for (int j = j_hi + 1; j <= m; ++j) cur[j] = std::max(prev[j], cur[j - 1]);
+    std::swap(prev, cur);
+  }
+  return prev[static_cast<size_t>(m)];
+}
+
+double LcssSimilarity(const Trajectory& a, const Trajectory& b,
+                      const LcssOptions& options) {
+  const double denom =
+      static_cast<double>(std::min(a.size(), b.size()));
+  return static_cast<double>(LcssLength(a, b, options)) / denom;
+}
+
+double LcssDistance(const Trajectory& a, const Trajectory& b,
+                    const LcssOptions& options) {
+  return 1.0 - LcssSimilarity(a, b, options);
+}
+
+double LcssDistanceInterpolated(const Trajectory& query,
+                                const Trajectory& data,
+                                const LcssOptions& options) {
+  const Trajectory resampled = ResampleLike(query, data);
+  return LcssDistance(resampled, data, options);
+}
+
+}  // namespace mst

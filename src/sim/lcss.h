@@ -1,0 +1,45 @@
+// Longest Common SubSequence similarity for trajectories (Vlachos et al.,
+// the paper's ref [21]) and the paper's "LCSS-I" improvement that resamples
+// the under-sampled query at the data trajectory's timestamps first.
+//
+// Two samples match when both coordinate differences are below ε; an
+// optional matching window δ restricts how far the sequence indices may
+// drift apart (the time-stretching control of [21]).
+
+#ifndef MST_SIM_LCSS_H_
+#define MST_SIM_LCSS_H_
+
+#include "src/geom/trajectory.h"
+
+namespace mst {
+
+/// LCSS parameters.
+struct LcssOptions {
+  /// Per-axis matching threshold (|Δx| < ε and |Δy| < ε).
+  double epsilon = 0.1;
+  /// Max index offset |i − j| allowed for a match; < 0 means unbounded.
+  int delta = -1;
+};
+
+/// Length of the longest common subsequence between the two sample
+/// sequences (number of matched sample pairs).
+int LcssLength(const Trajectory& a, const Trajectory& b,
+               const LcssOptions& options);
+
+/// Similarity in [0, 1]: LCSS / min(n, m), as in [21].
+double LcssSimilarity(const Trajectory& a, const Trajectory& b,
+                      const LcssOptions& options);
+
+/// Distance in [0, 1]: 1 − similarity. Smaller = more similar.
+double LcssDistance(const Trajectory& a, const Trajectory& b,
+                    const LcssOptions& options);
+
+/// LCSS-I (§5.2): the query is linearly resampled at the data trajectory's
+/// timestamps before matching, compensating for sampling-rate mismatch.
+double LcssDistanceInterpolated(const Trajectory& query,
+                                const Trajectory& data,
+                                const LcssOptions& options);
+
+}  // namespace mst
+
+#endif  // MST_SIM_LCSS_H_

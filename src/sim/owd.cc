@@ -1,0 +1,74 @@
+#include "src/sim/owd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/util/check.h"
+
+namespace mst {
+namespace {
+
+// Distance from point `p` to segment [a, b].
+double PointSegmentDistance(Vec2 p, Vec2 a, Vec2 b) {
+  const Vec2 ab = b - a;
+  const double len2 = ab.Norm2();
+  if (len2 <= 0.0) return Distance(p, a);
+  const double w = std::clamp(Dot(p - a, ab) / len2, 0.0, 1.0);
+  return Distance(p, a + ab * w);
+}
+
+}  // namespace
+
+double PointToPolylineDistance(Vec2 p, const Trajectory& t) {
+  if (t.size() == 1) return Distance(p, t.sample(0).p);
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i + 1 < t.size(); ++i) {
+    best = std::min(best,
+                    PointSegmentDistance(p, t.sample(i).p, t.sample(i + 1).p));
+    if (best == 0.0) break;
+  }
+  return best;
+}
+
+double OwdDirected(const Trajectory& from, const Trajectory& to,
+                   int samples_per_segment) {
+  MST_CHECK(samples_per_segment >= 1);
+  if (from.size() == 1) {
+    return PointToPolylineDistance(from.sample(0).p, to);
+  }
+  // Trapezoid quadrature along arc length; degenerate (zero-length)
+  // segments contribute no length and are skipped.
+  double weighted = 0.0;
+  double total_len = 0.0;
+  for (size_t i = 0; i + 1 < from.size(); ++i) {
+    const Vec2 a = from.sample(i).p;
+    const Vec2 b = from.sample(i + 1).p;
+    const double len = Distance(a, b);
+    if (len <= 0.0) continue;
+    const int n = samples_per_segment;
+    double seg_sum = 0.0;
+    double prev = PointToPolylineDistance(a, to);
+    for (int s = 1; s <= n; ++s) {
+      const Vec2 p = a + (b - a) * (static_cast<double>(s) / n);
+      const double d = PointToPolylineDistance(p, to);
+      seg_sum += 0.5 * (prev + d) * (len / n);
+      prev = d;
+    }
+    weighted += seg_sum;
+    total_len += len;
+  }
+  if (total_len <= 0.0) {
+    // Every segment degenerate: the polyline is a point.
+    return PointToPolylineDistance(from.sample(0).p, to);
+  }
+  return weighted / total_len;
+}
+
+double OwdDistance(const Trajectory& a, const Trajectory& b,
+                   int samples_per_segment) {
+  return 0.5 * (OwdDirected(a, b, samples_per_segment) +
+                OwdDirected(b, a, samples_per_segment));
+}
+
+}  // namespace mst

@@ -1,0 +1,89 @@
+#include "src/sim/preprocess.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace mst {
+
+AxisStd StdDev(const Trajectory& t) {
+  const size_t n = t.size();
+  double mx = 0.0;
+  double my = 0.0;
+  for (const TPoint& s : t.samples()) {
+    mx += s.p.x;
+    my += s.p.y;
+  }
+  mx /= static_cast<double>(n);
+  my /= static_cast<double>(n);
+  double vx = 0.0;
+  double vy = 0.0;
+  for (const TPoint& s : t.samples()) {
+    vx += (s.p.x - mx) * (s.p.x - mx);
+    vy += (s.p.y - my) * (s.p.y - my);
+  }
+  return {std::sqrt(vx / static_cast<double>(n)),
+          std::sqrt(vy / static_cast<double>(n))};
+}
+
+double MaxStdDev(const TrajectoryStore& store) {
+  double best = 0.0;
+  for (const Trajectory& t : store.trajectories()) {
+    const AxisStd s = StdDev(t);
+    best = std::max({best, s.sx, s.sy});
+  }
+  return best;
+}
+
+Trajectory Normalize(const Trajectory& t) {
+  const size_t n = t.size();
+  double mx = 0.0;
+  double my = 0.0;
+  for (const TPoint& s : t.samples()) {
+    mx += s.p.x;
+    my += s.p.y;
+  }
+  mx /= static_cast<double>(n);
+  my /= static_cast<double>(n);
+  const AxisStd sd = StdDev(t);
+  const double ix = sd.sx > 0.0 ? 1.0 / sd.sx : 1.0;
+  const double iy = sd.sy > 0.0 ? 1.0 / sd.sy : 1.0;
+  std::vector<TPoint> out;
+  out.reserve(n);
+  for (const TPoint& s : t.samples()) {
+    out.push_back({s.t, {(s.p.x - mx) * ix, (s.p.y - my) * iy}});
+  }
+  return Trajectory(t.id(), std::move(out));
+}
+
+TrajectoryStore NormalizeStore(const TrajectoryStore& store) {
+  TrajectoryStore out;
+  for (const Trajectory& t : store.trajectories()) {
+    out.Add(Normalize(t));
+  }
+  return out;
+}
+
+Trajectory ResampleAt(const Trajectory& t, const std::vector<double>& times) {
+  MST_CHECK(!times.empty());
+  std::vector<TPoint> out;
+  out.reserve(times.size());
+  double prev = -std::numeric_limits<double>::infinity();
+  for (const double time : times) {
+    MST_CHECK_MSG(time > prev, "resample timestamps must strictly increase");
+    prev = time;
+    const double clamped = std::clamp(time, t.start_time(), t.end_time());
+    out.push_back({time, *t.PositionAt(clamped)});
+  }
+  return Trajectory(t.id(), std::move(out));
+}
+
+Trajectory ResampleLike(const Trajectory& t, const Trajectory& reference) {
+  std::vector<double> times;
+  times.reserve(reference.size());
+  for (const TPoint& s : reference.samples()) times.push_back(s.t);
+  return ResampleAt(t, times);
+}
+
+}  // namespace mst

@@ -1,0 +1,47 @@
+// Preprocessing shared by the similarity baselines of §5.2: the per-axis
+// normalization Chen et al. prescribe for EDR/LCSS, the dataset-level
+// standard deviation that parameterizes ε, and the linear-interpolation
+// resampling that produces the paper's improved LCSS-I / EDR-I variants.
+
+#ifndef MST_SIM_PREPROCESS_H_
+#define MST_SIM_PREPROCESS_H_
+
+#include <vector>
+
+#include "src/geom/trajectory.h"
+
+namespace mst {
+
+/// Per-axis standard deviation of a trajectory's sampled positions.
+struct AxisStd {
+  double sx = 0.0;
+  double sy = 0.0;
+};
+
+/// Population standard deviation per axis over the trajectory's samples.
+AxisStd StdDev(const Trajectory& t);
+
+/// Largest per-axis standard deviation across the store (the paper sets
+/// ε to a quarter of this, following [5]).
+double MaxStdDev(const TrajectoryStore& store);
+
+/// Z-normalizes positions per axis (zero mean, unit std; axes with zero
+/// spread are only centered). Timestamps are unchanged.
+Trajectory Normalize(const Trajectory& t);
+
+/// Normalized copy of every trajectory in the store.
+TrajectoryStore NormalizeStore(const TrajectoryStore& store);
+
+/// Samples `t` at the given timestamps by linear interpolation; timestamps
+/// outside the lifespan clamp to the nearest endpoint. `times` must be
+/// non-empty and strictly increasing (checked). Used by the "-I" improved
+/// baselines: the under-sampled query is resampled at the timestamps of the
+/// data trajectory before running the edit-style matcher.
+Trajectory ResampleAt(const Trajectory& t, const std::vector<double>& times);
+
+/// Convenience: ResampleAt(t, timestamps of `reference`).
+Trajectory ResampleLike(const Trajectory& t, const Trajectory& reference);
+
+}  // namespace mst
+
+#endif  // MST_SIM_PREPROCESS_H_

@@ -1,0 +1,55 @@
+// Lightweight invariant-checking macros.
+//
+// The library does not use C++ exceptions (Google style). Programmer errors
+// and broken invariants abort the process with a diagnostic; expected failures
+// are reported through return values (std::optional / status booleans).
+
+#ifndef MST_UTIL_CHECK_H_
+#define MST_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mst {
+namespace internal_check {
+
+/// Prints a fatal-check diagnostic and aborts. Never returns.
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr, const char* msg) {
+  std::fprintf(stderr, "MST_CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               (msg != nullptr && msg[0] != '\0') ? " — " : "",
+               (msg != nullptr) ? msg : "");
+  std::abort();
+}
+
+}  // namespace internal_check
+}  // namespace mst
+
+/// Aborts with a diagnostic if `cond` is false. Enabled in all build modes:
+/// the checked invariants guard index/page bookkeeping where silent
+/// corruption would be far more expensive than the branch.
+#define MST_CHECK(cond)                                                     \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::mst::internal_check::CheckFailed(__FILE__, __LINE__, #cond, "");    \
+    }                                                                       \
+  } while (0)
+
+/// MST_CHECK with an explanatory message (a string literal).
+#define MST_CHECK_MSG(cond, msg)                                            \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::mst::internal_check::CheckFailed(__FILE__, __LINE__, #cond, (msg)); \
+    }                                                                       \
+  } while (0)
+
+/// Debug-only check; compiled out in NDEBUG builds. Use on hot paths.
+#ifdef NDEBUG
+#define MST_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#else
+#define MST_DCHECK(cond) MST_CHECK(cond)
+#endif
+
+#endif  // MST_UTIL_CHECK_H_

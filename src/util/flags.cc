@@ -1,0 +1,130 @@
+#include "src/util/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace mst {
+namespace {
+
+// Formats a double without trailing zeros for the usage text.
+std::string DoubleRepr(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+}  // namespace
+
+void FlagParser::AddBool(const std::string& name, bool* value,
+                         const std::string& help) {
+  flags_.push_back({name, Type::kBool, value, help, *value ? "true" : "false"});
+}
+
+void FlagParser::AddInt(const std::string& name, int64_t* value,
+                        const std::string& help) {
+  flags_.push_back({name, Type::kInt, value, help, std::to_string(*value)});
+}
+
+void FlagParser::AddDouble(const std::string& name, double* value,
+                           const std::string& help) {
+  flags_.push_back({name, Type::kDouble, value, help, DoubleRepr(*value)});
+}
+
+void FlagParser::AddString(const std::string& name, std::string* value,
+                           const std::string& help) {
+  flags_.push_back({name, Type::kString, value, help, *value});
+}
+
+const FlagParser::Flag* FlagParser::Find(const std::string& name) const {
+  for (const Flag& f : flags_) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+bool FlagParser::Assign(const Flag& flag, const std::string& value_text) {
+  char* end = nullptr;
+  switch (flag.type) {
+    case Type::kBool: {
+      bool* target = static_cast<bool*>(flag.target);
+      if (value_text.empty() || value_text == "true" || value_text == "1") {
+        *target = true;
+      } else if (value_text == "false" || value_text == "0") {
+        *target = false;
+      } else {
+        std::fprintf(stderr, "flag --%s: expected boolean, got '%s'\n",
+                     flag.name.c_str(), value_text.c_str());
+        return false;
+      }
+      return true;
+    }
+    case Type::kInt: {
+      const long long v = std::strtoll(value_text.c_str(), &end, 10);
+      if (end == value_text.c_str() || *end != '\0') {
+        std::fprintf(stderr, "flag --%s: expected integer, got '%s'\n",
+                     flag.name.c_str(), value_text.c_str());
+        return false;
+      }
+      *static_cast<int64_t*>(flag.target) = v;
+      return true;
+    }
+    case Type::kDouble: {
+      const double v = std::strtod(value_text.c_str(), &end);
+      if (end == value_text.c_str() || *end != '\0') {
+        std::fprintf(stderr, "flag --%s: expected number, got '%s'\n",
+                     flag.name.c_str(), value_text.c_str());
+        return false;
+      }
+      *static_cast<double*>(flag.target) = v;
+      return true;
+    }
+    case Type::kString:
+      *static_cast<std::string*>(flag.target) = value_text;
+      return true;
+  }
+  return false;
+}
+
+bool FlagParser::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_value = true;
+    }
+    const Flag* flag = Find(arg);
+    if (flag == nullptr) {
+      std::fprintf(stderr, "unknown flag --%s\n", arg.c_str());
+      return false;
+    }
+    if (!has_value && flag->type != Type::kBool) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "flag --%s: missing value\n", arg.c_str());
+        return false;
+      }
+      value = argv[++i];
+    }
+    if (!Assign(*flag, value)) return false;
+  }
+  return true;
+}
+
+void FlagParser::PrintUsage(const std::string& binary_name) const {
+  std::printf("usage: %s [flags]\n", binary_name.c_str());
+  for (const Flag& f : flags_) {
+    std::printf("  --%-22s %s (default: %s)\n", f.name.c_str(), f.help.c_str(),
+                f.default_repr.c_str());
+  }
+}
+
+}  // namespace mst

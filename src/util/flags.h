@@ -1,0 +1,57 @@
+// Minimal command-line flag parsing for benchmark and example binaries.
+//
+// Supports `--name=value`, `--name value`, and boolean `--name`. Unknown
+// flags are reported and cause Parse() to return false so binaries can print
+// usage and exit non-zero.
+
+#ifndef MST_UTIL_FLAGS_H_
+#define MST_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mst {
+
+/// Registry of typed flags for one binary. Register flags, then call Parse().
+class FlagParser {
+ public:
+  /// Registers flags; `help` is shown by PrintUsage(). Pointers must outlive
+  /// the parser. The pointee holds the default until Parse() overwrites it.
+  void AddBool(const std::string& name, bool* value, const std::string& help);
+  void AddInt(const std::string& name, int64_t* value, const std::string& help);
+  void AddDouble(const std::string& name, double* value,
+                 const std::string& help);
+  void AddString(const std::string& name, std::string* value,
+                 const std::string& help);
+
+  /// Parses argv. Returns false on an unknown flag or a malformed value
+  /// (after printing a diagnostic to stderr). Non-flag positional arguments
+  /// are collected into positional().
+  bool Parse(int argc, char** argv);
+
+  /// Prints registered flags, defaults, and help strings to stdout.
+  void PrintUsage(const std::string& binary_name) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  enum class Type { kBool, kInt, kDouble, kString };
+  struct Flag {
+    std::string name;
+    Type type;
+    void* target;
+    std::string help;
+    std::string default_repr;
+  };
+
+  bool Assign(const Flag& flag, const std::string& value_text);
+  const Flag* Find(const std::string& name) const;
+
+  std::vector<Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace mst
+
+#endif  // MST_UTIL_FLAGS_H_

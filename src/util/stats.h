@@ -1,0 +1,71 @@
+// Streaming summary statistics used when aggregating per-query measurements.
+
+#ifndef MST_UTIL_STATS_H_
+#define MST_UTIL_STATS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace mst {
+
+/// Online accumulator of count / mean / variance / min / max (Welford).
+class RunningStats {
+ public:
+  RunningStats() = default;
+
+  /// Adds one observation.
+  void Add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    sum_ += x;
+  }
+
+  /// Merges another accumulator into this one.
+  void Merge(const RunningStats& other) {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+      *this = other;
+      return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    const double total = na + nb;
+    mean_ += delta * nb / total;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    n_ += other.n_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    sum_ += other.sum_;
+  }
+
+  int64_t count() const { return n_; }
+  double sum() const { return sum_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  double min() const { return n_ > 0 ? min_ : 0.0; }
+  double max() const { return n_ > 0 ? max_ : 0.0; }
+
+  /// Sample variance (n-1 denominator); 0 for fewer than two observations.
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+ private:
+  int64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace mst
+
+#endif  // MST_UTIL_STATS_H_

@@ -1,0 +1,48 @@
+// Plain-text table rendering for the benchmark harness. Every bench binary
+// prints the rows/series of the paper table or figure it reproduces through
+// this printer so the outputs are uniform and diff-friendly.
+
+#ifndef MST_UTIL_TABLE_H_
+#define MST_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace mst {
+
+/// Column-aligned text table. Collect a header and rows of cells, then
+/// Print() to stdout (or Render() to a string).
+class TextTable {
+ public:
+  /// Sets the header row (column titles).
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends a data row; rows may have fewer cells than the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience cell formatters.
+  static std::string Fmt(double v, int decimals = 2);
+  static std::string FmtInt(long long v);
+  static std::string FmtPct(double fraction, int decimals = 1);
+
+  /// Renders the table with a separator line under the header.
+  std::string Render() const;
+
+  /// Renders and writes to stdout.
+  void Print() const;
+
+  /// Renders as CSV (header + rows; cells containing commas or quotes are
+  /// quoted). For machine-readable bench output.
+  std::string RenderCsv() const;
+
+  /// Writes RenderCsv() to `path`; false on I/O failure.
+  bool WriteCsv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mst
+
+#endif  // MST_UTIL_TABLE_H_

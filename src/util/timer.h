@@ -1,0 +1,35 @@
+// Wall-clock timing utilities for the benchmark harness.
+
+#ifndef MST_UTIL_TIMER_H_
+#define MST_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace mst {
+
+/// Simple monotonic stopwatch. Starts on construction; `ElapsedMs()` may be
+/// read any number of times; `Restart()` resets the origin.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Resets the stopwatch origin to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Milliseconds elapsed since construction or the last Restart().
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const { return ElapsedMs() / 1000.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace mst
+
+#endif  // MST_UTIL_TIMER_H_

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/core/bounds.h"
+#include "src/util/random.h"
+
+namespace mst {
+namespace {
+
+// Numeric reference for LDD: integrate max(0, d0 + v·t) over [0, dt].
+double NumericLdd(double d0, double v, double dt, int steps = 200000) {
+  const double h = dt / steps;
+  double sum = 0.0;
+  for (int i = 0; i < steps; ++i) {
+    sum += std::max(0.0, d0 + v * (i + 0.5) * h) * h;
+  }
+  return sum;
+}
+
+TEST(LddTest, ZeroDuration) { EXPECT_DOUBLE_EQ(LDD(3.0, -1.0, 0.0), 0.0); }
+
+TEST(LddTest, StaticDistance) {
+  EXPECT_DOUBLE_EQ(LDD(3.0, 0.0, 2.0), 6.0);
+}
+
+TEST(LddTest, DivergingTriangle) {
+  // d(t) = 1 + 2t over [0, 3]: integral = 3 + 9 = 12.
+  EXPECT_DOUBLE_EQ(LDD(1.0, 2.0, 3.0), 12.0);
+}
+
+TEST(LddTest, ApproachWithoutMeeting) {
+  // d(t) = 4 − t over [0, 2]: integral = 8 − 2 = 6.
+  EXPECT_DOUBLE_EQ(LDD(4.0, -1.0, 2.0), 6.0);
+}
+
+TEST(LddTest, ApproachMeetingClampsAtZero) {
+  // d(t) = 2 − 2t hits 0 at t=1; over [0, 3] the integral is the triangle
+  // area 2·1/2 = 1 = D²/(2|V|).
+  EXPECT_DOUBLE_EQ(LDD(2.0, -2.0, 3.0), 1.0);
+}
+
+TEST(LddTest, MatchesNumericReference) {
+  Rng rng(73);
+  for (int trial = 0; trial < 100; ++trial) {
+    const double d0 = rng.Uniform(0.0, 5.0);
+    const double v = rng.Uniform(-4.0, 4.0);
+    const double dt = rng.Uniform(0.01, 5.0);
+    EXPECT_NEAR(LDD(d0, v, dt), NumericLdd(d0, v, dt), 1e-4);
+  }
+}
+
+TEST(EdgeGapTest, OptimisticBelowPessimistic) {
+  Rng rng(75);
+  for (int trial = 0; trial < 200; ++trial) {
+    const double d = rng.Uniform(0.0, 8.0);
+    const double vmax = rng.Uniform(0.0, 5.0);
+    const double dt = rng.Uniform(0.0, 5.0);
+    const double opt = OptimisticEdgeGap(d, vmax, dt);
+    const double pes = PessimisticEdgeGap(d, vmax, dt);
+    EXPECT_LE(opt, pes + 1e-12);
+    EXPECT_GE(opt, 0.0);
+    // With vmax = 0 both collapse to the constant-distance integral.
+    EXPECT_NEAR(OptimisticEdgeGap(d, 0.0, dt), d * dt, 1e-12);
+    EXPECT_NEAR(PessimisticEdgeGap(d, 0.0, dt), d * dt, 1e-12);
+  }
+}
+
+// Numeric check of the interior-gap bounds: simulate many random
+// speed-feasible distance profiles pinned at (d0, d1) and verify the
+// optimistic/pessimistic values bracket the achieved integral.
+TEST(InteriorGapTest, BracketsRandomFeasibleProfiles) {
+  Rng rng(77);
+  for (int trial = 0; trial < 60; ++trial) {
+    const double vmax = rng.Uniform(0.5, 4.0);
+    const double dt = rng.Uniform(0.5, 4.0);
+    const double d0 = rng.Uniform(0.0, 3.0);
+    // Reachable end distance.
+    const double lo = std::max(0.0, d0 - vmax * dt);
+    const double d1 = rng.Uniform(lo, d0 + vmax * dt);
+    const double opt = OptimisticInteriorGap(d0, d1, vmax, dt);
+    const double pes = PessimisticInteriorGap(d0, d1, vmax, dt);
+    EXPECT_LE(opt, pes + 1e-12);
+
+    // Random piecewise-linear profile from d0 to d1 obeying |d'| <= vmax.
+    const int steps = 64;
+    const double h = dt / steps;
+    for (int profile = 0; profile < 20; ++profile) {
+      std::vector<double> d(steps + 1);
+      d[0] = d0;
+      bool feasible = true;
+      for (int i = 1; i <= steps; ++i) {
+        const double remaining = (steps - i) * h;
+        // Keep the endpoint reachable.
+        const double lo_i = std::max(0.0, d1 - vmax * remaining);
+        const double hi_i = d1 + vmax * remaining;
+        const double lo_step = std::max(lo_i, d[i - 1] - vmax * h);
+        const double hi_step = std::min(hi_i, d[i - 1] + vmax * h);
+        if (lo_step > hi_step) {
+          feasible = false;
+          break;
+        }
+        d[i] = std::max(0.0, rng.Uniform(lo_step, hi_step));
+      }
+      if (!feasible) continue;
+      d[steps] = d1;
+      double integral = 0.0;
+      for (int i = 0; i < steps; ++i) {
+        integral += 0.5 * (d[i] + d[i + 1]) * h;
+      }
+      // Trapezoid of a piecewise-linear profile is exact.
+      EXPECT_GE(integral, opt - 1e-6);
+      EXPECT_LE(integral, pes + 1e-6);
+    }
+  }
+}
+
+TEST(InteriorGapTest, KnownVShape) {
+  // d0 = d1 = 2, vmax = 1, dt = 2: optimum descends to 1 at the midpoint.
+  // Integral of the V: 2·(avg(2,1)·1) = 3.
+  EXPECT_NEAR(OptimisticInteriorGap(2.0, 2.0, 1.0, 2.0), 3.0, 1e-12);
+  // Pessimistic roof rises to 3 at the midpoint: integral 5.
+  EXPECT_NEAR(PessimisticInteriorGap(2.0, 2.0, 1.0, 2.0), 5.0, 1e-12);
+}
+
+TEST(InteriorGapTest, VShapeTouchingZero) {
+  // d0 = d1 = 1, vmax = 1, dt = 4: descend to 0 (at t=1), stay, rise.
+  // Integral: 0.5 + 0 + 0.5 = 1.
+  EXPECT_NEAR(OptimisticInteriorGap(1.0, 1.0, 1.0, 4.0), 1.0, 1e-12);
+}
+
+TEST(InteriorGapTest, AsymmetricBoundaries) {
+  // d0 = 0, d1 = 2, vmax = 1, dt = 2: the only feasible profile is the
+  // straight ramp d(t) = t (the boundary gap equals vmax·dt), so both
+  // bounds must equal its integral, 2.
+  EXPECT_NEAR(OptimisticInteriorGap(0.0, 2.0, 1.0, 2.0), 2.0, 1e-12);
+  EXPECT_NEAR(PessimisticInteriorGap(0.0, 2.0, 1.0, 2.0), 2.0, 1e-12);
+  // Mirrored: d0 = 2, d1 = 0 descends the whole gap.
+  EXPECT_NEAR(OptimisticInteriorGap(2.0, 0.0, 1.0, 2.0), 2.0, 1e-12);
+  EXPECT_NEAR(PessimisticInteriorGap(2.0, 0.0, 1.0, 2.0), 2.0, 1e-12);
+}
+
+TEST(InteriorGapTest, OptimumIsTightForVProfiles) {
+  // The optimistic bound is *achieved* by the V-shaped profile, so it must
+  // equal the exact lower envelope max(0, d0 − vmax·t, d1 − vmax·(dt − t))
+  // integrated numerically.
+  Rng rng(79);
+  for (int trial = 0; trial < 100; ++trial) {
+    const double vmax = rng.Uniform(0.5, 3.0);
+    const double dt = rng.Uniform(0.5, 3.0);
+    const double d0 = rng.Uniform(0.0, 3.0);
+    const double lo = std::max(0.0, d0 - vmax * dt);
+    const double d1 = rng.Uniform(lo, d0 + vmax * dt);
+    const int steps = 100000;
+    const double h = dt / steps;
+    double envelope = 0.0;
+    for (int i = 0; i < steps; ++i) {
+      const double t = (i + 0.5) * h;
+      envelope += std::max({0.0, d0 - vmax * t, d1 - vmax * (dt - t)}) * h;
+    }
+    EXPECT_NEAR(OptimisticInteriorGap(d0, d1, vmax, dt), envelope, 1e-3);
+  }
+}
+
+TEST(InteriorGapTest, ZeroVmaxIsConstantDistance) {
+  EXPECT_NEAR(OptimisticInteriorGap(2.0, 2.0, 0.0, 3.0), 6.0, 1e-12);
+  EXPECT_NEAR(PessimisticInteriorGap(2.0, 2.0, 0.0, 3.0), 6.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace mst

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/core/candidate.h"
+#include "src/core/dissim.h"
+#include "src/util/random.h"
+#include "tests/test_util.h"
+
+namespace mst {
+namespace {
+
+using testing_util::RandomIrregularTrajectory;
+
+constexpr TimeInterval kPeriod{0.0, 10.0};
+
+DissimResult Exactly(double v) { return {v, 0.0}; }
+
+TEST(CandidateListTest, SinglePieceNotComplete) {
+  CandidateList list(1, kPeriod);
+  list.AddPiece({2.0, 4.0}, Exactly(3.0), 1.0, 2.0);
+  EXPECT_FALSE(list.IsComplete());
+  EXPECT_DOUBLE_EQ(list.UncoveredDuration(), 8.0);
+  EXPECT_EQ(list.PieceCount(), 1u);
+  EXPECT_DOUBLE_EQ(list.covered().value, 3.0);
+}
+
+TEST(CandidateListTest, AdjacentPiecesMerge) {
+  CandidateList list(1, kPeriod);
+  list.AddPiece({2.0, 4.0}, Exactly(3.0), 1.0, 2.0);
+  list.AddPiece({4.0, 6.0}, Exactly(1.0), 2.0, 0.5);
+  EXPECT_EQ(list.PieceCount(), 1u);
+  EXPECT_DOUBLE_EQ(list.covered().value, 4.0);
+  EXPECT_DOUBLE_EQ(list.UncoveredDuration(), 6.0);
+}
+
+TEST(CandidateListTest, OutOfOrderArrivalMergesToo) {
+  CandidateList list(1, kPeriod);
+  list.AddPiece({4.0, 6.0}, Exactly(1.0), 2.0, 0.5);
+  list.AddPiece({0.0, 2.0}, Exactly(2.0), 3.0, 1.0);
+  list.AddPiece({2.0, 4.0}, Exactly(3.0), 1.0, 2.0);
+  EXPECT_EQ(list.PieceCount(), 1u);
+  EXPECT_FALSE(list.IsComplete());
+  list.AddPiece({6.0, 10.0}, Exactly(4.0), 0.5, 2.0);
+  EXPECT_TRUE(list.IsComplete());
+  EXPECT_DOUBLE_EQ(list.covered().value, 10.0);
+  EXPECT_DOUBLE_EQ(list.UncoveredDuration(), 0.0);
+}
+
+TEST(CandidateListTest, CompleteListBoundsCollapseToDissim) {
+  CandidateList list(1, kPeriod);
+  list.AddPiece({0.0, 10.0}, Exactly(5.0), 1.0, 1.0);
+  EXPECT_TRUE(list.IsComplete());
+  EXPECT_DOUBLE_EQ(list.OptDissim(3.0), 5.0);
+  EXPECT_DOUBLE_EQ(list.PesDissim(3.0), 5.0);
+  EXPECT_DOUBLE_EQ(list.OptDissimInc(7.0), 5.0);
+}
+
+TEST(CandidateListTest, EdgeGapsUseBoundaryDistances) {
+  CandidateList list(1, kPeriod);
+  // Covered [4, 6] with dissim 2; distance 3 at both boundaries; vmax = 1.
+  list.AddPiece({4.0, 6.0}, Exactly(2.0), 3.0, 3.0);
+  // Leading gap of 4: optimistic = LDD(3, −1, 4) = 3²/2 = 4.5;
+  // trailing gap the same. OPT = 2 + 9 = 11.
+  EXPECT_NEAR(list.OptDissim(1.0), 2.0 + 4.5 + 4.5, 1e-12);
+  // Pessimistic edges: 4·(3 + 4/2) = 20 each. PES = 2 + 40 = 42.
+  EXPECT_NEAR(list.PesDissim(1.0), 2.0 + 20.0 + 20.0, 1e-12);
+  // OPTDISSIMINC with mindist 0.5: 2 + 0.5 · 8 = 6.
+  EXPECT_NEAR(list.OptDissimInc(0.5), 6.0, 1e-12);
+}
+
+TEST(CandidateListTest, InteriorGapBetweenPieces) {
+  CandidateList list(1, kPeriod);
+  list.AddPiece({0.0, 4.0}, Exactly(1.0), 0.5, 2.0);
+  list.AddPiece({6.0, 10.0}, Exactly(1.5), 2.0, 0.5);
+  // One interior gap [4,6] with d0 = d1 = 2, vmax = 1 → opt 3, pes 5
+  // (the V / roof shapes of the bounds tests).
+  EXPECT_NEAR(list.OptDissim(1.0), 1.0 + 1.5 + 3.0, 1e-12);
+  EXPECT_NEAR(list.PesDissim(1.0), 1.0 + 1.5 + 5.0, 1e-12);
+}
+
+TEST(CandidateListTest, ErrorEntersBoundsOneSided) {
+  CandidateList list(1, kPeriod);
+  // Covered value 5 with error 2: the OPT side must use 5 − 2 = 3.
+  list.AddPiece({0.0, 10.0}, {5.0, 2.0}, 1.0, 1.0);
+  EXPECT_DOUBLE_EQ(list.OptDissim(1.0), 3.0);
+  EXPECT_DOUBLE_EQ(list.PesDissim(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(list.OptDissimInc(9.0), 3.0);
+}
+
+TEST(CandidateListTest, OptNeverExceedsPes) {
+  // Boundary distances are drawn from a speed-feasible profile (|d'| <= the
+  // vmax handed to the bounds), as the algorithm guarantees: V_max is a
+  // global bound on the distance change rate.
+  Rng rng(81);
+  for (int trial = 0; trial < 100; ++trial) {
+    CandidateList list(1, kPeriod);
+    const double omega = rng.Uniform(0.2, 1.5);
+    const double phase = rng.Uniform(0.0, 6.28);
+    auto dist_at = [&](double t) {
+      return 2.5 + 2.0 * std::sin(omega * t + phase);
+    };
+    const double vmax = 2.0 * omega;  // exact derivative bound of dist_at
+    double t = 0.0;
+    while (t < 9.0) {
+      const double begin = t + rng.Uniform(0.0, 1.5);
+      const double end = std::min(10.0, begin + rng.Uniform(0.1, 2.0));
+      if (end <= begin) break;
+      list.AddPiece({begin, end}, Exactly(rng.Uniform(0.0, 4.0)),
+                    dist_at(begin), dist_at(end));
+      t = end;
+    }
+    EXPECT_LE(list.OptDissim(vmax), list.PesDissim(vmax) + 1e-9);
+    EXPECT_GE(list.OptDissim(vmax), 0.0);
+  }
+}
+
+// End-to-end property: feed a candidate the exact per-segment dissim pieces
+// of a real trajectory pair and verify Lemmas 2/3 — OPT <= DISSIM <= PES at
+// every prefix of coverage — plus OPTDISSIMINC <= DISSIM for any mindist not
+// above the true minimum distance during uncovered time (0 is always safe).
+TEST(CandidateListTest, LemmasHoldOnRealTrajectories) {
+  Rng rng(83);
+  for (int trial = 0; trial < 25; ++trial) {
+    const Trajectory q = RandomIrregularTrajectory(&rng, 1, 20, 0.0, 10.0);
+    const Trajectory t = RandomIrregularTrajectory(&rng, 2, 30, 0.0, 10.0);
+    const double vmax = q.MaxSpeed() + t.MaxSpeed();
+    const double truth =
+        ComputeDissim(q, t, kPeriod, IntegrationPolicy::kExact).value;
+
+    // Coverage arrives as t's segments in shuffled order.
+    std::vector<size_t> order(t.SegmentCount());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    for (size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng.UniformIndex(i)]);
+    }
+
+    CandidateList list(2, kPeriod);
+    for (const size_t seg : order) {
+      const TPoint& a = t.sample(seg);
+      const TPoint& b = t.sample(seg + 1);
+      const LeafEntry e = LeafEntry::Of(2, a, b);
+      const TimeInterval window = kPeriod.Intersect(e.TimeSpan());
+      if (window.Duration() <= 0.0) continue;
+      const SegmentDissim sd =
+          ComputeSegmentDissim(q, e, window, IntegrationPolicy::kExact);
+      list.AddPiece(window, sd.integral, sd.dist_begin, sd.dist_end);
+      EXPECT_LE(list.OptDissim(vmax), truth + 1e-6 * std::max(1.0, truth));
+      EXPECT_GE(list.PesDissim(vmax), truth - 1e-6 * std::max(1.0, truth));
+      EXPECT_LE(list.OptDissimInc(0.0), truth + 1e-6 * std::max(1.0, truth));
+    }
+    EXPECT_TRUE(list.IsComplete());
+    EXPECT_NEAR(list.covered().value, truth, 1e-6 * std::max(1.0, truth));
+  }
+}
+
+TEST(CandidateListDeathTest, RejectsOverlappingPieces) {
+  CandidateList list(1, kPeriod);
+  list.AddPiece({2.0, 5.0}, Exactly(1.0), 1.0, 1.0);
+  EXPECT_DEATH(list.AddPiece({4.0, 7.0}, Exactly(1.0), 1.0, 1.0),
+               "overlapping");
+}
+
+TEST(CandidateListDeathTest, RejectsPieceOutsidePeriod) {
+  CandidateList list(1, kPeriod);
+  EXPECT_DEATH(list.AddPiece({9.0, 11.0}, Exactly(1.0), 1.0, 1.0), "");
+}
+
+}  // namespace
+}  // namespace mst

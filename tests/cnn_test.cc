@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/gen/gstd.h"
+#include "src/index/rtree3d.h"
+#include "src/index/tbtree.h"
+#include "src/query/cnn.h"
+#include "src/util/random.h"
+
+namespace mst {
+namespace {
+
+// Structural sanity of a CNN answer: pieces cover the period contiguously,
+// adjacent pieces differ in id, and boundary distances match geometry.
+void CheckStructure(const std::vector<CnnPiece>& pieces,
+                    const TrajectoryStore& store, const Trajectory& query,
+                    const TimeInterval& period) {
+  ASSERT_FALSE(pieces.empty());
+  EXPECT_NEAR(pieces.front().interval.begin, period.begin, 1e-9);
+  EXPECT_NEAR(pieces.back().interval.end, period.end, 1e-9);
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    const CnnPiece& p = pieces[i];
+    EXPECT_LE(p.interval.begin, p.interval.end);
+    if (i > 0) {
+      EXPECT_NEAR(pieces[i - 1].interval.end, p.interval.begin, 1e-9);
+      EXPECT_NE(pieces[i - 1].id, p.id) << "adjacent pieces must differ";
+    }
+    const Trajectory& t = store.Get(p.id);
+    const double db =
+        Distance(*query.PositionAt(p.interval.begin),
+                 *t.PositionAt(p.interval.begin));
+    EXPECT_NEAR(p.dist_begin, db, 1e-9);
+  }
+}
+
+// Brute-force winner at an instant.
+TrajectoryId WinnerAt(const TrajectoryStore& store, const Trajectory& query,
+                      const TimeInterval& period, double t) {
+  TrajectoryId best = kInvalidTrajectoryId;
+  double best_d = 1e300;
+  for (const Trajectory& cand : store.trajectories()) {
+    if (!cand.Covers(period)) continue;
+    const double d =
+        Distance(*query.PositionAt(t), *cand.PositionAt(t));
+    if (d < best_d) {
+      best_d = d;
+      best = cand.id();
+    }
+  }
+  return best;
+}
+
+TEST(CnnEnvelopeTest, TwoStaticCandidates) {
+  // Query moves from x=0 to x=10; candidate A sits at x=2, B at x=8.
+  // A is nearest until the midpoint x=5 (t=0.5), then B.
+  TrajectoryStore store;
+  store.Add(Trajectory(1, {{0.0, {2, 0}}, {1.0, {2, 0}}}));
+  store.Add(Trajectory(2, {{0.0, {8, 0}}, {1.0, {8, 0}}}));
+  const Trajectory query(9, {{0.0, {0, 0}}, {1.0, {10, 0}}});
+
+  const auto pieces =
+      ComputeNnEnvelope(store, {1, 2}, query, {0.0, 1.0});
+  ASSERT_EQ(pieces.size(), 2u);
+  EXPECT_EQ(pieces[0].id, 1);
+  EXPECT_EQ(pieces[1].id, 2);
+  EXPECT_NEAR(pieces[0].interval.end, 0.5, 1e-9);
+  EXPECT_NEAR(pieces[0].dist_begin, 2.0, 1e-12);
+  EXPECT_NEAR(pieces[1].dist_end, 2.0, 1e-12);
+}
+
+TEST(CnnEnvelopeTest, SingleCandidateOwnsEverything) {
+  TrajectoryStore store;
+  store.Add(Trajectory(5, {{0.0, {1, 1}}, {2.0, {3, 3}}}));
+  const Trajectory query(9, {{0.0, {0, 0}}, {2.0, {4, 4}}});
+  const auto pieces = ComputeNnEnvelope(store, {5}, query, {0.0, 2.0});
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0].id, 5);
+  EXPECT_NEAR(pieces[0].interval.Duration(), 2.0, 1e-12);
+}
+
+TEST(CnnEnvelopeTest, ThreeWayHandover) {
+  // Candidates stationed along the query's route take over in order.
+  TrajectoryStore store;
+  store.Add(Trajectory(1, {{0.0, {1, 0}}, {1.0, {1, 0}}}));
+  store.Add(Trajectory(2, {{0.0, {5, 0}}, {1.0, {5, 0}}}));
+  store.Add(Trajectory(3, {{0.0, {9, 0}}, {1.0, {9, 0}}}));
+  const Trajectory query(9, {{0.0, {0, 0}}, {1.0, {10, 0}}});
+  const auto pieces =
+      ComputeNnEnvelope(store, {1, 2, 3}, query, {0.0, 1.0});
+  ASSERT_EQ(pieces.size(), 3u);
+  EXPECT_EQ(pieces[0].id, 1);
+  EXPECT_EQ(pieces[1].id, 2);
+  EXPECT_EQ(pieces[2].id, 3);
+  EXPECT_NEAR(pieces[0].interval.end, 0.3, 1e-9);   // x = 3: tie 1 vs 2
+  EXPECT_NEAR(pieces[1].interval.end, 0.7, 1e-9);   // x = 7: tie 2 vs 3
+}
+
+TEST(CnnEnvelopeTest, MatchesDenseSamplingOnRandomData) {
+  GstdOptions opt;
+  opt.num_objects = 12;
+  opt.samples_per_object = 40;
+  opt.timestamp_jitter = 0.5;
+  opt.seed = 161;
+  const TrajectoryStore store = GenerateGstd(opt);
+  const Trajectory query(99, store.Get(0).samples());
+  const TimeInterval period{0.1, 0.9};
+
+  std::vector<TrajectoryId> all;
+  for (const Trajectory& t : store.trajectories()) all.push_back(t.id());
+  const auto pieces = ComputeNnEnvelope(store, all, query, period);
+  CheckStructure(pieces, store, query, period);
+
+  // The reported winner must match the brute-force winner away from piece
+  // boundaries (at boundaries two candidates tie).
+  for (const CnnPiece& p : pieces) {
+    const double mid = 0.5 * (p.interval.begin + p.interval.end);
+    if (p.interval.Duration() < 1e-6) continue;
+    EXPECT_EQ(p.id, WinnerAt(store, query, period, mid))
+        << "at t=" << mid;
+  }
+  // And at many random instants, the envelope piece covering the instant
+  // names the true winner (or ties with it).
+  Rng rng(163);
+  for (int i = 0; i < 200; ++i) {
+    const double t = rng.Uniform(period.begin, period.end);
+    const TrajectoryId truth = WinnerAt(store, query, period, t);
+    const auto it = std::find_if(
+        pieces.begin(), pieces.end(), [&](const CnnPiece& p) {
+          return p.interval.begin <= t && t <= p.interval.end;
+        });
+    ASSERT_NE(it, pieces.end());
+    if (it->id != truth) {
+      // Permitted only if it is a tie within tolerance.
+      const double d_piece = Distance(*query.PositionAt(t),
+                                      *store.Get(it->id).PositionAt(t));
+      const double d_truth = Distance(*query.PositionAt(t),
+                                      *store.Get(truth).PositionAt(t));
+      EXPECT_NEAR(d_piece, d_truth, 1e-6);
+    }
+  }
+}
+
+TEST(CnnIndexTest, IndexedVariantMatchesStoreEnvelope) {
+  GstdOptions opt;
+  opt.num_objects = 18;
+  opt.samples_per_object = 60;
+  opt.timestamp_jitter = 0.4;
+  opt.seed = 167;
+  const TrajectoryStore store = GenerateGstd(opt);
+  for (const bool use_tb : {false, true}) {
+    std::unique_ptr<TrajectoryIndex> index;
+    if (use_tb) {
+      index = std::make_unique<TBTree>();
+    } else {
+      index = std::make_unique<RTree3D>();
+    }
+    index->BuildFrom(store);
+
+    const Trajectory query(99, store.Get(4).Slice({0.2, 0.7})->samples());
+    const TimeInterval period{0.2, 0.7};
+    const auto indexed =
+        ContinuousNearestNeighbor(*index, store, query, period);
+
+    std::vector<TrajectoryId> all;
+    for (const Trajectory& t : store.trajectories()) all.push_back(t.id());
+    const auto full = ComputeNnEnvelope(store, all, query, period);
+
+    ASSERT_EQ(indexed.size(), full.size()) << "tb=" << use_tb;
+    for (size_t i = 0; i < full.size(); ++i) {
+      EXPECT_EQ(indexed[i].id, full[i].id) << "piece " << i;
+      EXPECT_NEAR(indexed[i].interval.begin, full[i].interval.begin, 1e-9);
+      EXPECT_NEAR(indexed[i].interval.end, full[i].interval.end, 1e-9);
+    }
+    CheckStructure(indexed, store, query, period);
+  }
+}
+
+TEST(CnnIndexTest, SelfQueryOwnsTheWholePeriodAtZero) {
+  GstdOptions opt;
+  opt.num_objects = 10;
+  opt.samples_per_object = 30;
+  opt.seed = 173;
+  const TrajectoryStore store = GenerateGstd(opt);
+  RTree3D index;
+  index.BuildFrom(store);
+  const Trajectory& self = store.Get(2);
+  const auto pieces =
+      ContinuousNearestNeighbor(index, store, self, {0.0, 1.0});
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0].id, self.id());
+  EXPECT_NEAR(pieces[0].dist_begin, 0.0, 1e-12);
+  EXPECT_NEAR(pieces[0].dist_end, 0.0, 1e-12);
+}
+
+TEST(CnnIndexTest, EmptyIndexGivesNoPieces) {
+  TrajectoryStore store;
+  RTree3D index;
+  const Trajectory query(1, {{0.0, {0, 0}}, {1.0, {1, 1}}});
+  EXPECT_TRUE(
+      ContinuousNearestNeighbor(index, store, query, {0.0, 1.0}).empty());
+}
+
+}  // namespace
+}  // namespace mst

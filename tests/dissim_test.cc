@@ -1,0 +1,262 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/dissim.h"
+#include "src/util/random.h"
+#include "tests/test_util.h"
+
+namespace mst {
+namespace {
+
+using testing_util::NumericDissim;
+using testing_util::RandomIrregularTrajectory;
+using testing_util::RandomTrajectory;
+
+DistanceTrinomial RandomTrinomial(Rng* rng, double min_sep = -9.0) {
+  return DistanceTrinomial::Between(
+      {rng->Uniform(-9, 9), rng->Uniform(-9, 9)},
+      {rng->Uniform(-9, 9), rng->Uniform(-9, 9)},
+      {rng->Uniform(min_sep, 9), rng->Uniform(min_sep, 9)},
+      {rng->Uniform(min_sep, 9), rng->Uniform(min_sep, 9)},
+      rng->Uniform(0.05, 4.0));
+}
+
+double NumericIntegral(const DistanceTrinomial& tri, int steps = 100000) {
+  const double h = tri.dur / steps;
+  double sum = 0.0;
+  for (int i = 0; i < steps; ++i) {
+    sum += tri.ValueAt((i + 0.5) * h) * h;
+  }
+  return sum;
+}
+
+TEST(ExactIntegralTest, ConstantDistance) {
+  const DistanceTrinomial tri = DistanceTrinomial::Between(
+      {0, 0}, {0, 0}, {3, 4}, {3, 4}, 2.0);
+  EXPECT_DOUBLE_EQ(ExactSegmentIntegral(tri), 10.0);
+}
+
+TEST(ExactIntegralTest, PerfectSquareCollision) {
+  // Head-on pass through the query point: D(τ) = |τ − 1| over [0, 2].
+  const DistanceTrinomial tri = DistanceTrinomial::Between(
+      {0, 0}, {0, 0}, {-1, 0}, {1, 0}, 2.0);
+  EXPECT_NEAR(ExactSegmentIntegral(tri), 1.0, 1e-12);
+}
+
+TEST(ExactIntegralTest, KnownClosedFormCase) {
+  // Query at origin; object moves (0,1) → (2,1): D(τ)² = τ² − ... with
+  // dur = 2: position (τ, 1), D = sqrt(τ² + 1); ∫₀² sqrt(τ²+1) dτ =
+  // [τ√(τ²+1)/2 + asinh(τ)/2]₀² = √5 + asinh(2)/2.
+  const DistanceTrinomial tri = DistanceTrinomial::Between(
+      {0, 0}, {0, 0}, {0, 1}, {2, 1}, 2.0);
+  const double expected = std::sqrt(5.0) + 0.5 * std::asinh(2.0);
+  EXPECT_NEAR(ExactSegmentIntegral(tri), expected, 1e-12);
+}
+
+TEST(ExactIntegralTest, MatchesNumericQuadrature) {
+  Rng rng(51);
+  for (int trial = 0; trial < 200; ++trial) {
+    const DistanceTrinomial tri = RandomTrinomial(&rng);
+    const double exact = ExactSegmentIntegral(tri);
+    const double numeric = NumericIntegral(tri);
+    EXPECT_NEAR(exact, numeric, 1e-5 * std::max(1.0, numeric));
+  }
+}
+
+TEST(TrapezoidIntegralTest, OverestimatesAndBoundContainsTruth) {
+  // D is convex on every interval, so the trapezoid value is >= the true
+  // integral and the Lemma 1 bound brackets it from below.
+  Rng rng(53);
+  for (int trial = 0; trial < 300; ++trial) {
+    const DistanceTrinomial tri = RandomTrinomial(&rng);
+    const double exact = ExactSegmentIntegral(tri);
+    const DissimResult approx = TrapezoidSegmentIntegral(tri);
+    EXPECT_GE(approx.value, exact - 1e-9 * std::max(1.0, exact));
+    EXPECT_LE(approx.value - approx.error_bound,
+              exact + 1e-9 * std::max(1.0, exact));
+    EXPECT_GE(approx.error_bound, 0.0);
+  }
+}
+
+TEST(TrapezoidIntegralTest, ExactForConstantDistance) {
+  const DistanceTrinomial tri = DistanceTrinomial::Between(
+      {0, 0}, {0, 0}, {3, 4}, {3, 4}, 2.0);
+  const DissimResult r = TrapezoidSegmentIntegral(tri);
+  EXPECT_DOUBLE_EQ(r.value, 10.0);
+  EXPECT_DOUBLE_EQ(r.error_bound, 0.0);
+}
+
+TEST(TrapezoidIntegralTest, NearCollisionBoundFallsBackToValue) {
+  // Collision at the midpoint: D'' unbounded, so the bound degrades to the
+  // value itself (still one-sided correct).
+  const DistanceTrinomial tri = DistanceTrinomial::Between(
+      {0, 0}, {0, 0}, {-1, 0}, {1, 0}, 2.0);
+  const DissimResult r = TrapezoidSegmentIntegral(tri);
+  EXPECT_DOUBLE_EQ(r.value, 2.0);  // trapezoid of endpoints both at 1
+  EXPECT_DOUBLE_EQ(r.error_bound, 2.0);
+  EXPECT_DOUBLE_EQ(r.LowerBound(), 0.0);
+}
+
+TEST(AdaptivePolicyTest, TightensLooseIntervals) {
+  Rng rng(55);
+  for (int trial = 0; trial < 200; ++trial) {
+    const DistanceTrinomial tri = RandomTrinomial(&rng);
+    const DissimResult r = IntegrateSegment(tri, IntegrationPolicy::kAdaptive);
+    EXPECT_LE(r.error_bound, kAdaptiveRelTol * r.value + 1e-15);
+  }
+}
+
+TEST(DissimResultTest, LowerBoundClampsAtZero) {
+  DissimResult r{1.0, 3.0};
+  EXPECT_DOUBLE_EQ(r.LowerBound(), 0.0);
+  r = {3.0, 1.0};
+  EXPECT_DOUBLE_EQ(r.LowerBound(), 2.0);
+}
+
+TEST(DistanceAtTest, MatchesGeometry) {
+  const Trajectory q(1, {{0.0, {0, 0}}, {2.0, {2, 0}}});
+  const Trajectory t(2, {{0.0, {0, 3}}, {2.0, {2, 5}}});
+  EXPECT_DOUBLE_EQ(DistanceAt(q, t, 0.0), 3.0);
+  EXPECT_DOUBLE_EQ(DistanceAt(q, t, 2.0), 5.0);
+  EXPECT_DOUBLE_EQ(DistanceAt(q, t, 1.0), 4.0);
+}
+
+TEST(ComputeDissimTest, IdenticalTrajectoriesGiveZero) {
+  Rng rng(57);
+  const Trajectory t = RandomTrajectory(&rng, 1, 30);
+  const Trajectory copy(2, t.samples());
+  const DissimResult d =
+      ComputeDissim(t, copy, t.Lifespan(), IntegrationPolicy::kExact);
+  EXPECT_NEAR(d.value, 0.0, 1e-12);
+}
+
+TEST(ComputeDissimTest, ConstantOffsetIntegratesExactly) {
+  // T = Q shifted by (3, 4): distance constantly 5 → DISSIM = 5 · duration.
+  Rng rng(59);
+  const Trajectory q = RandomTrajectory(&rng, 1, 25, 0.0, 7.0);
+  std::vector<TPoint> shifted;
+  for (const TPoint& s : q.samples()) {
+    shifted.push_back({s.t, {s.p.x + 3.0, s.p.y + 4.0}});
+  }
+  const Trajectory t(2, std::move(shifted));
+  const DissimResult d =
+      ComputeDissim(q, t, q.Lifespan(), IntegrationPolicy::kExact);
+  EXPECT_NEAR(d.value, 5.0 * 7.0, 1e-9);
+}
+
+TEST(ComputeDissimTest, SymmetricInArguments) {
+  Rng rng(61);
+  const Trajectory q = RandomIrregularTrajectory(&rng, 1, 20, 0.0, 5.0);
+  const Trajectory t = RandomIrregularTrajectory(&rng, 2, 35, 0.0, 5.0);
+  const double ab =
+      ComputeDissim(q, t, {0.5, 4.5}, IntegrationPolicy::kExact).value;
+  const double ba =
+      ComputeDissim(t, q, {0.5, 4.5}, IntegrationPolicy::kExact).value;
+  EXPECT_NEAR(ab, ba, 1e-9 * std::max(1.0, ab));
+}
+
+TEST(ComputeDissimTest, MatchesNumericReference) {
+  Rng rng(63);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Trajectory q = RandomIrregularTrajectory(&rng, 1, 25, 0.0, 6.0);
+    const Trajectory t = RandomIrregularTrajectory(&rng, 2, 40, 0.0, 6.0);
+    const double exact =
+        ComputeDissim(q, t, {1.0, 5.0}, IntegrationPolicy::kExact).value;
+    const double numeric = NumericDissim(q, t, 1.0, 5.0);
+    EXPECT_NEAR(exact, numeric, 1e-3 * std::max(1.0, numeric));
+  }
+}
+
+TEST(ComputeDissimTest, TrapezoidBracketsExact) {
+  Rng rng(65);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Trajectory q = RandomIrregularTrajectory(&rng, 1, 15, 0.0, 6.0);
+    const Trajectory t = RandomIrregularTrajectory(&rng, 2, 55, 0.0, 6.0);
+    const double exact =
+        ComputeDissim(q, t, {0.0, 6.0}, IntegrationPolicy::kExact).value;
+    const DissimResult approx =
+        ComputeDissim(q, t, {0.0, 6.0}, IntegrationPolicy::kTrapezoid);
+    EXPECT_GE(approx.value, exact - 1e-9);
+    EXPECT_LE(approx.LowerBound(), exact + 1e-9);
+  }
+}
+
+TEST(ComputeDissimTest, RedundantCollinearSamplesDoNotChangeValue) {
+  // Inserting an interpolated sample must not change DISSIM — the property
+  // that makes the metric robust to different sampling rates (Fig. 1).
+  Rng rng(67);
+  const Trajectory q = RandomTrajectory(&rng, 1, 10, 0.0, 9.0);
+  const Trajectory t = RandomTrajectory(&rng, 2, 10, 0.0, 9.0);
+  // Densify t by splitting each segment at its midpoint (positions on the
+  // same line).
+  std::vector<TPoint> dense;
+  for (size_t i = 0; i + 1 < t.size(); ++i) {
+    const TPoint& a = t.sample(i);
+    const TPoint& b = t.sample(i + 1);
+    dense.push_back(a);
+    const double mid = 0.5 * (a.t + b.t);
+    dense.push_back({mid, Lerp(a, b, mid)});
+  }
+  dense.push_back(t.samples().back());
+  const Trajectory t2(3, std::move(dense));
+  const double d1 =
+      ComputeDissim(q, t, t.Lifespan(), IntegrationPolicy::kExact).value;
+  const double d2 =
+      ComputeDissim(q, t2, t.Lifespan(), IntegrationPolicy::kExact).value;
+  EXPECT_NEAR(d1, d2, 1e-9 * std::max(1.0, d1));
+}
+
+TEST(ComputeDissimTest, AdditiveOverSubPeriods) {
+  Rng rng(69);
+  const Trajectory q = RandomIrregularTrajectory(&rng, 1, 22, 0.0, 8.0);
+  const Trajectory t = RandomIrregularTrajectory(&rng, 2, 33, 0.0, 8.0);
+  const double whole =
+      ComputeDissim(q, t, {1.0, 7.0}, IntegrationPolicy::kExact).value;
+  const double left =
+      ComputeDissim(q, t, {1.0, 3.7}, IntegrationPolicy::kExact).value;
+  const double right =
+      ComputeDissim(q, t, {3.7, 7.0}, IntegrationPolicy::kExact).value;
+  EXPECT_NEAR(whole, left + right, 1e-9 * std::max(1.0, whole));
+}
+
+TEST(ComputeDissimDeathTest, RequiresCoverage) {
+  const Trajectory q(1, {{0.0, {0, 0}}, {1.0, {1, 1}}});
+  const Trajectory t(2, {{0.5, {0, 0}}, {2.0, {1, 1}}});
+  EXPECT_DEATH(ComputeDissim(q, t, {0.0, 1.0}), "valid over the period");
+}
+
+TEST(SegmentDissimTest, MatchesComputeDissimOnASegment) {
+  Rng rng(71);
+  for (int trial = 0; trial < 40; ++trial) {
+    const Trajectory q = RandomIrregularTrajectory(&rng, 1, 30, 0.0, 10.0);
+    // A single data segment inside the query's lifespan.
+    const double t0 = rng.Uniform(0.0, 8.0);
+    const double t1 = t0 + rng.Uniform(0.2, 2.0);
+    const TPoint a{t0, {rng.Uniform(0, 10), rng.Uniform(0, 10)}};
+    const TPoint b{t1, {rng.Uniform(0, 10), rng.Uniform(0, 10)}};
+    const LeafEntry e = LeafEntry::Of(77, a, b);
+    const TimeInterval window{t0, t1};
+    const SegmentDissim sd =
+        ComputeSegmentDissim(q, e, window, IntegrationPolicy::kExact);
+    const Trajectory seg_traj(77, {a, b});
+    const double ref =
+        ComputeDissim(q, seg_traj, window, IntegrationPolicy::kExact).value;
+    EXPECT_NEAR(sd.integral.value, ref, 1e-9 * std::max(1.0, ref));
+    EXPECT_NEAR(sd.dist_begin, DistanceAt(q, seg_traj, t0), 1e-12);
+    EXPECT_NEAR(sd.dist_end, DistanceAt(q, seg_traj, t1), 1e-12);
+  }
+}
+
+TEST(SegmentDissimTest, WindowClipsSegment) {
+  const Trajectory q(1, {{0.0, {0, 0}}, {10.0, {0, 0}}});  // static query
+  const LeafEntry e = LeafEntry::Of(5, {2.0, {3, 0}}, {6.0, {3, 0}});
+  const SegmentDissim sd =
+      ComputeSegmentDissim(q, e, {3.0, 5.0}, IntegrationPolicy::kExact);
+  EXPECT_NEAR(sd.integral.value, 3.0 * 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(sd.dist_begin, 3.0);
+  EXPECT_DOUBLE_EQ(sd.dist_end, 3.0);
+}
+
+}  // namespace
+}  // namespace mst

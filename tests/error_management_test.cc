@@ -1,0 +1,161 @@
+// §4.4 error management, end to end: a constructed dataset where the
+// trapezoid approximation's one-sided error is large enough to FLIP the
+// winner — candidate B zig-zags through the query point (its true DISSIM is
+// half the trapezoid estimate), candidate A keeps a constant distance that
+// sits between B's true and approximated values. A naive trapezoid
+// comparison would return A; the error-managed algorithm (keep every
+// candidate whose DISSIM − ERR is below the kth value, then re-rank
+// exactly) must return B.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/core/dissim.h"
+#include "src/core/linear_scan.h"
+#include "src/core/mst_search.h"
+#include "src/index/rtree3d.h"
+#include "src/index/tbtree.h"
+
+namespace mst {
+namespace {
+
+constexpr int kSamples = 11;  // t = 0 … 10
+
+// Static query at the origin.
+Trajectory MakeQuery() {
+  std::vector<TPoint> s;
+  for (int i = 0; i < kSamples; ++i) {
+    s.push_back({static_cast<double>(i), {0.0, 0.0}});
+  }
+  return Trajectory(100, std::move(s));
+}
+
+// Candidate A: constant distance 1 from the query (trapezoid is exact).
+// True DISSIM = 10.
+Trajectory MakeConstantCandidate() {
+  std::vector<TPoint> s;
+  for (int i = 0; i < kSamples; ++i) {
+    s.push_back({static_cast<double>(i), {1.0, 0.0}});
+  }
+  return Trajectory(1, std::move(s));
+}
+
+// Candidate B: zig-zags through the origin between samples — sampled
+// positions alternate (±1.05, 0), so the trapezoid sees a constant distance
+// 1.05 (apparent DISSIM 10.5 > A's 10) while the true distance is the
+// triangle wave |1.05 − 2.1·frac| with integral 0.525 per unit
+// (true DISSIM 5.25 < A's 10).
+Trajectory MakeZigzagCandidate() {
+  std::vector<TPoint> s;
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = (i % 2 == 0) ? 1.05 : -1.05;
+    s.push_back({static_cast<double>(i), {x, 0.0}});
+  }
+  return Trajectory(2, std::move(s));
+}
+
+class ErrorManagementTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    store_.Add(MakeConstantCandidate());
+    store_.Add(MakeZigzagCandidate());
+    // Distractors far away, so pruning has something to discard.
+    for (int i = 0; i < 5; ++i) {
+      std::vector<TPoint> s;
+      for (int j = 0; j < kSamples; ++j) {
+        s.push_back({static_cast<double>(j), {50.0 + i, 50.0}});
+      }
+      store_.Add(Trajectory(10 + i, std::move(s)));
+    }
+    index_.BuildFrom(store_);
+  }
+  TrajectoryStore store_;
+  TBTree index_;
+};
+
+TEST_F(ErrorManagementTest, GroundTruthIsAsConstructed) {
+  const Trajectory q = MakeQuery();
+  const double a =
+      ComputeDissim(q, store_.Get(1), {0.0, 10.0}, IntegrationPolicy::kExact)
+          .value;
+  const double b =
+      ComputeDissim(q, store_.Get(2), {0.0, 10.0}, IntegrationPolicy::kExact)
+          .value;
+  EXPECT_NEAR(a, 10.0, 1e-9);
+  EXPECT_NEAR(b, 5.25, 1e-9);
+
+  // And the trapezoid indeed flips the comparison.
+  const DissimResult b_approx = ComputeDissim(
+      q, store_.Get(2), {0.0, 10.0}, IntegrationPolicy::kTrapezoid);
+  EXPECT_NEAR(b_approx.value, 10.5, 1e-9);
+  EXPECT_GE(b_approx.value - b_approx.error_bound, -1e-9);
+  EXPECT_LE(b_approx.value - b_approx.error_bound, 5.25 + 1e-9);
+}
+
+TEST_F(ErrorManagementTest, TrapezoidSearchWithPostprocessFindsTrueWinner) {
+  const Trajectory q = MakeQuery();
+  const BFMstSearch searcher(&index_, &store_);
+  MstOptions options;
+  options.k = 1;
+  options.policy = IntegrationPolicy::kTrapezoid;  // paper default
+  MstStats stats;
+  const auto got = searcher.Search(q, {0.0, 10.0}, options, &stats);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].id, 2) << "error management must rescue the zigzag";
+  EXPECT_NEAR(got[0].dissim, 5.25, 1e-9);
+  EXPECT_EQ(got[0].error_bound, 0.0);
+  EXPECT_GE(stats.exact_recomputations, 2);  // both near-ties re-ranked
+}
+
+TEST_F(ErrorManagementTest, WithoutPostprocessResultsBracketTruth) {
+  const Trajectory q = MakeQuery();
+  const BFMstSearch searcher(&index_, &store_);
+  MstOptions options;
+  options.k = 2;
+  options.policy = IntegrationPolicy::kTrapezoid;
+  options.exact_postprocess = false;
+  const auto got = searcher.Search(q, {0.0, 10.0}, options);
+  ASSERT_EQ(got.size(), 2u);
+  for (const MstResult& r : got) {
+    const double truth =
+        ComputeDissim(q, store_.Get(r.id), {0.0, 10.0},
+                      IntegrationPolicy::kExact)
+            .value;
+    EXPECT_LE(truth, r.dissim + 1e-9);
+    EXPECT_GE(truth, r.dissim - r.error_bound - 1e-9);
+  }
+  // Both A and B must be in the top-2 either way (the distractors are far).
+  std::vector<TrajectoryId> ids = {got[0].id, got[1].id};
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(ids[0], 1);
+  EXPECT_EQ(ids[1], 2);
+}
+
+TEST_F(ErrorManagementTest, AdaptivePolicyAvoidsTheTrapEntirely) {
+  const Trajectory q = MakeQuery();
+  const BFMstSearch searcher(&index_, &store_);
+  MstOptions options;
+  options.k = 1;
+  options.policy = IntegrationPolicy::kAdaptive;
+  options.exact_postprocess = false;  // adaptive should not need rescuing
+  const auto got = searcher.Search(q, {0.0, 10.0}, options);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].id, 2);
+  EXPECT_NEAR(got[0].dissim, 5.25, 1e-2);
+}
+
+TEST_F(ErrorManagementTest, RTreeBehavesIdentically) {
+  RTree3D rtree;
+  rtree.BuildFrom(store_);
+  const Trajectory q = MakeQuery();
+  const BFMstSearch searcher(&rtree, &store_);
+  MstOptions options;
+  options.k = 1;
+  const auto got = searcher.Search(q, {0.0, 10.0}, options);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].id, 2);
+}
+
+}  // namespace
+}  // namespace mst

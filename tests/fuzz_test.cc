@@ -1,0 +1,152 @@
+// Deterministic pseudo-fuzzing of the index layer: long random interleaved
+// operation sequences (inserts from many trajectories, range scans, NN
+// probes, buffer reconfiguration, invariant checks) against all three index
+// structures, cross-checked with a shadow list of every inserted segment.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "src/index/rtree3d.h"
+#include "src/index/strtree.h"
+#include "src/index/tbtree.h"
+#include "src/query/nn.h"
+#include "src/query/range.h"
+#include "src/util/random.h"
+
+namespace mst {
+namespace {
+
+enum class Kind { kRTree, kTBTree, kSTRTree };
+
+std::unique_ptr<TrajectoryIndex> Make(Kind kind) {
+  switch (kind) {
+    case Kind::kRTree:
+      return std::make_unique<RTree3D>();
+    case Kind::kTBTree:
+      return std::make_unique<TBTree>();
+    case Kind::kSTRTree:
+      return std::make_unique<STRTree>();
+  }
+  return nullptr;
+}
+
+void CollectAll(const TrajectoryIndex& index, PageId page,
+                std::vector<LeafEntry>* out) {
+  const IndexNode node = index.ReadNode(page);
+  if (node.IsLeaf()) {
+    out->insert(out->end(), node.leaves.begin(), node.leaves.end());
+    return;
+  }
+  for (const InternalEntry& e : node.internals) {
+    CollectAll(index, e.child, out);
+  }
+}
+
+class FuzzTest : public ::testing::TestWithParam<std::tuple<Kind, uint64_t>> {
+};
+
+TEST_P(FuzzTest, LongRandomOperationSequence) {
+  const auto [kind, seed] = GetParam();
+  Rng rng(seed);
+  auto index = Make(kind);
+
+  // Shadow state: per-trajectory clock and every inserted segment.
+  constexpr int kTrajectories = 9;
+  std::vector<double> clock(kTrajectories, 0.0);
+  std::vector<Vec2> position(kTrajectories);
+  for (auto& p : position) {
+    p = {rng.Uniform(0, 10), rng.Uniform(0, 10)};
+  }
+  std::multiset<std::pair<TrajectoryId, double>> shadow;
+
+  const int ops = 1500;
+  for (int op = 0; op < ops; ++op) {
+    const double dice = rng.NextDouble();
+    if (dice < 0.80) {
+      // Insert: extend a random trajectory by one segment.
+      const int ti = static_cast<int>(rng.UniformIndex(kTrajectories));
+      const double t0 = clock[ti];
+      const double t1 = t0 + rng.Uniform(0.01, 0.5);
+      const Vec2 from = position[ti];
+      const Vec2 to = from + Vec2{rng.Uniform(-0.4, 0.4),
+                                  rng.Uniform(-0.4, 0.4)};
+      index->Insert(LeafEntry::Of(ti, {t0, from}, {t1, to}));
+      shadow.insert({ti, t0});
+      clock[ti] = t1;
+      position[ti] = to;
+    } else if (dice < 0.90 && !index->empty()) {
+      // Range scan vs shadow count.
+      Mbb3 window;
+      window.xlo = rng.Uniform(0, 9);
+      window.xhi = window.xlo + rng.Uniform(0.2, 2.0);
+      window.ylo = rng.Uniform(0, 9);
+      window.yhi = window.ylo + rng.Uniform(0.2, 2.0);
+      window.tlo = rng.Uniform(0, 20);
+      window.thi = window.tlo + rng.Uniform(0.5, 5.0);
+      std::vector<LeafEntry> all;
+      CollectAll(*index, index->root(), &all);
+      const auto hits = RangeSegments(*index, window);
+      size_t expected = 0;
+      for (const LeafEntry& e : all) {
+        if (e.Bounds().Intersects(window)) ++expected;
+      }
+      EXPECT_EQ(hits.size(), expected);
+    } else if (dice < 0.95 && !index->empty()) {
+      // NN probe: never crashes, returns sorted distances.
+      const auto nn =
+          PointKnn(*index, {rng.Uniform(0, 10), rng.Uniform(0, 10)},
+                   {0.0, 50.0}, 3);
+      for (size_t i = 1; i < nn.size(); ++i) {
+        EXPECT_LE(nn[i - 1].distance, nn[i].distance);
+      }
+    } else {
+      // Shrink or grow the buffer mid-stream.
+      index->buffer().SetCapacity(
+          static_cast<size_t>(rng.UniformInt(2, 64)));
+    }
+    if (op % 500 == 499) index->CheckInvariants();
+  }
+
+  index->CheckInvariants();
+  std::vector<LeafEntry> all;
+  if (!index->empty()) CollectAll(*index, index->root(), &all);
+  ASSERT_EQ(all.size(), shadow.size());
+  std::multiset<std::pair<TrajectoryId, double>> got;
+  for (const LeafEntry& e : all) got.insert({e.traj_id, e.t0});
+  EXPECT_EQ(got, shadow);
+
+  if (kind == Kind::kTBTree) {
+    static_cast<TBTree*>(index.get())->CheckTBInvariants();
+  }
+}
+
+std::string FuzzCaseName(
+    const ::testing::TestParamInfo<std::tuple<Kind, uint64_t>>& info) {
+  std::string name;
+  switch (std::get<0>(info.param)) {
+    case Kind::kRTree:
+      name = "RTree";
+      break;
+    case Kind::kTBTree:
+      name = "TBTree";
+      break;
+    case Kind::kSTRTree:
+      name = "STRTree";
+      break;
+  }
+  return name + "_seed" + std::to_string(std::get<1>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FuzzTest,
+    ::testing::Combine(::testing::Values(Kind::kRTree, Kind::kTBTree,
+                                         Kind::kSTRTree),
+                       ::testing::Values(11u, 23u, 47u)),
+    FuzzCaseName);
+
+}  // namespace
+}  // namespace mst

@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/gen/gstd.h"
+#include "src/gen/trucks.h"
+
+namespace mst {
+namespace {
+
+TEST(GstdTest, CardinalityAndShape) {
+  GstdOptions opt;
+  opt.num_objects = 17;
+  opt.samples_per_object = 100;
+  const TrajectoryStore store = GenerateGstd(opt);
+  EXPECT_EQ(store.size(), 17u);
+  EXPECT_EQ(store.TotalSegments(), 17 * 99);
+  for (const Trajectory& t : store.trajectories()) {
+    EXPECT_EQ(t.size(), 100u);
+  }
+}
+
+TEST(GstdTest, EveryObjectCoversFullWindow) {
+  GstdOptions opt;
+  opt.num_objects = 10;
+  opt.samples_per_object = 50;
+  opt.timestamp_jitter = 0.8;
+  const TrajectoryStore store = GenerateGstd(opt);
+  for (const Trajectory& t : store.trajectories()) {
+    EXPECT_DOUBLE_EQ(t.start_time(), 0.0);
+    EXPECT_DOUBLE_EQ(t.end_time(), 1.0);
+    EXPECT_TRUE(t.Covers({0.0, 1.0}));
+  }
+}
+
+TEST(GstdTest, PositionsStayInUnitSquareWithBounce) {
+  GstdOptions opt;
+  opt.num_objects = 12;
+  opt.samples_per_object = 200;
+  opt.boundary = GstdOptions::Boundary::kBounce;
+  const TrajectoryStore store = GenerateGstd(opt);
+  for (const Trajectory& t : store.trajectories()) {
+    for (const TPoint& s : t.samples()) {
+      EXPECT_GE(s.p.x, 0.0);
+      EXPECT_LE(s.p.x, 1.0);
+      EXPECT_GE(s.p.y, 0.0);
+      EXPECT_LE(s.p.y, 1.0);
+    }
+  }
+}
+
+TEST(GstdTest, DeterministicInSeed) {
+  GstdOptions opt;
+  opt.num_objects = 5;
+  opt.samples_per_object = 40;
+  opt.seed = 99;
+  const TrajectoryStore a = GenerateGstd(opt);
+  const TrajectoryStore b = GenerateGstd(opt);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.trajectories()[i], b.trajectories()[i]);
+  }
+  opt.seed = 100;
+  const TrajectoryStore c = GenerateGstd(opt);
+  EXPECT_FALSE(a.trajectories()[0] == c.trajectories()[0]);
+}
+
+TEST(GstdTest, IdsAreConsecutiveFromFirstId) {
+  GstdOptions opt;
+  opt.num_objects = 4;
+  opt.samples_per_object = 10;
+  opt.first_id = 100;
+  const TrajectoryStore store = GenerateGstd(opt);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NE(store.Find(100 + i), nullptr);
+  }
+}
+
+TEST(GstdTest, NormalSpeedOptionWorks) {
+  GstdOptions opt;
+  opt.num_objects = 6;
+  opt.samples_per_object = 60;
+  opt.speed = GstdOptions::SpeedDistribution::kNormal;
+  opt.speed_param1 = 0.5;
+  opt.speed_param2 = 0.1;
+  const TrajectoryStore store = GenerateGstd(opt);
+  EXPECT_GT(store.MaxSpeed(), 0.0);
+}
+
+TEST(GstdTest, JitteredTimestampsDifferAcrossObjects) {
+  GstdOptions opt;
+  opt.num_objects = 2;
+  opt.samples_per_object = 50;
+  opt.timestamp_jitter = 0.8;
+  const TrajectoryStore store = GenerateGstd(opt);
+  const Trajectory& a = store.trajectories()[0];
+  const Trajectory& b = store.trajectories()[1];
+  int differing = 0;
+  for (size_t i = 1; i + 1 < a.size(); ++i) {
+    if (a.sample(i).t != b.sample(i).t) ++differing;
+  }
+  EXPECT_GT(differing, 20);
+}
+
+TEST(TrucksTest, CardinalitiesMatchPaperDataset) {
+  TrucksOptions opt;
+  opt.num_trucks = 50;  // scaled down for test speed
+  opt.mean_samples_per_truck = 100;
+  const TrajectoryStore store = GenerateTrucks(opt);
+  EXPECT_EQ(store.size(), 50u);
+  // Mean samples within ±35 % of the requested mean.
+  const double mean = static_cast<double>(store.TotalSegments()) / 50.0 + 1.0;
+  EXPECT_GT(mean, 65.0);
+  EXPECT_LT(mean, 135.0);
+}
+
+TEST(TrucksTest, AllTrucksCoverTheWorkingDay) {
+  TrucksOptions opt;
+  opt.num_trucks = 20;
+  opt.mean_samples_per_truck = 80;
+  const TrajectoryStore store = GenerateTrucks(opt);
+  for (const Trajectory& t : store.trajectories()) {
+    EXPECT_TRUE(t.Covers({0.0, opt.day_seconds}));
+  }
+}
+
+TEST(TrucksTest, SamplingRatesAreHeterogeneous) {
+  TrucksOptions opt;
+  opt.num_trucks = 30;
+  opt.mean_samples_per_truck = 100;
+  const TrajectoryStore store = GenerateTrucks(opt);
+  size_t min_n = 1u << 30;
+  size_t max_n = 0;
+  for (const Trajectory& t : store.trajectories()) {
+    min_n = std::min(min_n, t.size());
+    max_n = std::max(max_n, t.size());
+  }
+  EXPECT_LT(min_n + 10, max_n);  // real spread
+}
+
+TEST(TrucksTest, SpeedsAreVehicleLike) {
+  TrucksOptions opt;
+  opt.num_trucks = 20;
+  opt.mean_samples_per_truck = 120;
+  const TrajectoryStore store = GenerateTrucks(opt);
+  // Max speed must be bounded by the lognormal cruise × jitter envelope —
+  // far below teleportation, above walking pace.
+  const double vmax = store.MaxSpeed();
+  EXPECT_GT(vmax, 2.0);
+  EXPECT_LT(vmax, 80.0);
+}
+
+TEST(TrucksTest, TrucksMoveAndStop) {
+  TrucksOptions opt;
+  opt.num_trucks = 10;
+  opt.mean_samples_per_truck = 150;
+  const TrajectoryStore store = GenerateTrucks(opt);
+  int with_dwell = 0;
+  for (const Trajectory& t : store.trajectories()) {
+    EXPECT_GT(t.SpatialLength(), 1000.0);  // they actually drive
+    // Dwell: some consecutive samples (almost) at the same spot.
+    for (size_t i = 1; i < t.size(); ++i) {
+      if (Distance(t.sample(i - 1).p, t.sample(i).p) < 1e-6) {
+        ++with_dwell;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(with_dwell, 3);
+}
+
+TEST(TrucksTest, DeterministicInSeed) {
+  TrucksOptions opt;
+  opt.num_trucks = 5;
+  opt.mean_samples_per_truck = 60;
+  opt.seed = 77;
+  const TrajectoryStore a = GenerateTrucks(opt);
+  const TrajectoryStore b = GenerateTrucks(opt);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.trajectories()[i], b.trajectories()[i]);
+  }
+}
+
+TEST(TrucksTest, PaperScaleSmokeTest) {
+  // Full 273-truck dataset: sizes in the real dataset's ballpark.
+  const TrajectoryStore store = GenerateTrucks(TrucksOptions());
+  EXPECT_EQ(store.size(), 273u);
+  const int64_t segments = store.TotalSegments();
+  EXPECT_GT(segments, 90000);
+  EXPECT_LT(segments, 135000);
+}
+
+}  // namespace
+}  // namespace mst

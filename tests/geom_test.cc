@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "src/geom/interval.h"
+#include "src/geom/mbb.h"
+#include "src/geom/point.h"
+
+namespace mst {
+namespace {
+
+TEST(Vec2Test, Arithmetic) {
+  const Vec2 a{1.0, 2.0};
+  const Vec2 b{3.0, -1.0};
+  EXPECT_EQ((a + b), (Vec2{4.0, 1.0}));
+  EXPECT_EQ((a - b), (Vec2{-2.0, 3.0}));
+  EXPECT_EQ((a * 2.0), (Vec2{2.0, 4.0}));
+  EXPECT_EQ((2.0 * a), (Vec2{2.0, 4.0}));
+  EXPECT_EQ((a / 2.0), (Vec2{0.5, 1.0}));
+  EXPECT_DOUBLE_EQ(Dot(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(a.Norm2(), 5.0);
+  EXPECT_DOUBLE_EQ((Vec2{3.0, 4.0}).Norm(), 5.0);
+  EXPECT_DOUBLE_EQ(Distance({0.0, 0.0}, {3.0, 4.0}), 5.0);
+}
+
+TEST(TPointTest, LerpInterpolatesAndExtrapolates) {
+  const TPoint a{0.0, {0.0, 0.0}};
+  const TPoint b{2.0, {4.0, -2.0}};
+  EXPECT_EQ(Lerp(a, b, 1.0), (Vec2{2.0, -1.0}));
+  EXPECT_EQ(Lerp(a, b, 0.0), (Vec2{0.0, 0.0}));
+  EXPECT_EQ(Lerp(a, b, 2.0), (Vec2{4.0, -2.0}));
+  EXPECT_EQ(Lerp(a, b, 3.0), (Vec2{6.0, -3.0}));  // extrapolation
+}
+
+TEST(TimeIntervalTest, DurationAndEmptiness) {
+  EXPECT_DOUBLE_EQ((TimeInterval{1.0, 3.0}).Duration(), 2.0);
+  EXPECT_DOUBLE_EQ((TimeInterval{3.0, 1.0}).Duration(), 0.0);
+  EXPECT_TRUE((TimeInterval{3.0, 1.0}).IsEmpty());
+  EXPECT_FALSE((TimeInterval{1.0, 1.0}).IsEmpty());  // single instant
+}
+
+TEST(TimeIntervalTest, ContainsAndCovers) {
+  const TimeInterval i{1.0, 3.0};
+  EXPECT_TRUE(i.Contains(1.0));
+  EXPECT_TRUE(i.Contains(3.0));
+  EXPECT_FALSE(i.Contains(0.999));
+  EXPECT_TRUE(i.Covers({1.5, 2.5}));
+  EXPECT_TRUE(i.Covers({1.0, 3.0}));
+  EXPECT_FALSE(i.Covers({0.5, 2.0}));
+}
+
+TEST(TimeIntervalTest, OverlapAndIntersect) {
+  const TimeInterval a{1.0, 3.0};
+  const TimeInterval b{2.0, 5.0};
+  const TimeInterval c{4.0, 6.0};
+  EXPECT_TRUE(a.Overlaps(b));
+  EXPECT_FALSE(a.Overlaps(c));
+  EXPECT_TRUE(b.Overlaps(c));
+  // Closed intervals: touching endpoints overlap.
+  EXPECT_TRUE(a.Overlaps({3.0, 9.0}));
+  const TimeInterval ab = a.Intersect(b);
+  EXPECT_DOUBLE_EQ(ab.begin, 2.0);
+  EXPECT_DOUBLE_EQ(ab.end, 3.0);
+  EXPECT_TRUE(a.Intersect(c).IsEmpty());
+}
+
+TEST(Mbb3Test, EmptyDefaultAndExpand) {
+  Mbb3 m;
+  EXPECT_TRUE(m.IsEmpty());
+  EXPECT_DOUBLE_EQ(m.Volume(), 0.0);
+  m.Expand(Mbb3::OfSegment({0.0, {1.0, 2.0}}, {1.0, {3.0, 0.0}}));
+  EXPECT_FALSE(m.IsEmpty());
+  EXPECT_DOUBLE_EQ(m.xlo, 1.0);
+  EXPECT_DOUBLE_EQ(m.xhi, 3.0);
+  EXPECT_DOUBLE_EQ(m.ylo, 0.0);
+  EXPECT_DOUBLE_EQ(m.yhi, 2.0);
+  EXPECT_DOUBLE_EQ(m.tlo, 0.0);
+  EXPECT_DOUBLE_EQ(m.thi, 1.0);
+}
+
+TEST(Mbb3Test, VolumeMarginEnlargement) {
+  Mbb3 a;
+  a.xlo = 0;
+  a.xhi = 2;
+  a.ylo = 0;
+  a.yhi = 3;
+  a.tlo = 0;
+  a.thi = 4;
+  EXPECT_DOUBLE_EQ(a.Volume(), 24.0);
+  EXPECT_DOUBLE_EQ(a.Margin(), 9.0);
+  Mbb3 b = a;
+  b.xhi = 4;  // doubles the x-extent
+  EXPECT_DOUBLE_EQ(a.Enlargement(b), 24.0);
+  EXPECT_DOUBLE_EQ(b.Enlargement(a), 0.0);
+}
+
+TEST(Mbb3Test, IntersectsAndContains) {
+  Mbb3 a;
+  a.xlo = 0;
+  a.xhi = 2;
+  a.ylo = 0;
+  a.yhi = 2;
+  a.tlo = 0;
+  a.thi = 2;
+  Mbb3 b = a;
+  b.xlo = 1;
+  b.xhi = 3;
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Contains(b));
+  Mbb3 inner = a;
+  inner.xlo = 0.5;
+  inner.xhi = 1.5;
+  EXPECT_TRUE(a.Contains(inner));
+  Mbb3 apart = a;
+  apart.tlo = 5;
+  apart.thi = 6;
+  EXPECT_FALSE(a.Intersects(apart));
+  // Touching boxes intersect (closed boxes).
+  Mbb3 touch = a;
+  touch.xlo = 2;
+  touch.xhi = 4;
+  EXPECT_TRUE(a.Intersects(touch));
+}
+
+TEST(Mbb3Test, UnionCoversBoth) {
+  const Mbb3 a = Mbb3::OfSegment({0.0, {0.0, 0.0}}, {1.0, {1.0, 1.0}});
+  const Mbb3 b = Mbb3::OfSegment({2.0, {5.0, -1.0}}, {3.0, {6.0, 0.0}});
+  const Mbb3 u = Mbb3::Union(a, b);
+  EXPECT_TRUE(u.Contains(a));
+  EXPECT_TRUE(u.Contains(b));
+  EXPECT_DOUBLE_EQ(u.xhi, 6.0);
+  EXPECT_DOUBLE_EQ(u.ylo, -1.0);
+  EXPECT_DOUBLE_EQ(u.thi, 3.0);
+}
+
+TEST(Mbb3Test, TimeExtent) {
+  const Mbb3 m = Mbb3::OfSegment({1.5, {0.0, 0.0}}, {2.5, {1.0, 1.0}});
+  EXPECT_DOUBLE_EQ(m.TimeExtent().begin, 1.5);
+  EXPECT_DOUBLE_EQ(m.TimeExtent().end, 2.5);
+}
+
+}  // namespace
+}  // namespace mst

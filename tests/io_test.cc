@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "src/core/linear_scan.h"
+#include "src/core/mst_search.h"
+#include "src/gen/gstd.h"
+#include "src/index/tbtree.h"
+#include "src/io/csv.h"
+#include "src/io/index_io.h"
+
+namespace mst {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void WriteFile(const std::string& path, const std::string& content) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+}
+
+TrajectoryStore SampleStore() {
+  GstdOptions opt;
+  opt.num_objects = 8;
+  opt.samples_per_object = 40;
+  opt.timestamp_jitter = 0.5;
+  opt.seed = 81;
+  return GenerateGstd(opt);
+}
+
+TEST(CsvTest, SaveLoadRoundTrip) {
+  const TrajectoryStore store = SampleStore();
+  const std::string path = TempPath("roundtrip.csv");
+  ASSERT_TRUE(SaveTrajectoriesCsv(store, path));
+
+  std::string error;
+  const auto loaded = LoadTrajectoriesCsv(path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  ASSERT_EQ(loaded->size(), store.size());
+  for (const Trajectory& t : store.trajectories()) {
+    const Trajectory* l = loaded->Find(t.id());
+    ASSERT_NE(l, nullptr);
+    ASSERT_EQ(l->size(), t.size());
+    for (size_t i = 0; i < t.size(); ++i) {
+      // %.17g printing round-trips doubles exactly.
+      EXPECT_EQ(l->sample(i).t, t.sample(i).t);
+      EXPECT_EQ(l->sample(i).p, t.sample(i).p);
+    }
+  }
+}
+
+TEST(CsvTest, LoadIgnoresCommentsAndBlanks) {
+  const std::string path = TempPath("comments.csv");
+  WriteFile(path,
+            "# header\n"
+            "\n"
+            "1,0.0,1.0,2.0\n"
+            "1,1.0,2.0,3.0\n"
+            "# trailing comment\n"
+            "2,0.5,0.0,0.0\n");
+  std::string error;
+  const auto loaded = LoadTrajectoriesCsv(path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->size(), 2u);
+  EXPECT_EQ(loaded->Get(1).size(), 2u);
+  EXPECT_EQ(loaded->Get(2).size(), 1u);
+}
+
+TEST(CsvTest, LoadRejectsMalformedLine) {
+  const std::string path = TempPath("bad.csv");
+  WriteFile(path, "1,0.0,oops,2.0\n");
+  std::string error;
+  EXPECT_FALSE(LoadTrajectoriesCsv(path, &error).has_value());
+  EXPECT_NE(error.find("malformed"), std::string::npos);
+}
+
+TEST(CsvTest, LoadRejectsNonIncreasingTime) {
+  const std::string path = TempPath("order.csv");
+  WriteFile(path, "1,1.0,0,0\n1,1.0,1,1\n");
+  std::string error;
+  EXPECT_FALSE(LoadTrajectoriesCsv(path, &error).has_value());
+  EXPECT_NE(error.find("timestamp"), std::string::npos);
+}
+
+TEST(CsvTest, LoadMissingFileFails) {
+  std::string error;
+  EXPECT_FALSE(LoadTrajectoriesCsv("/nonexistent/x.csv", &error).has_value());
+  EXPECT_NE(error.find("cannot open"), std::string::npos);
+}
+
+TEST(CsvTest, TrucksPortalFormatParses) {
+  const std::string path = TempPath("trucks.csv");
+  WriteFile(path,
+            "0962;10962;10/09/2002;09:15:59;23.845089;38.018470;486253;"
+            "4207588\n"
+            "0962;10962;10/09/2002;09:16:29;23.845179;38.018069;486261;"
+            "4207543\n"
+            "0963;10963;10/09/2002;09:15:59;23.8;38.0;480000;4200000\n"
+            "0963;10963;11/09/2002;09:15:59;23.8;38.0;480001;4200001\n");
+  std::string error;
+  const auto loaded = LoadTrucksPortalCsv(path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->size(), 2u);
+  const Trajectory& a = loaded->Get(10962);
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_DOUBLE_EQ(a.sample(0).t, 0.0);   // earliest instant in the file
+  EXPECT_DOUBLE_EQ(a.sample(1).t, 30.0);  // 30 s later
+  EXPECT_DOUBLE_EQ(a.sample(0).p.x, 486253.0);
+  const Trajectory& b = loaded->Get(10963);
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_DOUBLE_EQ(b.sample(1).t - b.sample(0).t, 86400.0);  // next day
+}
+
+TEST(CsvTest, TrucksPortalDropsDuplicateTimestamps) {
+  const std::string path = TempPath("trucks_dup.csv");
+  WriteFile(path,
+            "1;11;10/09/2002;09:00:00;0;0;100;100\n"
+            "1;11;10/09/2002;09:00:00;0;0;999;999\n"
+            "1;11;10/09/2002;09:00:05;0;0;105;105\n");
+  std::string error;
+  const auto loaded = LoadTrucksPortalCsv(path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  const Trajectory& t = loaded->Get(11);
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_DOUBLE_EQ(t.sample(0).p.x, 100.0);  // first kept
+}
+
+TEST(IndexIoTest, SaveLoadRoundTripServesIdenticalQueries) {
+  const TrajectoryStore store = SampleStore();
+  TBTree tree;
+  tree.BuildFrom(store);
+  const std::string path = TempPath("index.mst");
+  ASSERT_TRUE(SaveIndex(tree, path));
+
+  std::string error;
+  const std::unique_ptr<TrajectoryIndex> loaded = LoadIndex(path, &error);
+  ASSERT_NE(loaded, nullptr) << error;
+  EXPECT_EQ(loaded->root(), tree.root());
+  EXPECT_EQ(loaded->height(), tree.height());
+  EXPECT_EQ(loaded->NodeCount(), tree.NodeCount());
+  EXPECT_EQ(loaded->EntryCount(), tree.EntryCount());
+  EXPECT_DOUBLE_EQ(loaded->max_speed(), tree.max_speed());
+  EXPECT_NE(loaded->name().find("loaded"), std::string::npos);
+  loaded->CheckInvariants();
+
+  // The loaded index must answer MST queries exactly like the original.
+  const BFMstSearch searcher(loaded.get(), &store);
+  const Trajectory query(999, store.Get(3).Slice({0.2, 0.6})->samples());
+  const auto got = searcher.Search(query, query.Lifespan(), MstOptions());
+  const auto want = LinearScanKMst(store, query, query.Lifespan(), 1,
+                                   IntegrationPolicy::kExact);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].id, want[0].id);
+  EXPECT_NEAR(got[0].dissim, want[0].dissim, 1e-9);
+}
+
+TEST(IndexIoTest, LoadedIndexRejectsInserts) {
+  const TrajectoryStore store = SampleStore();
+  TBTree tree;
+  tree.BuildFrom(store);
+  const std::string path = TempPath("index_ro.mst");
+  ASSERT_TRUE(SaveIndex(tree, path));
+  std::string error;
+  const auto loaded = LoadIndex(path, &error);
+  ASSERT_NE(loaded, nullptr) << error;
+  EXPECT_DEATH(loaded->Insert(LeafEntry::Of(1, {0.0, {0, 0}}, {1.0, {1, 1}})),
+               "read-only");
+}
+
+TEST(IndexIoTest, RejectsGarbageFile) {
+  const std::string path = TempPath("garbage.mst");
+  WriteFile(path, "this is not an index");
+  std::string error;
+  EXPECT_EQ(LoadIndex(path, &error), nullptr);
+  EXPECT_NE(error.find("not an index"), std::string::npos);
+}
+
+TEST(IndexIoTest, RejectsTruncatedFile) {
+  const TrajectoryStore store = SampleStore();
+  TBTree tree;
+  tree.BuildFrom(store);
+  const std::string path = TempPath("trunc.mst");
+  ASSERT_TRUE(SaveIndex(tree, path));
+  // Truncate the file in the middle of the page payload.
+  FILE* f = std::fopen(path.c_str(), "r+");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(ftruncate(fileno(f), 8 + 64 + 3 * kPageSize + 100), 0);
+  std::fclose(f);
+  std::string error;
+  EXPECT_EQ(LoadIndex(path, &error), nullptr);
+  EXPECT_NE(error.find("truncated"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mst

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/geom/mindist.h"
+#include "src/util/random.h"
+#include "tests/test_util.h"
+
+namespace mst {
+namespace {
+
+TEST(PointRectDistanceTest, InsideIsZero) {
+  EXPECT_DOUBLE_EQ(PointRectDistance({1.0, 1.0}, 0, 0, 2, 2), 0.0);
+  EXPECT_DOUBLE_EQ(PointRectDistance({0.0, 2.0}, 0, 0, 2, 2), 0.0);  // edge
+}
+
+TEST(PointRectDistanceTest, OutsideAxisAndCorner) {
+  EXPECT_DOUBLE_EQ(PointRectDistance({-3.0, 1.0}, 0, 0, 2, 2), 3.0);
+  EXPECT_DOUBLE_EQ(PointRectDistance({1.0, 5.0}, 0, 0, 2, 2), 3.0);
+  EXPECT_DOUBLE_EQ(PointRectDistance({5.0, 6.0}, 0, 0, 2, 2), 5.0);  // 3-4-5
+}
+
+TEST(MovingPointRectTest, PassThroughRectGivesZero) {
+  // Moves from left of the box straight through it.
+  EXPECT_DOUBLE_EQ(
+      MovingPointRectMinDistance({-2.0, 1.0}, {4.0, 1.0}, 1.0, 0, 0, 2, 2),
+      0.0);
+}
+
+TEST(MovingPointRectTest, ParallelFlybyKeepsConstantGap) {
+  // Moves parallel to the top edge at y = 5, box yhi = 2: distance 3.
+  EXPECT_DOUBLE_EQ(
+      MovingPointRectMinDistance({-1.0, 5.0}, {3.0, 5.0}, 1.0, 0, 0, 2, 2),
+      3.0);
+}
+
+TEST(MovingPointRectTest, ClosestApproachInteriorOfPiece) {
+  // Diagonal approach toward the corner (2,2), closest mid-flight.
+  const double d =
+      MovingPointRectMinDistance({4.0, 0.0}, {0.0, 4.0}, 1.0, -1, -1, 1, 1);
+  // Closest point of the segment x+y=4 to corner (1,1) is (2,2): dist √2.
+  EXPECT_NEAR(d, std::sqrt(2.0), 1e-12);
+}
+
+TEST(MovingPointRectTest, MatchesDenseSampling) {
+  Rng rng(41);
+  for (int trial = 0; trial < 300; ++trial) {
+    const Vec2 q0{rng.Uniform(-5, 5), rng.Uniform(-5, 5)};
+    const Vec2 q1{rng.Uniform(-5, 5), rng.Uniform(-5, 5)};
+    const double dur = rng.Uniform(0.1, 3.0);
+    const double xlo = rng.Uniform(-3, 0);
+    const double xhi = xlo + rng.Uniform(0.1, 3.0);
+    const double ylo = rng.Uniform(-3, 0);
+    const double yhi = ylo + rng.Uniform(0.1, 3.0);
+    const double analytic =
+        MovingPointRectMinDistance(q0, q1, dur, xlo, ylo, xhi, yhi);
+    double sampled = std::numeric_limits<double>::infinity();
+    for (int i = 0; i <= 2000; ++i) {
+      const Vec2 p = q0 + (q1 - q0) * (static_cast<double>(i) / 2000.0);
+      sampled = std::min(sampled, PointRectDistance(p, xlo, ylo, xhi, yhi));
+    }
+    // The analytic minimum can only be <= any sampled value, and dense
+    // sampling approaches it.
+    EXPECT_LE(analytic, sampled + 1e-9);
+    EXPECT_NEAR(analytic, sampled, 5e-3);
+  }
+}
+
+TEST(MinDistTest, InfinityWithoutTemporalOverlap) {
+  Rng rng(43);
+  const Trajectory q = testing_util::RandomTrajectory(&rng, 1, 10, 0.0, 1.0);
+  const Mbb3 box = Mbb3::OfSegment({5.0, {0, 0}}, {6.0, {1, 1}});
+  EXPECT_TRUE(std::isinf(MinDist(q, box, {0.0, 1.0})));
+  // Also infinite when the box overlaps the trajectory but not the period.
+  const Mbb3 box2 = Mbb3::OfSegment({0.2, {0, 0}}, {0.4, {1, 1}});
+  EXPECT_TRUE(std::isinf(MinDist(q, box2, {0.6, 0.9})));
+}
+
+TEST(MinDistTest, ZeroWhenTrajectoryEntersBox) {
+  const Trajectory q(1, {{0.0, {-5.0, 0.0}}, {1.0, {5.0, 0.0}}});
+  const Mbb3 box = Mbb3::OfSegment({0.0, {-1.0, -1.0}}, {1.0, {1.0, 1.0}});
+  EXPECT_DOUBLE_EQ(MinDist(q, box, {0.0, 1.0}), 0.0);
+}
+
+TEST(MinDistTest, RespectsQueryPeriodClipping) {
+  // The trajectory enters the box only after t = 0.4; querying [0, 0.2]
+  // keeps the point far away.
+  const Trajectory q(1, {{0.0, {-10.0, 0.0}}, {1.0, {0.0, 0.0}}});
+  const Mbb3 box = Mbb3::OfSegment({0.0, {-1.0, -1.0}}, {1.0, {1.0, 1.0}});
+  const double d_early = MinDist(q, box, {0.0, 0.2});
+  const double d_full = MinDist(q, box, {0.0, 1.0});
+  EXPECT_NEAR(d_early, 7.0, 1e-12);  // at t=0.2 the point is at x=-8
+  EXPECT_DOUBLE_EQ(d_full, 0.0);
+}
+
+TEST(MinDistTest, MatchesDenseSamplingOnRandomTrajectories) {
+  Rng rng(47);
+  for (int trial = 0; trial < 60; ++trial) {
+    const Trajectory q =
+        testing_util::RandomIrregularTrajectory(&rng, 1, 20, 0.0, 10.0, 6.0);
+    Mbb3 box;
+    const double x0 = rng.Uniform(-2.0, 6.0);
+    const double y0 = rng.Uniform(-2.0, 6.0);
+    box.xlo = x0;
+    box.xhi = x0 + rng.Uniform(0.5, 3.0);
+    box.ylo = y0;
+    box.yhi = y0 + rng.Uniform(0.5, 3.0);
+    box.tlo = rng.Uniform(0.0, 5.0);
+    box.thi = box.tlo + rng.Uniform(0.5, 5.0);
+    const TimeInterval period{rng.Uniform(0.0, 4.0), rng.Uniform(6.0, 10.0)};
+    const double analytic = MinDist(q, box, period);
+    const TimeInterval window =
+        period.Intersect(box.TimeExtent()).Intersect(q.Lifespan());
+    if (window.IsEmpty()) {
+      EXPECT_TRUE(std::isinf(analytic));
+      continue;
+    }
+    double sampled = std::numeric_limits<double>::infinity();
+    for (int i = 0; i <= 4000; ++i) {
+      const double t =
+          window.begin + window.Duration() * i / 4000.0;
+      sampled = std::min(sampled, PointRectDistance(*q.PositionAt(t), box.xlo,
+                                                    box.ylo, box.xhi,
+                                                    box.yhi));
+    }
+    EXPECT_LE(analytic, sampled + 1e-9);
+    EXPECT_NEAR(analytic, sampled, 1e-2);
+  }
+}
+
+TEST(MinDistTest, MonotoneUnderBoxGrowth) {
+  // MINDIST to a child box is >= MINDIST to its parent — the property the
+  // best-first traversal relies on.
+  Rng rng(49);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Trajectory q = testing_util::RandomTrajectory(&rng, 1, 15, 0.0, 8.0);
+    Mbb3 child;
+    child.xlo = rng.Uniform(-4, 4);
+    child.xhi = child.xlo + rng.Uniform(0.2, 2.0);
+    child.ylo = rng.Uniform(-4, 4);
+    child.yhi = child.ylo + rng.Uniform(0.2, 2.0);
+    child.tlo = rng.Uniform(0.0, 6.0);
+    child.thi = child.tlo + rng.Uniform(0.2, 2.0);
+    Mbb3 parent = child;
+    parent.xlo -= rng.Uniform(0.0, 2.0);
+    parent.xhi += rng.Uniform(0.0, 2.0);
+    parent.ylo -= rng.Uniform(0.0, 2.0);
+    parent.yhi += rng.Uniform(0.0, 2.0);
+    parent.tlo = std::max(0.0, parent.tlo - rng.Uniform(0.0, 2.0));
+    parent.thi += rng.Uniform(0.0, 2.0);
+    const TimeInterval period{0.0, 8.0};
+    EXPECT_GE(MinDist(q, child, period) + 1e-12,
+              MinDist(q, parent, period));
+  }
+}
+
+}  // namespace
+}  // namespace mst

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/geom/moving_distance.h"
+#include "src/util/random.h"
+
+namespace mst {
+namespace {
+
+TEST(DistanceTrinomialTest, StaticObjectsGiveConstantDistance) {
+  // Both objects immobile: distance constant 5.
+  const DistanceTrinomial tri = DistanceTrinomial::Between(
+      {0.0, 0.0}, {0.0, 0.0}, {3.0, 4.0}, {3.0, 4.0}, 2.0);
+  EXPECT_DOUBLE_EQ(tri.a, 0.0);
+  EXPECT_DOUBLE_EQ(tri.b, 0.0);
+  EXPECT_DOUBLE_EQ(tri.ValueAt(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(tri.ValueAt(2.0), 5.0);
+  EXPECT_DOUBLE_EQ(tri.MinValue(), 5.0);
+  EXPECT_DOUBLE_EQ(tri.MaxValue(), 5.0);
+}
+
+TEST(DistanceTrinomialTest, HeadOnApproachTouchesZero) {
+  // Query fixed at origin; object moves (−1,0) → (1,0) over dur 2.
+  const DistanceTrinomial tri = DistanceTrinomial::Between(
+      {0.0, 0.0}, {0.0, 0.0}, {-1.0, 0.0}, {1.0, 0.0}, 2.0);
+  EXPECT_DOUBLE_EQ(tri.ValueAt(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(tri.ValueAt(2.0), 1.0);
+  EXPECT_NEAR(tri.MinValue(), 0.0, 1e-12);
+  EXPECT_NEAR(tri.ArgMinTau(), 1.0, 1e-12);
+}
+
+TEST(DistanceTrinomialTest, ValueMatchesDirectGeometry) {
+  Rng rng(31);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Vec2 q0{rng.Uniform(-5, 5), rng.Uniform(-5, 5)};
+    const Vec2 q1{rng.Uniform(-5, 5), rng.Uniform(-5, 5)};
+    const Vec2 p0{rng.Uniform(-5, 5), rng.Uniform(-5, 5)};
+    const Vec2 p1{rng.Uniform(-5, 5), rng.Uniform(-5, 5)};
+    const double dur = rng.Uniform(0.1, 4.0);
+    const DistanceTrinomial tri =
+        DistanceTrinomial::Between(q0, q1, p0, p1, dur);
+    for (double f : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+      const double tau = f * dur;
+      const Vec2 q = q0 + (q1 - q0) * (tau / dur);
+      const Vec2 p = p0 + (p1 - p0) * (tau / dur);
+      EXPECT_NEAR(tri.ValueAt(tau), Distance(q, p), 1e-9);
+    }
+  }
+}
+
+TEST(DistanceTrinomialTest, DiscriminantNeverPositive) {
+  // b² − 4ac <= 0 always (squared norm): FourAcMinusB2 >= 0 up to rounding.
+  Rng rng(33);
+  for (int trial = 0; trial < 500; ++trial) {
+    const DistanceTrinomial tri = DistanceTrinomial::Between(
+        {rng.Uniform(-9, 9), rng.Uniform(-9, 9)},
+        {rng.Uniform(-9, 9), rng.Uniform(-9, 9)},
+        {rng.Uniform(-9, 9), rng.Uniform(-9, 9)},
+        {rng.Uniform(-9, 9), rng.Uniform(-9, 9)}, rng.Uniform(0.01, 5.0));
+    EXPECT_GE(tri.FourAcMinusB2(), -1e-9 * std::max(1.0, tri.b * tri.b));
+  }
+}
+
+TEST(DistanceTrinomialTest, MinIsGlobalOverInterval) {
+  Rng rng(35);
+  for (int trial = 0; trial < 100; ++trial) {
+    const DistanceTrinomial tri = DistanceTrinomial::Between(
+        {rng.Uniform(-9, 9), rng.Uniform(-9, 9)},
+        {rng.Uniform(-9, 9), rng.Uniform(-9, 9)},
+        {rng.Uniform(-9, 9), rng.Uniform(-9, 9)},
+        {rng.Uniform(-9, 9), rng.Uniform(-9, 9)}, rng.Uniform(0.1, 3.0));
+    const double min_v = tri.MinValue();
+    const double max_v = tri.MaxValue();
+    for (int i = 0; i <= 100; ++i) {
+      const double tau = tri.dur * i / 100.0;
+      const double v = tri.ValueAt(tau);
+      EXPECT_GE(v, min_v - 1e-9);
+      EXPECT_LE(v, max_v + 1e-9);
+    }
+  }
+}
+
+TEST(DistanceTrinomialTest, SecondDerivativeMatchesFiniteDifferences) {
+  Rng rng(37);
+  for (int trial = 0; trial < 50; ++trial) {
+    const DistanceTrinomial tri = DistanceTrinomial::Between(
+        {rng.Uniform(-5, 5), rng.Uniform(-5, 5)},
+        {rng.Uniform(-5, 5), rng.Uniform(-5, 5)},
+        {rng.Uniform(5, 9), rng.Uniform(5, 9)},  // keep the objects apart
+        {rng.Uniform(5, 9), rng.Uniform(9, 13)}, rng.Uniform(0.5, 2.0));
+    const double tau = tri.dur / 2.0;
+    if (tri.ValueAt(tau) < 0.5) continue;  // avoid near-collision stiffness
+    const double h = 1e-5;
+    const double fd = (tri.ValueAt(tau + h) - 2.0 * tri.ValueAt(tau) +
+                       tri.ValueAt(tau - h)) /
+                      (h * h);
+    EXPECT_NEAR(tri.SecondDerivativeAt(tau), fd,
+                1e-3 * std::max(1.0, std::abs(fd)));
+  }
+}
+
+TEST(DistanceTrinomialTest, SecondDerivativeNonNegative) {
+  // D(t) is convex on every elementary interval — the fact the Lemma 1
+  // one-sidedness rests on.
+  Rng rng(39);
+  for (int trial = 0; trial < 200; ++trial) {
+    const DistanceTrinomial tri = DistanceTrinomial::Between(
+        {rng.Uniform(-9, 9), rng.Uniform(-9, 9)},
+        {rng.Uniform(-9, 9), rng.Uniform(-9, 9)},
+        {rng.Uniform(-9, 9), rng.Uniform(-9, 9)},
+        {rng.Uniform(-9, 9), rng.Uniform(-9, 9)}, rng.Uniform(0.1, 3.0));
+    for (double f : {0.0, 0.3, 0.6, 1.0}) {
+      EXPECT_GE(tri.SecondDerivativeAt(f * tri.dur), 0.0);
+    }
+  }
+}
+
+TEST(DistanceTrinomialDeathTest, RejectsNonPositiveDuration) {
+  EXPECT_DEATH(DistanceTrinomial::Between({0, 0}, {1, 1}, {0, 0}, {1, 1}, 0.0),
+               "positive duration");
+}
+
+}  // namespace
+}  // namespace mst

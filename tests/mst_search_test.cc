@@ -1,0 +1,333 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "src/core/linear_scan.h"
+#include "src/core/mst_search.h"
+#include "src/gen/gstd.h"
+#include "src/index/rtree3d.h"
+#include "src/index/tbtree.h"
+#include "src/util/random.h"
+#include "tests/test_util.h"
+
+namespace mst {
+namespace {
+
+enum class IndexKind { kRTree3D, kTBTree };
+
+// Fixture: a shared synthetic dataset indexed both ways.
+class MstSearchTest
+    : public ::testing::TestWithParam<std::tuple<IndexKind, int>> {
+ protected:
+  static void SetUpTestSuite() {
+    GstdOptions opt;
+    opt.num_objects = 40;
+    opt.samples_per_object = 120;
+    opt.timestamp_jitter = 0.5;  // heterogeneous sampling
+    opt.seed = 31;
+    store_ = new TrajectoryStore(GenerateGstd(opt));
+    rtree_ = new RTree3D();
+    rtree_->BuildFrom(*store_);
+    tbtree_ = new TBTree();
+    tbtree_->BuildFrom(*store_);
+  }
+
+  static void TearDownTestSuite() {
+    delete store_;
+    delete rtree_;
+    delete tbtree_;
+    store_ = nullptr;
+    rtree_ = nullptr;
+    tbtree_ = nullptr;
+  }
+
+  const TrajectoryIndex& index() const {
+    return std::get<0>(GetParam()) == IndexKind::kRTree3D
+               ? static_cast<const TrajectoryIndex&>(*rtree_)
+               : static_cast<const TrajectoryIndex&>(*tbtree_);
+  }
+  int k() const { return std::get<1>(GetParam()); }
+
+  static TrajectoryStore* store_;
+  static RTree3D* rtree_;
+  static TBTree* tbtree_;
+};
+
+TrajectoryStore* MstSearchTest::store_ = nullptr;
+RTree3D* MstSearchTest::rtree_ = nullptr;
+TBTree* MstSearchTest::tbtree_ = nullptr;
+
+// A query built as a perturbed slice of a stored trajectory (the paper's
+// query workload shape), excluded from matching itself.
+Trajectory MakeQuery(const TrajectoryStore& store, Rng* rng,
+                     double length_fraction, TrajectoryId query_id = 9999) {
+  const size_t pick = rng->UniformIndex(store.size());
+  const Trajectory& base = store.trajectories()[pick];
+  const double span = base.end_time() - base.start_time();
+  const double len = span * length_fraction;
+  const double begin =
+      base.start_time() + rng->Uniform(0.0, span - len);
+  const Trajectory slice = *base.Slice({begin, begin + len});
+  std::vector<TPoint> samples = slice.samples();
+  for (TPoint& s : samples) {
+    s.p.x += rng->Uniform(-0.02, 0.02);
+    s.p.y += rng->Uniform(-0.02, 0.02);
+  }
+  return Trajectory(query_id, std::move(samples));
+}
+
+TEST_P(MstSearchTest, MatchesLinearScanGroundTruth) {
+  Rng rng(101 + static_cast<uint64_t>(k()));
+  const BFMstSearch searcher(&index(), store_);
+  for (int trial = 0; trial < 12; ++trial) {
+    const Trajectory query = MakeQuery(*store_, &rng, 0.25);
+    const TimeInterval period = query.Lifespan();
+
+    MstOptions options;
+    options.k = k();
+    MstStats stats;
+    const std::vector<MstResult> got =
+        searcher.Search(query, period, options, &stats);
+    const std::vector<MstResult> want = LinearScanKMst(
+        *store_, query, period, k(), IntegrationPolicy::kExact);
+
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].id, want[i].id) << "rank " << i;
+      EXPECT_NEAR(got[i].dissim, want[i].dissim,
+                  1e-6 * std::max(1.0, want[i].dissim));
+      EXPECT_EQ(got[i].error_bound, 0.0);  // exact post-processing
+    }
+    EXPECT_EQ(stats.total_nodes, index().NodeCount());
+    EXPECT_LE(stats.nodes_accessed, stats.total_nodes);
+  }
+}
+
+TEST_P(MstSearchTest, HeuristicsOffStillCorrect) {
+  Rng rng(301 + static_cast<uint64_t>(k()));
+  const BFMstSearch searcher(&index(), store_);
+  const Trajectory query = MakeQuery(*store_, &rng, 0.2);
+  const TimeInterval period = query.Lifespan();
+  const std::vector<MstResult> want =
+      LinearScanKMst(*store_, query, period, k(), IntegrationPolicy::kExact);
+
+  for (const bool h1 : {false, true}) {
+    for (const bool h2 : {false, true}) {
+      MstOptions options;
+      options.k = k();
+      options.use_heuristic1 = h1;
+      options.use_heuristic2 = h2;
+      const std::vector<MstResult> got =
+          searcher.Search(query, period, options);
+      ASSERT_EQ(got.size(), want.size());
+      for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].id, want[i].id)
+            << "h1=" << h1 << " h2=" << h2 << " rank " << i;
+      }
+    }
+  }
+}
+
+TEST_P(MstSearchTest, ExactPolicySearchAlsoCorrect) {
+  Rng rng(401 + static_cast<uint64_t>(k()));
+  const BFMstSearch searcher(&index(), store_);
+  const Trajectory query = MakeQuery(*store_, &rng, 0.3);
+  const TimeInterval period = query.Lifespan();
+  MstOptions options;
+  options.k = k();
+  options.policy = IntegrationPolicy::kExact;
+  const std::vector<MstResult> got = searcher.Search(query, period, options);
+  const std::vector<MstResult> want =
+      LinearScanKMst(*store_, query, period, k(), IntegrationPolicy::kExact);
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].id, want[i].id);
+  }
+}
+
+TEST_P(MstSearchTest, NonExactResultsBracketTruth) {
+  Rng rng(501 + static_cast<uint64_t>(k()));
+  const BFMstSearch searcher(&index(), store_);
+  const Trajectory query = MakeQuery(*store_, &rng, 0.2);
+  const TimeInterval period = query.Lifespan();
+  MstOptions options;
+  options.k = k();
+  options.exact_postprocess = false;
+  const std::vector<MstResult> got = searcher.Search(query, period, options);
+  for (const MstResult& r : got) {
+    const double truth =
+        ComputeDissim(query, store_->Get(r.id), period,
+                      IntegrationPolicy::kExact)
+            .value;
+    EXPECT_LE(truth, r.dissim + 1e-9);
+    EXPECT_GE(truth, r.dissim - r.error_bound - 1e-9);
+  }
+}
+
+TEST_P(MstSearchTest, PrunesSubstantially) {
+  Rng rng(601);
+  const BFMstSearch searcher(&index(), store_);
+  const Trajectory query = MakeQuery(*store_, &rng, 0.1);
+  MstOptions options;
+  options.k = k();
+  MstStats stats;
+  searcher.Search(query, query.Lifespan(), options, &stats);
+  // The headline claim: large parts of the index are never touched. The
+  // dataset here is small, so require a modest but real pruning level.
+  EXPECT_GT(stats.PruningPower(), 0.3);
+  EXPECT_TRUE(stats.terminated_by_heuristic2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Engines, MstSearchTest,
+    ::testing::Combine(::testing::Values(IndexKind::kRTree3D,
+                                         IndexKind::kTBTree),
+                       ::testing::Values(1, 3, 10)),
+    [](const ::testing::TestParamInfo<std::tuple<IndexKind, int>>& info) {
+      const char* tree = std::get<0>(info.param) == IndexKind::kRTree3D
+                             ? "RTree3D"
+                             : "TBTree";
+      return std::string(tree) + "_k" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST_P(MstSearchTest, EagerCompletionPreservesResults) {
+  Rng rng(701 + static_cast<uint64_t>(k()));
+  const BFMstSearch searcher(&index(), store_);
+  for (int trial = 0; trial < 4; ++trial) {
+    const Trajectory query = MakeQuery(*store_, &rng, 0.4);
+    MstOptions plain;
+    plain.k = k();
+    MstOptions eager = plain;
+    eager.use_eager_completion = true;
+    MstStats eager_stats;
+    const auto a = searcher.Search(query, query.Lifespan(), plain);
+    const auto b =
+        searcher.Search(query, query.Lifespan(), eager, &eager_stats);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].id, b[i].id) << "rank " << i;
+      EXPECT_NEAR(a[i].dissim, b[i].dissim, 1e-9);
+    }
+    if (index().SupportsTrajectoryFetch()) {
+      EXPECT_GT(eager_stats.eager_completions, 0);
+    } else {
+      EXPECT_EQ(eager_stats.eager_completions, 0);
+    }
+  }
+}
+
+TEST(MstSearchEdgeTest, EmptyIndexReturnsNothing) {
+  TrajectoryStore store;
+  RTree3D tree;
+  const BFMstSearch searcher(&tree, &store);
+  const Trajectory query(1, {{0.0, {0, 0}}, {1.0, {1, 1}}});
+  EXPECT_TRUE(searcher.Search(query, {0.0, 1.0}).empty());
+}
+
+TEST(MstSearchEdgeTest, ExcludeIdSkipsSelf) {
+  GstdOptions opt;
+  opt.num_objects = 10;
+  opt.samples_per_object = 50;
+  opt.seed = 33;
+  const TrajectoryStore store = GenerateGstd(opt);
+  RTree3D tree;
+  tree.BuildFrom(store);
+  const BFMstSearch searcher(&tree, &store);
+
+  // Query with a stored trajectory itself: without exclusion it must find
+  // itself at dissim 0; with exclusion it must not appear.
+  const Trajectory& self = store.trajectories()[3];
+  MstOptions options;
+  options.k = 1;
+  auto got = searcher.Search(self, self.Lifespan(), options);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].id, self.id());
+  EXPECT_NEAR(got[0].dissim, 0.0, 1e-9);
+
+  options.exclude_id = self.id();
+  got = searcher.Search(self, self.Lifespan(), options);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_NE(got[0].id, self.id());
+}
+
+TEST(MstSearchEdgeTest, ShortLivedTrajectoriesAreIneligible) {
+  GstdOptions opt;
+  opt.num_objects = 8;
+  opt.samples_per_object = 40;
+  opt.seed = 35;
+  TrajectoryStore store = GenerateGstd(opt);
+  // One extra trajectory that only exists in the first half of the window.
+  store.Add(Trajectory(
+      777, {{0.0, {0.5, 0.5}}, {0.2, {0.55, 0.5}}, {0.45, {0.6, 0.5}}}));
+  RTree3D tree;
+  tree.BuildFrom(store);
+  const BFMstSearch searcher(&tree, &store);
+
+  Rng rng(103);
+  const Trajectory& base = store.trajectories()[0];
+  const Trajectory query(9999, base.samples());
+  MstStats stats;
+  MstOptions options;
+  options.k = static_cast<int>(store.size());
+  const auto got = searcher.Search(query, {0.0, 1.0}, options, &stats);
+  for (const MstResult& r : got) {
+    EXPECT_NE(r.id, 777);
+  }
+  EXPECT_GE(stats.candidates_ineligible, 0);
+}
+
+TEST(MstSearchEdgeTest, KLargerThanDatasetReturnsAll) {
+  GstdOptions opt;
+  opt.num_objects = 6;
+  opt.samples_per_object = 30;
+  opt.seed = 37;
+  const TrajectoryStore store = GenerateGstd(opt);
+  RTree3D tree;
+  tree.BuildFrom(store);
+  const BFMstSearch searcher(&tree, &store);
+  const Trajectory query(9999, store.trajectories()[0].samples());
+  MstOptions options;
+  options.k = 50;
+  const auto got = searcher.Search(query, {0.0, 1.0}, options);
+  EXPECT_EQ(got.size(), store.size());
+  for (size_t i = 1; i < got.size(); ++i) {
+    EXPECT_LE(got[i - 1].dissim, got[i].dissim);
+  }
+}
+
+TEST(MstSearchEdgeTest, SubPeriodQueriesWork) {
+  GstdOptions opt;
+  opt.num_objects = 12;
+  opt.samples_per_object = 60;
+  opt.seed = 39;
+  const TrajectoryStore store = GenerateGstd(opt);
+  TBTree tree;
+  tree.BuildFrom(store);
+  const BFMstSearch searcher(&tree, &store);
+  const Trajectory query(9999, store.trajectories()[1].samples());
+  const TimeInterval period{0.25, 0.5};
+  const auto got = searcher.Search(query, period, MstOptions());
+  const auto want =
+      LinearScanKMst(store, query, period, 1, IntegrationPolicy::kExact);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].id, want[0].id);
+  EXPECT_NEAR(got[0].dissim, want[0].dissim, 1e-9);
+}
+
+TEST(MstSearchEdgeDeathTest, RejectsBadArguments) {
+  TrajectoryStore store;
+  RTree3D tree;
+  const BFMstSearch searcher(&tree, &store);
+  const Trajectory query(1, {{0.0, {0, 0}}, {1.0, {1, 1}}});
+  MstOptions options;
+  options.k = 0;
+  EXPECT_DEATH(searcher.Search(query, {0.0, 1.0}, options), "k must be");
+  EXPECT_DEATH(searcher.Search(query, {0.0, 2.0}), "cover");
+  EXPECT_DEATH(searcher.Search(query, {0.5, 0.5}), "duration");
+}
+
+}  // namespace
+}  // namespace mst

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/core/profile.h"
+#include "src/util/random.h"
+#include "tests/test_util.h"
+
+namespace mst {
+namespace {
+
+using testing_util::RandomIrregularTrajectory;
+
+TEST(DistanceExtremaTest, HeadOnPassHitsZeroMidway) {
+  const Trajectory q(1, {{0.0, {0, 0}}, {2.0, {0, 0}}});
+  const Trajectory t(2, {{0.0, {-1, 0}}, {2.0, {1, 0}}});
+  const DistanceExtrema e = ComputeDistanceExtrema(q, t, {0.0, 2.0});
+  EXPECT_NEAR(e.min_distance, 0.0, 1e-12);
+  EXPECT_NEAR(e.min_at, 1.0, 1e-12);
+  EXPECT_NEAR(e.max_distance, 1.0, 1e-12);
+}
+
+TEST(DistanceExtremaTest, ConstantDistance) {
+  const Trajectory q(1, {{0.0, {0, 0}}, {1.0, {1, 0}}});
+  const Trajectory t(2, {{0.0, {0, 3}}, {1.0, {1, 3}}});
+  const DistanceExtrema e = ComputeDistanceExtrema(q, t, {0.0, 1.0});
+  EXPECT_DOUBLE_EQ(e.min_distance, 3.0);
+  EXPECT_DOUBLE_EQ(e.max_distance, 3.0);
+}
+
+TEST(DistanceExtremaTest, MatchesDenseSampling) {
+  Rng rng(401);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Trajectory q = RandomIrregularTrajectory(&rng, 1, 20, 0.0, 8.0);
+    const Trajectory t = RandomIrregularTrajectory(&rng, 2, 35, 0.0, 8.0);
+    const TimeInterval period{1.0, 7.0};
+    const DistanceExtrema e = ComputeDistanceExtrema(q, t, period);
+    double smin = 1e300;
+    double smax = -1e300;
+    for (int i = 0; i <= 4000; ++i) {
+      const double time = period.begin + period.Duration() * i / 4000.0;
+      const double d = Distance(*q.PositionAt(time), *t.PositionAt(time));
+      smin = std::min(smin, d);
+      smax = std::max(smax, d);
+    }
+    EXPECT_LE(e.min_distance, smin + 1e-9);
+    EXPECT_NEAR(e.min_distance, smin, 1e-2);
+    EXPECT_GE(e.max_distance, smax - 1e-9);
+    EXPECT_NEAR(e.max_distance, smax, 1e-2);
+    // The reported instants actually attain the reported values.
+    EXPECT_NEAR(Distance(*q.PositionAt(e.min_at), *t.PositionAt(e.min_at)),
+                e.min_distance, 1e-9);
+    EXPECT_NEAR(Distance(*q.PositionAt(e.max_at), *t.PositionAt(e.max_at)),
+                e.max_distance, 1e-9);
+  }
+}
+
+TEST(ProfileTest, SamplesEndpointsAndValues) {
+  const Trajectory q(1, {{0.0, {0, 0}}, {2.0, {2, 0}}});
+  const Trajectory t(2, {{0.0, {0, 4}}, {2.0, {2, 2}}});
+  const auto profile = SampleDistanceProfile(q, t, {0.0, 2.0}, 5);
+  ASSERT_EQ(profile.size(), 5u);
+  EXPECT_DOUBLE_EQ(profile.front().t, 0.0);
+  EXPECT_DOUBLE_EQ(profile.back().t, 2.0);
+  EXPECT_DOUBLE_EQ(profile.front().distance, 4.0);
+  EXPECT_DOUBLE_EQ(profile.back().distance, 2.0);
+  EXPECT_DOUBLE_EQ(profile[2].distance, 3.0);  // linear gap shrink
+}
+
+TEST(ProfileDeathTest, RequiresTwoSamplesAndCoverage) {
+  const Trajectory q(1, {{0.0, {0, 0}}, {1.0, {1, 1}}});
+  EXPECT_DEATH(SampleDistanceProfile(q, q, {0.0, 1.0}, 1), "");
+  const Trajectory t(2, {{0.5, {0, 0}}, {2.0, {1, 1}}});
+  EXPECT_DEATH(ComputeDistanceExtrema(q, t, {0.0, 1.0}), "");
+}
+
+}  // namespace
+}  // namespace mst

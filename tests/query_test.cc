@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "src/gen/gstd.h"
+#include "src/index/rtree3d.h"
+#include "src/index/strtree.h"
+#include "src/index/tbtree.h"
+#include "src/query/nn.h"
+#include "src/query/range.h"
+#include "src/util/random.h"
+
+namespace mst {
+namespace {
+
+TrajectoryStore SmallStore(int objects, int samples, uint64_t seed) {
+  GstdOptions opt;
+  opt.num_objects = objects;
+  opt.samples_per_object = samples;
+  opt.timestamp_jitter = 0.4;
+  opt.seed = seed;
+  return GenerateGstd(opt);
+}
+
+// Brute-force minimum distance between a point and a trajectory over a
+// period (dense sampling).
+double BruteForcePointDist(Vec2 p, const Trajectory& t,
+                           const TimeInterval& period, int steps = 4000) {
+  const TimeInterval w = period.Intersect(t.Lifespan());
+  if (w.IsEmpty()) return std::numeric_limits<double>::infinity();
+  double best = std::numeric_limits<double>::infinity();
+  for (int i = 0; i <= steps; ++i) {
+    const double time = w.begin + w.Duration() * i / steps;
+    best = std::min(best, Distance(p, *t.PositionAt(time)));
+  }
+  return best;
+}
+
+double BruteForceTrajDist(const Trajectory& q, const Trajectory& t,
+                          const TimeInterval& period, int steps = 4000) {
+  const TimeInterval w = period.Intersect(t.Lifespan());
+  if (w.IsEmpty()) return std::numeric_limits<double>::infinity();
+  double best = std::numeric_limits<double>::infinity();
+  for (int i = 0; i <= steps; ++i) {
+    const double time = w.begin + w.Duration() * i / steps;
+    best = std::min(best, Distance(*q.PositionAt(time), *t.PositionAt(time)));
+  }
+  return best;
+}
+
+enum class IndexKind { kRTree3D, kTBTree, kSTRTree };
+
+std::unique_ptr<TrajectoryIndex> MakeIndex(IndexKind kind) {
+  switch (kind) {
+    case IndexKind::kRTree3D:
+      return std::make_unique<RTree3D>();
+    case IndexKind::kTBTree:
+      return std::make_unique<TBTree>();
+    case IndexKind::kSTRTree:
+      return std::make_unique<STRTree>();
+  }
+  return nullptr;
+}
+
+class QueryTest : public ::testing::TestWithParam<IndexKind> {
+ protected:
+  void SetUp() override {
+    store_ = SmallStore(25, 100, 71);
+    index_ = MakeIndex(GetParam());
+    index_->BuildFrom(store_);
+  }
+  TrajectoryStore store_;
+  std::unique_ptr<TrajectoryIndex> index_;
+};
+
+TEST_P(QueryTest, RangeSegmentsMatchBruteForce) {
+  Rng rng(73);
+  for (int trial = 0; trial < 20; ++trial) {
+    Mbb3 window;
+    window.xlo = rng.Uniform(0.0, 0.7);
+    window.xhi = window.xlo + rng.Uniform(0.05, 0.3);
+    window.ylo = rng.Uniform(0.0, 0.7);
+    window.yhi = window.ylo + rng.Uniform(0.05, 0.3);
+    window.tlo = rng.Uniform(0.0, 0.7);
+    window.thi = window.tlo + rng.Uniform(0.05, 0.3);
+
+    const std::vector<LeafEntry> got = RangeSegments(*index_, window);
+    size_t expected = 0;
+    for (const Trajectory& t : store_.trajectories()) {
+      for (size_t i = 0; i + 1 < t.size(); ++i) {
+        if (Mbb3::OfSegment(t.sample(i), t.sample(i + 1)).Intersects(window)) {
+          ++expected;
+        }
+      }
+    }
+    EXPECT_EQ(got.size(), expected);
+    for (const LeafEntry& e : got) {
+      EXPECT_TRUE(e.Bounds().Intersects(window));
+    }
+  }
+}
+
+TEST_P(QueryTest, RangeTrajectoriesAreDistinctSorted) {
+  Mbb3 window;
+  window.xlo = 0.2;
+  window.xhi = 0.8;
+  window.ylo = 0.2;
+  window.yhi = 0.8;
+  window.tlo = 0.3;
+  window.thi = 0.7;
+  const auto ids = RangeTrajectories(*index_, window);
+  EXPECT_TRUE(std::is_sorted(ids.begin(), ids.end()));
+  EXPECT_EQ(std::adjacent_find(ids.begin(), ids.end()), ids.end());
+  EXPECT_FALSE(ids.empty());  // a big window over a dense dataset hits
+}
+
+TEST_P(QueryTest, TopologicalPredicatesRefineCorrectly) {
+  Mbb3 window;
+  window.xlo = 0.3;
+  window.xhi = 0.7;
+  window.ylo = 0.3;
+  window.yhi = 0.7;
+  window.tlo = 0.2;
+  window.thi = 0.8;
+  const auto enters = RangeTopological(*index_, store_, window,
+                                       RangeRelation::kEnters);
+  const auto leaves = RangeTopological(*index_, store_, window,
+                                       RangeRelation::kLeaves);
+  auto inside = [&](TrajectoryId id, double t) {
+    const Vec2 p = *store_.Get(id).PositionAt(t);
+    return p.x >= window.xlo && p.x <= window.xhi && p.y >= window.ylo &&
+           p.y <= window.yhi;
+  };
+  for (const TrajectoryId id : enters) {
+    EXPECT_FALSE(inside(id, window.tlo));
+    EXPECT_TRUE(inside(id, window.thi));
+  }
+  for (const TrajectoryId id : leaves) {
+    EXPECT_TRUE(inside(id, window.tlo));
+    EXPECT_FALSE(inside(id, window.thi));
+  }
+}
+
+TEST_P(QueryTest, PointKnnMatchesBruteForce) {
+  Rng rng(75);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Vec2 p{rng.Uniform(0.0, 1.0), rng.Uniform(0.0, 1.0)};
+    const TimeInterval period{rng.Uniform(0.0, 0.4),
+                              rng.Uniform(0.6, 1.0)};
+    const auto got = PointKnn(*index_, p, period, 3);
+    ASSERT_EQ(got.size(), 3u);
+
+    std::vector<NnResult> brute;
+    for (const Trajectory& t : store_.trajectories()) {
+      brute.push_back({t.id(), BruteForcePointDist(p, t, period)});
+    }
+    std::sort(brute.begin(), brute.end(),
+              [](const NnResult& a, const NnResult& b) {
+                if (a.distance != b.distance) return a.distance < b.distance;
+                return a.id < b.id;
+              });
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].id, brute[i].id) << "rank " << i;
+      EXPECT_NEAR(got[i].distance, brute[i].distance, 2e-3);
+    }
+    // Exact analytic distances must lower-bound the sampled ones.
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_LE(got[i].distance, brute[i].distance + 1e-9);
+    }
+  }
+}
+
+TEST_P(QueryTest, TrajectoryKnnMatchesBruteForce) {
+  Rng rng(77);
+  for (int trial = 0; trial < 6; ++trial) {
+    const Trajectory& base =
+        store_.trajectories()[rng.UniformIndex(store_.size())];
+    const double begin = rng.Uniform(0.0, 0.6);
+    const TimeInterval period{begin, begin + 0.3};
+    const Trajectory query(9999, base.Slice(period)->samples());
+
+    const auto got = TrajectoryKnn(*index_, query, period, 3);
+    ASSERT_EQ(got.size(), 3u);
+    // The source trajectory is at distance 0 from its own slice.
+    EXPECT_EQ(got[0].id, base.id());
+    EXPECT_NEAR(got[0].distance, 0.0, 1e-12);
+
+    std::vector<NnResult> brute;
+    for (const Trajectory& t : store_.trajectories()) {
+      brute.push_back({t.id(), BruteForceTrajDist(query, t, period)});
+    }
+    std::sort(brute.begin(), brute.end(),
+              [](const NnResult& a, const NnResult& b) {
+                if (a.distance != b.distance) return a.distance < b.distance;
+                return a.id < b.id;
+              });
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].id, brute[i].id) << "rank " << i;
+      EXPECT_NEAR(got[i].distance, brute[i].distance, 2e-3);
+    }
+  }
+}
+
+TEST_P(QueryTest, KnnPrunes) {
+  index_->ResetAccessCounters();
+  PointKnn(*index_, {0.5, 0.5}, {0.45, 0.55}, 1);
+  EXPECT_LT(index_->node_accesses(), index_->NodeCount() / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, QueryTest,
+                         ::testing::Values(IndexKind::kRTree3D,
+                                           IndexKind::kTBTree,
+                                           IndexKind::kSTRTree),
+                         [](const ::testing::TestParamInfo<IndexKind>& info) {
+                           switch (info.param) {
+                             case IndexKind::kRTree3D:
+                               return "RTree3D";
+                             case IndexKind::kTBTree:
+                               return "TBTree";
+                             case IndexKind::kSTRTree:
+                               return "STRTree";
+                           }
+                           return "unknown";
+                         });
+
+TEST(QueryEdgeTest, EmptyIndex) {
+  RTree3D index;
+  EXPECT_TRUE(RangeSegments(index, Mbb3()).empty());
+  EXPECT_TRUE(PointKnn(index, {0, 0}, {0.0, 1.0}, 2).empty());
+}
+
+TEST(QueryEdgeTest, KnnReturnsFewerWhenPeriodMissesEveryone) {
+  const TrajectoryStore store = SmallStore(5, 20, 79);
+  RTree3D index;
+  index.BuildFrom(store);
+  // Period after every trajectory's lifespan.
+  const auto got = PointKnn(index, {0.5, 0.5}, {5.0, 6.0}, 3);
+  EXPECT_TRUE(got.empty());
+}
+
+}  // namespace
+}  // namespace mst

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/gen/gstd.h"
+#include "src/query/selectivity.h"
+#include "src/util/random.h"
+#include "src/util/stats.h"
+
+namespace mst {
+namespace {
+
+TrajectoryStore DenseStore() {
+  GstdOptions opt;
+  opt.num_objects = 40;
+  opt.samples_per_object = 200;
+  opt.timestamp_jitter = 0.3;
+  opt.seed = 91;
+  return GenerateGstd(opt);
+}
+
+int64_t BruteForceRangeCount(const TrajectoryStore& store,
+                             const Mbb3& window) {
+  int64_t count = 0;
+  for (const Trajectory& t : store.trajectories()) {
+    for (size_t i = 0; i + 1 < t.size(); ++i) {
+      if (Mbb3::OfSegment(t.sample(i), t.sample(i + 1)).Intersects(window)) {
+        ++count;
+      }
+    }
+  }
+  return count;
+}
+
+TEST(SelectivityTest, TotalMassEqualsSegmentCount) {
+  const TrajectoryStore store = DenseStore();
+  const auto est = SelectivityEstimator::Build(store);
+  EXPECT_DOUBLE_EQ(est.total(),
+                   static_cast<double>(store.TotalSegments()));
+}
+
+TEST(SelectivityTest, FullDomainWindowEstimatesEverything) {
+  const TrajectoryStore store = DenseStore();
+  const auto est = SelectivityEstimator::Build(store);
+  const double count = est.EstimateRangeCount(est.domain());
+  EXPECT_NEAR(count, est.total(), 1e-6 * est.total());
+  EXPECT_NEAR(est.EstimateRangeSelectivity(est.domain()), 1.0, 1e-9);
+}
+
+TEST(SelectivityTest, DisjointWindowEstimatesZero) {
+  const TrajectoryStore store = DenseStore();
+  const auto est = SelectivityEstimator::Build(store);
+  Mbb3 far;
+  far.xlo = 100;
+  far.xhi = 101;
+  far.ylo = 100;
+  far.yhi = 101;
+  far.tlo = 100;
+  far.thi = 101;
+  EXPECT_DOUBLE_EQ(est.EstimateRangeCount(far), 0.0);
+}
+
+TEST(SelectivityTest, EmptyStore) {
+  const TrajectoryStore store;
+  const auto est = SelectivityEstimator::Build(store);
+  EXPECT_DOUBLE_EQ(est.total(), 0.0);
+  EXPECT_DOUBLE_EQ(est.EstimateRangeSelectivity(Mbb3()), 0.0);
+}
+
+TEST(SelectivityTest, MonotoneInWindowGrowth) {
+  const TrajectoryStore store = DenseStore();
+  const auto est = SelectivityEstimator::Build(store);
+  Mbb3 small;
+  small.xlo = 0.4;
+  small.xhi = 0.6;
+  small.ylo = 0.4;
+  small.yhi = 0.6;
+  small.tlo = 0.4;
+  small.thi = 0.6;
+  Mbb3 big = small;
+  big.xlo = 0.2;
+  big.xhi = 0.8;
+  big.ylo = 0.2;
+  big.yhi = 0.8;
+  EXPECT_LE(est.EstimateRangeCount(small), est.EstimateRangeCount(big));
+}
+
+TEST(SelectivityTest, TracksBruteForceWithinReason) {
+  // Uniformity-assumption estimators are approximate; require the estimate
+  // to be within a factor of ~2 on medium windows and well-correlated
+  // overall for a smooth synthetic dataset.
+  const TrajectoryStore store = DenseStore();
+  SelectivityEstimator::Options opt;
+  opt.bins_x = 24;
+  opt.bins_y = 24;
+  opt.bins_t = 24;
+  const auto est = SelectivityEstimator::Build(store, opt);
+
+  Rng rng(93);
+  RunningStats ratio;
+  for (int trial = 0; trial < 40; ++trial) {
+    Mbb3 window;
+    window.xlo = rng.Uniform(0.0, 0.6);
+    window.xhi = window.xlo + rng.Uniform(0.2, 0.4);
+    window.ylo = rng.Uniform(0.0, 0.6);
+    window.yhi = window.ylo + rng.Uniform(0.2, 0.4);
+    window.tlo = rng.Uniform(0.0, 0.6);
+    window.thi = window.tlo + rng.Uniform(0.2, 0.4);
+    const int64_t actual = BruteForceRangeCount(store, window);
+    const double estimate = est.EstimateRangeCount(window);
+    if (actual < 50) continue;  // tiny counts are noisy for any histogram
+    const double r = estimate / static_cast<double>(actual);
+    ratio.Add(r);
+    EXPECT_GT(r, 0.4) << "window grossly under-estimated";
+    EXPECT_LT(r, 2.5) << "window grossly over-estimated";
+  }
+  ASSERT_GT(ratio.count(), 10);
+  EXPECT_NEAR(ratio.mean(), 1.0, 0.35);
+}
+
+TEST(SelectivityTest, FinerGridsEstimateBetterOnAverage) {
+  const TrajectoryStore store = DenseStore();
+  SelectivityEstimator::Options coarse;
+  coarse.bins_x = coarse.bins_y = coarse.bins_t = 4;
+  SelectivityEstimator::Options fine;
+  fine.bins_x = fine.bins_y = fine.bins_t = 32;
+  const auto est_coarse = SelectivityEstimator::Build(store, coarse);
+  const auto est_fine = SelectivityEstimator::Build(store, fine);
+
+  Rng rng(95);
+  double err_coarse = 0.0;
+  double err_fine = 0.0;
+  int n = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    Mbb3 window;
+    window.xlo = rng.Uniform(0.0, 0.7);
+    window.xhi = window.xlo + rng.Uniform(0.1, 0.3);
+    window.ylo = rng.Uniform(0.0, 0.7);
+    window.yhi = window.ylo + rng.Uniform(0.1, 0.3);
+    window.tlo = rng.Uniform(0.0, 0.7);
+    window.thi = window.tlo + rng.Uniform(0.1, 0.3);
+    const double actual =
+        static_cast<double>(BruteForceRangeCount(store, window));
+    if (actual < 20) continue;
+    err_coarse += std::abs(est_coarse.EstimateRangeCount(window) - actual) /
+                  actual;
+    err_fine += std::abs(est_fine.EstimateRangeCount(window) - actual) /
+                actual;
+    ++n;
+  }
+  ASSERT_GT(n, 5);
+  EXPECT_LT(err_fine, err_coarse);
+}
+
+}  // namespace
+}  // namespace mst

@@ -1,0 +1,305 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/sim/dtw.h"
+#include "src/sim/edr.h"
+#include "src/sim/lcss.h"
+#include "src/sim/owd.h"
+#include "src/sim/preprocess.h"
+#include "src/util/random.h"
+#include "tests/test_util.h"
+
+namespace mst {
+namespace {
+
+using testing_util::RandomIrregularTrajectory;
+using testing_util::RandomTrajectory;
+
+Trajectory FromPoints(TrajectoryId id, std::vector<Vec2> pts) {
+  std::vector<TPoint> samples;
+  for (size_t i = 0; i < pts.size(); ++i) {
+    samples.push_back({static_cast<double>(i), pts[i]});
+  }
+  return Trajectory(id, std::move(samples));
+}
+
+TEST(PreprocessTest, StdDevKnownValues) {
+  const Trajectory t = FromPoints(1, {{0, 0}, {2, 4}, {4, 8}});
+  const AxisStd s = StdDev(t);
+  // Population std of {0,2,4} = sqrt(8/3); of {0,4,8} = 2·sqrt(8/3).
+  EXPECT_NEAR(s.sx, std::sqrt(8.0 / 3.0), 1e-12);
+  EXPECT_NEAR(s.sy, 2.0 * std::sqrt(8.0 / 3.0), 1e-12);
+}
+
+TEST(PreprocessTest, NormalizeGivesZeroMeanUnitStd) {
+  Rng rng(111);
+  const Trajectory t = RandomTrajectory(&rng, 1, 50);
+  const Trajectory n = Normalize(t);
+  const AxisStd s = StdDev(n);
+  EXPECT_NEAR(s.sx, 1.0, 1e-9);
+  EXPECT_NEAR(s.sy, 1.0, 1e-9);
+  double mx = 0.0;
+  double my = 0.0;
+  for (const TPoint& p : n.samples()) {
+    mx += p.p.x;
+    my += p.p.y;
+  }
+  EXPECT_NEAR(mx / static_cast<double>(n.size()), 0.0, 1e-9);
+  EXPECT_NEAR(my / static_cast<double>(n.size()), 0.0, 1e-9);
+}
+
+TEST(PreprocessTest, NormalizeHandlesDegenerateAxis) {
+  // Constant y: only centering on that axis, no division by zero.
+  const Trajectory t = FromPoints(1, {{0, 5}, {1, 5}, {2, 5}});
+  const Trajectory n = Normalize(t);
+  for (const TPoint& p : n.samples()) EXPECT_DOUBLE_EQ(p.p.y, 0.0);
+}
+
+TEST(PreprocessTest, MaxStdDevOverStore) {
+  TrajectoryStore store;
+  store.Add(FromPoints(1, {{0, 0}, {1, 0}}));
+  store.Add(FromPoints(2, {{0, 0}, {100, 0}}));
+  EXPECT_NEAR(MaxStdDev(store), 50.0, 1e-12);
+}
+
+TEST(PreprocessTest, ResampleAtInterpolates) {
+  const Trajectory t = FromPoints(1, {{0, 0}, {2, 2}, {4, 4}});  // t = 0,1,2
+  const Trajectory r = ResampleAt(t, {0.5, 1.5});
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(r.sample(0).p, (Vec2{1.0, 1.0}));
+  EXPECT_EQ(r.sample(1).p, (Vec2{3.0, 3.0}));
+}
+
+TEST(PreprocessTest, ResampleClampsOutsideLifespan) {
+  const Trajectory t = FromPoints(1, {{0, 0}, {2, 2}});  // t in [0, 1]
+  const Trajectory r = ResampleAt(t, {-1.0, 0.5, 9.0});
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_EQ(r.sample(0).p, (Vec2{0.0, 0.0}));
+  EXPECT_EQ(r.sample(2).p, (Vec2{2.0, 2.0}));
+}
+
+TEST(LcssTest, IdenticalSequencesMatchFully) {
+  Rng rng(113);
+  const Trajectory t = RandomTrajectory(&rng, 1, 30);
+  const Trajectory copy(2, t.samples());
+  LcssOptions opt;
+  opt.epsilon = 0.01;
+  EXPECT_EQ(LcssLength(t, copy, opt), 30);
+  EXPECT_DOUBLE_EQ(LcssSimilarity(t, copy, opt), 1.0);
+  EXPECT_DOUBLE_EQ(LcssDistance(t, copy, opt), 0.0);
+}
+
+TEST(LcssTest, DisjointSequencesMatchNothing) {
+  const Trajectory a = FromPoints(1, {{0, 0}, {1, 0}, {2, 0}});
+  const Trajectory b = FromPoints(2, {{100, 100}, {101, 100}, {102, 100}});
+  LcssOptions opt;
+  opt.epsilon = 1.0;
+  EXPECT_EQ(LcssLength(a, b, opt), 0);
+  EXPECT_DOUBLE_EQ(LcssDistance(a, b, opt), 1.0);
+}
+
+TEST(LcssTest, KnownSubsequence) {
+  // b contains a's points with one outlier inserted; all of a matches.
+  const Trajectory a = FromPoints(1, {{0, 0}, {1, 1}, {2, 2}});
+  const Trajectory b =
+      FromPoints(2, {{0, 0}, {50, 50}, {1, 1}, {2, 2}});
+  LcssOptions opt;
+  opt.epsilon = 0.1;
+  EXPECT_EQ(LcssLength(a, b, opt), 3);
+  EXPECT_DOUBLE_EQ(LcssSimilarity(a, b, opt), 1.0);  // min length = 3
+}
+
+TEST(LcssTest, DeltaWindowRestrictsWarping) {
+  // Matching pair appears far apart in index space: a tight window loses it.
+  const Trajectory a =
+      FromPoints(1, {{0, 0}, {9, 9}, {9, 9}, {9, 9}, {9, 9}, {9, 9}});
+  const Trajectory b =
+      FromPoints(2, {{5, 5}, {5, 5}, {5, 5}, {5, 5}, {5, 5}, {0, 0}});
+  LcssOptions tight;
+  tight.epsilon = 0.1;
+  tight.delta = 1;
+  EXPECT_EQ(LcssLength(a, b, tight), 0);
+  LcssOptions loose = tight;
+  loose.delta = -1;
+  EXPECT_EQ(LcssLength(a, b, loose), 1);
+}
+
+TEST(LcssTest, SymmetricWithoutWindow) {
+  Rng rng(115);
+  const Trajectory a = RandomTrajectory(&rng, 1, 25);
+  const Trajectory b = RandomTrajectory(&rng, 2, 31);
+  LcssOptions opt;
+  opt.epsilon = 0.5;
+  EXPECT_EQ(LcssLength(a, b, opt), LcssLength(b, a, opt));
+}
+
+TEST(LcssTest, InterpolatedVariantHandlesUndersampling) {
+  // A straight path sampled at 3 points vs the same path at 31 points:
+  // plain LCSS can match at most 3 pairs (similarity vs the short length is
+  // fine) — the interesting case is the compressed *query* against dense
+  // data: LCSS-I resamples and matches everything.
+  std::vector<TPoint> dense;
+  for (int i = 0; i <= 30; ++i) {
+    dense.push_back({static_cast<double>(i), {i * 1.0, i * 0.5}});
+  }
+  const Trajectory data(1, dense);
+  const Trajectory query(
+      2, {{0.0, {0, 0}}, {15.0, {15, 7.5}}, {30.0, {30, 15}}});
+  LcssOptions opt;
+  opt.epsilon = 0.01;
+  EXPECT_DOUBLE_EQ(LcssDistanceInterpolated(query, data, opt), 0.0);
+}
+
+TEST(EdrTest, IdenticalIsZero) {
+  Rng rng(117);
+  const Trajectory t = RandomTrajectory(&rng, 1, 20);
+  const Trajectory copy(2, t.samples());
+  EdrOptions opt;
+  opt.epsilon = 0.01;
+  EXPECT_EQ(EdrDistance(t, copy, opt), 0);
+}
+
+TEST(EdrTest, CompletelyDifferentCostsMaxLength) {
+  const Trajectory a = FromPoints(1, {{0, 0}, {1, 0}, {2, 0}});
+  const Trajectory b =
+      FromPoints(2, {{50, 50}, {51, 50}, {52, 50}, {53, 50}});
+  EdrOptions opt;
+  opt.epsilon = 0.5;
+  EXPECT_EQ(EdrDistance(a, b, opt), 4);  // replace 3 + insert 1
+  EXPECT_DOUBLE_EQ(EdrDistanceNormalized(a, b, opt), 1.0);
+}
+
+TEST(EdrTest, SingleOutlierCostsOne) {
+  const Trajectory a = FromPoints(1, {{0, 0}, {1, 1}, {2, 2}});
+  const Trajectory b = FromPoints(2, {{0, 0}, {99, 99}, {2, 2}});
+  EdrOptions opt;
+  opt.epsilon = 0.1;
+  EXPECT_EQ(EdrDistance(a, b, opt), 1);
+}
+
+TEST(EdrTest, LengthDifferenceLowerBound) {
+  // EDR(A, Ac) >= n − m (the §5.2 analysis of why EDR fails on compressed
+  // queries).
+  Rng rng(119);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Trajectory a = RandomTrajectory(&rng, 1, 40);
+    std::vector<TPoint> sub;
+    for (size_t i = 0; i < a.size(); i += 4) sub.push_back(a.sample(i));
+    const Trajectory ac(2, sub);
+    EdrOptions opt;
+    opt.epsilon = 0.25;
+    EXPECT_GE(EdrDistance(a, ac, opt),
+              static_cast<int>(a.size() - ac.size()));
+  }
+}
+
+TEST(EdrTest, SymmetricDistance) {
+  Rng rng(121);
+  const Trajectory a = RandomTrajectory(&rng, 1, 18);
+  const Trajectory b = RandomTrajectory(&rng, 2, 27);
+  EdrOptions opt;
+  opt.epsilon = 0.3;
+  EXPECT_EQ(EdrDistance(a, b, opt), EdrDistance(b, a, opt));
+}
+
+TEST(EdrTest, InterpolatedVariantRemovesLengthPenalty) {
+  std::vector<TPoint> dense;
+  for (int i = 0; i <= 40; ++i) {
+    dense.push_back({static_cast<double>(i), {i * 1.0, 0.0}});
+  }
+  const Trajectory data(1, dense);
+  const Trajectory query(2, {{0.0, {0, 0}}, {40.0, {40, 0}}});
+  EdrOptions opt;
+  opt.epsilon = 0.01;
+  EXPECT_GE(EdrDistance(query, data, opt), 39);  // raw: length penalty
+  EXPECT_EQ(EdrDistanceInterpolated(query, data, opt), 0);
+}
+
+TEST(OwdTest, PointToPolylineKnownGeometry) {
+  const Trajectory t = FromPoints(1, {{0, 0}, {10, 0}});
+  EXPECT_DOUBLE_EQ(PointToPolylineDistance({5, 3}, t), 3.0);
+  EXPECT_DOUBLE_EQ(PointToPolylineDistance({-4, 3}, t), 5.0);  // clamp to end
+  EXPECT_DOUBLE_EQ(PointToPolylineDistance({7, 0}, t), 0.0);
+}
+
+TEST(OwdTest, IdenticalShapesGiveZero) {
+  Rng rng(211);
+  const Trajectory t = RandomTrajectory(&rng, 1, 25);
+  const Trajectory copy(2, t.samples());
+  EXPECT_NEAR(OwdDistance(t, copy), 0.0, 1e-12);
+}
+
+TEST(OwdTest, ParallelLinesGiveOffset) {
+  const Trajectory a = FromPoints(1, {{0, 0}, {10, 0}});
+  const Trajectory b = FromPoints(2, {{0, 2}, {10, 2}});
+  EXPECT_NEAR(OwdDistance(a, b), 2.0, 1e-9);
+}
+
+TEST(OwdTest, TimeAndSamplingInvariant) {
+  // Same curve sampled at 3 vs 31 points, with totally different
+  // timestamps: OWD must be ~0 (it is a pure shape measure).
+  std::vector<TPoint> dense;
+  for (int i = 0; i <= 30; ++i) {
+    dense.push_back({i * 7.0, {i * 1.0, i * 0.5}});
+  }
+  const Trajectory a(1, dense);
+  const Trajectory b(2, {{0.0, {0, 0}}, {1.0, {15, 7.5}}, {2.0, {30, 15}}});
+  EXPECT_NEAR(OwdDistance(a, b), 0.0, 1e-9);
+}
+
+TEST(OwdTest, SymmetricByConstruction) {
+  Rng rng(213);
+  const Trajectory a = RandomTrajectory(&rng, 1, 15);
+  const Trajectory b = RandomTrajectory(&rng, 2, 28);
+  EXPECT_DOUBLE_EQ(OwdDistance(a, b), OwdDistance(b, a));
+}
+
+TEST(OwdTest, DirectedIsAsymmetricForContainment) {
+  // b is a small piece of a: every point of b is ON a (directed b→a = 0)
+  // but a strays far from b.
+  const Trajectory a = FromPoints(1, {{0, 0}, {10, 0}, {10, 10}});
+  const Trajectory b = FromPoints(2, {{0, 0}, {2, 0}});
+  EXPECT_NEAR(OwdDirected(b, a), 0.0, 1e-12);
+  EXPECT_GT(OwdDirected(a, b), 1.0);
+}
+
+TEST(OwdTest, SinglePointTrajectories) {
+  const Trajectory p(1, {{0.0, {3, 4}}});
+  const Trajectory line = FromPoints(2, {{0, 0}, {0, 8}});
+  EXPECT_DOUBLE_EQ(OwdDirected(p, line), 3.0);
+  EXPECT_GT(OwdDistance(p, line), 0.0);
+}
+
+TEST(DtwTest, IdenticalIsZero) {
+  Rng rng(123);
+  const Trajectory t = RandomTrajectory(&rng, 1, 22);
+  const Trajectory copy(2, t.samples());
+  EXPECT_NEAR(DtwDistance(t, copy), 0.0, 1e-12);
+}
+
+TEST(DtwTest, KnownSmallCase) {
+  const Trajectory a = FromPoints(1, {{0, 0}, {1, 0}});
+  const Trajectory b = FromPoints(2, {{0, 0}, {0, 0}, {1, 0}});
+  // Optimal path: (0,0)-(0,0) cost 0, (0,0)-(0,0) cost 0, (1,0)-(1,0) cost 0.
+  EXPECT_NEAR(DtwDistance(a, b), 0.0, 1e-12);
+}
+
+TEST(DtwTest, BandWidensForLengthMismatch) {
+  const Trajectory a = FromPoints(1, {{0, 0}, {1, 0}, {2, 0}, {3, 0}, {4, 0},
+                                      {5, 0}, {6, 0}, {7, 0}});
+  const Trajectory b = FromPoints(2, {{0, 0}, {7, 0}});
+  DtwOptions opt;
+  opt.window = 0;  // would admit no path without widening
+  EXPECT_TRUE(std::isfinite(DtwDistance(a, b, opt)));
+}
+
+TEST(DtwTest, TriangleOfScaledCosts) {
+  // DTW grows when a point is displaced.
+  const Trajectory a = FromPoints(1, {{0, 0}, {1, 0}, {2, 0}});
+  const Trajectory b = FromPoints(2, {{0, 0}, {1, 3}, {2, 0}});
+  EXPECT_NEAR(DtwDistance(a, b), 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace mst

@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "src/core/linear_scan.h"
+#include "src/core/mst_search.h"
+#include "src/gen/gstd.h"
+#include "src/index/rtree3d.h"
+#include "src/index/strtree.h"
+#include "src/util/random.h"
+
+namespace mst {
+namespace {
+
+void CollectAll(const TrajectoryIndex& index, PageId page,
+                std::vector<LeafEntry>* out) {
+  const IndexNode node = index.ReadNode(page);
+  if (node.IsLeaf()) {
+    out->insert(out->end(), node.leaves.begin(), node.leaves.end());
+    return;
+  }
+  for (const InternalEntry& e : node.internals) {
+    CollectAll(index, e.child, out);
+  }
+}
+
+std::multiset<std::pair<TrajectoryId, double>> Keys(
+    const std::vector<LeafEntry>& entries) {
+  std::multiset<std::pair<TrajectoryId, double>> keys;
+  for (const LeafEntry& e : entries) keys.insert({e.traj_id, e.t0});
+  return keys;
+}
+
+TrajectoryStore SmallStore(int objects, int samples, uint64_t seed) {
+  GstdOptions opt;
+  opt.num_objects = objects;
+  opt.samples_per_object = samples;
+  opt.seed = seed;
+  return GenerateGstd(opt);
+}
+
+class STRTreeBuildTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(STRTreeBuildTest, InvariantsAndCompleteness) {
+  const int num_objects = GetParam();
+  const TrajectoryStore store =
+      SmallStore(num_objects, 150, 3000 + static_cast<uint64_t>(num_objects));
+  STRTree tree;
+  tree.BuildFrom(store);
+  tree.CheckInvariants();  // includes parent-pointer validation
+  EXPECT_EQ(tree.EntryCount(), store.TotalSegments());
+
+  std::vector<LeafEntry> collected;
+  CollectAll(tree, tree.root(), &collected);
+  std::vector<LeafEntry> expected;
+  for (const Trajectory& t : store.trajectories()) {
+    for (size_t i = 0; i + 1 < t.size(); ++i) {
+      expected.push_back(LeafEntry::Of(t.id(), t.sample(i), t.sample(i + 1)));
+    }
+  }
+  EXPECT_EQ(Keys(collected), Keys(expected));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, STRTreeBuildTest,
+                         ::testing::Values(1, 4, 12, 30));
+
+TEST(STRTreeTest, SingleTrajectoryDeepTree) {
+  // One long trajectory exercises the chronological preservation splits all
+  // the way through several tree levels.
+  STRTree tree;
+  TrajectoryStore store;
+  std::vector<TPoint> samples;
+  Rng rng(51);
+  double x = 0.0;
+  double y = 0.0;
+  const int n = IndexNode::kCapacity * 20;
+  for (int i = 0; i <= n; ++i) {
+    samples.push_back({static_cast<double>(i), {x, y}});
+    x += rng.Uniform(-1.0, 1.0);
+    y += rng.Uniform(-1.0, 1.0);
+  }
+  store.Add(Trajectory(5, std::move(samples)));
+  tree.BuildFrom(store);
+  tree.CheckInvariants();
+  EXPECT_GE(tree.height(), 2);
+  std::vector<LeafEntry> collected;
+  CollectAll(tree, tree.root(), &collected);
+  EXPECT_EQ(static_cast<int>(collected.size()), n);
+  // One trajectory appended in order: preservation should be near-perfect.
+  EXPECT_GT(tree.PreservationRatio(), 0.95);
+}
+
+TEST(STRTreeTest, PreservesTrajectoriesBetterThanPlainRTree) {
+  const TrajectoryStore store = SmallStore(20, 400, 57);
+  STRTree str;
+  str.BuildFrom(store);
+  RTree3D rtree;
+  rtree.BuildFrom(store);
+
+  // Plain R-tree scatter: measure its co-location the same way.
+  struct Placed {
+    TrajectoryId id;
+    double t0;
+    PageId leaf;
+  };
+  std::vector<Placed> placed;
+  std::vector<PageId> stack = {rtree.root()};
+  while (!stack.empty()) {
+    const PageId page = stack.back();
+    stack.pop_back();
+    const IndexNode node = rtree.ReadNode(page);
+    if (node.IsLeaf()) {
+      for (const LeafEntry& e : node.leaves) {
+        placed.push_back({e.traj_id, e.t0, page});
+      }
+    } else {
+      for (const InternalEntry& e : node.internals) stack.push_back(e.child);
+    }
+  }
+  std::sort(placed.begin(), placed.end(),
+            [](const Placed& a, const Placed& b) {
+              if (a.id != b.id) return a.id < b.id;
+              return a.t0 < b.t0;
+            });
+  int64_t pairs = 0;
+  int64_t together = 0;
+  for (size_t i = 1; i < placed.size(); ++i) {
+    if (placed[i].id != placed[i - 1].id) continue;
+    ++pairs;
+    if (placed[i].leaf == placed[i - 1].leaf) ++together;
+  }
+  const double rtree_ratio =
+      pairs > 0 ? static_cast<double>(together) / static_cast<double>(pairs)
+                : 1.0;
+
+  EXPECT_GT(str.PreservationRatio(), rtree_ratio);
+  EXPECT_GT(str.PreservationRatio(), 0.9);
+}
+
+TEST(STRTreeTest, TailLeafTracksNewestSegment) {
+  STRTree tree;
+  for (int i = 0; i < IndexNode::kCapacity * 3; ++i) {
+    tree.Insert(LeafEntry::Of(1, {static_cast<double>(i), {i * 1.0, 0.0}},
+                              {i + 1.0, {i + 1.0, 0.0}}));
+    const PageId tail = tree.TailLeaf(1);
+    ASSERT_NE(tail, kInvalidPageId);
+    const IndexNode leaf = tree.ReadNode(tail);
+    bool found = false;
+    for (const LeafEntry& e : leaf.leaves) {
+      found = found || e.t0 == static_cast<double>(i);
+    }
+    EXPECT_TRUE(found) << "newest segment not in the tracked tail leaf";
+  }
+  tree.CheckInvariants();
+}
+
+TEST(STRTreeTest, BfmstMatchesLinearScanOnStrTree) {
+  // The paper's §4.5 claim: the MST algorithm runs unchanged on any
+  // R-tree-family index. Run the ground-truth equivalence on the STR-tree.
+  const TrajectoryStore store = SmallStore(30, 120, 61);
+  STRTree tree;
+  tree.BuildFrom(store);
+  tree.ConfigurePaperBuffer();
+  const BFMstSearch searcher(&tree, &store);
+
+  Rng rng(63);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Trajectory& base =
+        store.trajectories()[rng.UniformIndex(store.size())];
+    const double begin = rng.Uniform(0.0, 0.7);
+    const Trajectory query(
+        9999, base.Slice({begin, begin + 0.25})->samples());
+    for (const int k : {1, 4}) {
+      MstOptions options;
+      options.k = k;
+      const auto got = searcher.Search(query, query.Lifespan(), options);
+      const auto want = LinearScanKMst(store, query, query.Lifespan(), k,
+                                       IntegrationPolicy::kExact);
+      ASSERT_EQ(got.size(), want.size());
+      for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].id, want[i].id) << "k=" << k << " rank " << i;
+        EXPECT_NEAR(got[i].dissim, want[i].dissim, 1e-9);
+      }
+    }
+  }
+}
+
+TEST(STRTreeTest, OutOfOrderSegmentsFallBackToStandardInsert) {
+  // Unlike the TB-tree, the STR-tree accepts out-of-order arrivals (it just
+  // loses preservation for them).
+  STRTree tree;
+  tree.Insert(LeafEntry::Of(1, {5.0, {5, 0}}, {6.0, {6, 0}}));
+  tree.Insert(LeafEntry::Of(1, {0.0, {0, 0}}, {1.0, {1, 0}}));
+  tree.Insert(LeafEntry::Of(1, {6.0, {6, 0}}, {7.0, {7, 0}}));
+  tree.CheckInvariants();
+  std::vector<LeafEntry> collected;
+  CollectAll(tree, tree.root(), &collected);
+  EXPECT_EQ(collected.size(), 3u);
+}
+
+}  // namespace
+}  // namespace mst

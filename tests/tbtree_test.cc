@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "src/gen/gstd.h"
+#include "src/index/tbtree.h"
+#include "src/util/random.h"
+
+namespace mst {
+namespace {
+
+void CollectAll(const TrajectoryIndex& index, PageId page,
+                std::vector<LeafEntry>* out) {
+  const IndexNode node = index.ReadNode(page);
+  if (node.IsLeaf()) {
+    out->insert(out->end(), node.leaves.begin(), node.leaves.end());
+    return;
+  }
+  for (const InternalEntry& e : node.internals) {
+    CollectAll(index, e.child, out);
+  }
+}
+
+TrajectoryStore SmallStore(int objects, int samples, uint64_t seed) {
+  GstdOptions opt;
+  opt.num_objects = objects;
+  opt.samples_per_object = samples;
+  opt.seed = seed;
+  return GenerateGstd(opt);
+}
+
+TEST(TBTreeTest, SingleTrajectorySingleLeaf) {
+  TBTree tree;
+  for (int i = 0; i < 10; ++i) {
+    tree.Insert(LeafEntry::Of(
+        1, {static_cast<double>(i), {i * 1.0, 0.0}},
+        {i + 1.0, {i + 1.0, 0.0}}));
+  }
+  EXPECT_EQ(tree.height(), 1);
+  tree.CheckInvariants();
+  tree.CheckTBInvariants();
+  EXPECT_EQ(tree.HeadLeaf(1), tree.TailLeaf(1));
+  const std::vector<LeafEntry> segs = tree.RetrieveTrajectory(1);
+  ASSERT_EQ(segs.size(), 10u);
+  for (size_t i = 1; i < segs.size(); ++i) {
+    EXPECT_LE(segs[i - 1].t1, segs[i].t0 + 1e-12);
+  }
+}
+
+TEST(TBTreeTest, LeafChainGrowsPastOneLeaf) {
+  TBTree tree;
+  const int n = IndexNode::kCapacity * 3 + 5;
+  for (int i = 0; i < n; ++i) {
+    tree.Insert(LeafEntry::Of(
+        1, {static_cast<double>(i), {i * 1.0, 0.0}},
+        {i + 1.0, {i + 1.0, 0.0}}));
+  }
+  tree.CheckInvariants();
+  tree.CheckTBInvariants();
+  EXPECT_NE(tree.HeadLeaf(1), tree.TailLeaf(1));
+  const std::vector<LeafEntry> segs = tree.RetrieveTrajectory(1);
+  EXPECT_EQ(segs.size(), static_cast<size_t>(n));
+}
+
+TEST(TBTreeTest, LeavesHoldSingleTrajectory) {
+  const TrajectoryStore store = SmallStore(12, 300, 21);
+  TBTree tree;
+  tree.BuildFrom(store);
+  tree.CheckInvariants();
+  tree.CheckTBInvariants();
+
+  // Walk all leaves; each must reference exactly one trajectory id — the
+  // defining TB-tree property.
+  std::vector<PageId> stack = {tree.root()};
+  while (!stack.empty()) {
+    const PageId page = stack.back();
+    stack.pop_back();
+    const IndexNode node = tree.ReadNode(page);
+    if (node.IsLeaf()) {
+      ASSERT_FALSE(node.leaves.empty());
+      const TrajectoryId id = node.leaves.front().traj_id;
+      for (const LeafEntry& e : node.leaves) EXPECT_EQ(e.traj_id, id);
+    } else {
+      for (const InternalEntry& e : node.internals) stack.push_back(e.child);
+    }
+  }
+}
+
+TEST(TBTreeTest, CompletenessAcrossManyObjects) {
+  const TrajectoryStore store = SmallStore(25, 120, 23);
+  TBTree tree;
+  tree.BuildFrom(store);
+  EXPECT_EQ(tree.EntryCount(), store.TotalSegments());
+
+  std::vector<LeafEntry> collected;
+  CollectAll(tree, tree.root(), &collected);
+  EXPECT_EQ(static_cast<int64_t>(collected.size()), store.TotalSegments());
+
+  // Per-trajectory retrieval returns each object's full history in order.
+  for (const Trajectory& t : store.trajectories()) {
+    const std::vector<LeafEntry> segs = tree.RetrieveTrajectory(t.id());
+    ASSERT_EQ(segs.size(), t.SegmentCount());
+    for (size_t i = 0; i < segs.size(); ++i) {
+      EXPECT_EQ(segs[i].traj_id, t.id());
+      EXPECT_DOUBLE_EQ(segs[i].t0, t.sample(i).t);
+      EXPECT_DOUBLE_EQ(segs[i].t1, t.sample(i + 1).t);
+    }
+  }
+}
+
+TEST(TBTreeTest, InterleavedInsertionKeepsChainsSeparate) {
+  // Insert two objects' segments alternately — the arrival order of a MOD.
+  TBTree tree;
+  for (int i = 0; i < 100; ++i) {
+    for (TrajectoryId id : {10, 20}) {
+      tree.Insert(LeafEntry::Of(
+          id, {static_cast<double>(i), {i * 1.0, id * 1.0}},
+          {i + 1.0, {i + 1.0, id * 1.0}}));
+    }
+  }
+  tree.CheckInvariants();
+  tree.CheckTBInvariants();
+  EXPECT_EQ(tree.RetrieveTrajectory(10).size(), 100u);
+  EXPECT_EQ(tree.RetrieveTrajectory(20).size(), 100u);
+}
+
+TEST(TBTreeTest, UnknownTrajectoryHasNoChain) {
+  TBTree tree;
+  tree.Insert(LeafEntry::Of(1, {0.0, {0, 0}}, {1.0, {1, 1}}));
+  EXPECT_EQ(tree.HeadLeaf(99), kInvalidPageId);
+  EXPECT_EQ(tree.TailLeaf(99), kInvalidPageId);
+  EXPECT_TRUE(tree.RetrieveTrajectory(99).empty());
+}
+
+TEST(TBTreeTest, SmallerThanRTreeForSameData) {
+  // TB leaves pack one trajectory each; with long trajectories the packing
+  // is dense and Table 2 shows the TB-tree at roughly half the 3D R-tree
+  // size. Verify the direction of the effect.
+  const TrajectoryStore store = SmallStore(10, 500, 27);
+  TBTree tb;
+  tb.BuildFrom(store);
+  EXPECT_EQ(tb.EntryCount(), store.TotalSegments());
+  // Dense packing: pages ≈ segments / capacity, within a small factor.
+  const int64_t ideal_leaves =
+      (store.TotalSegments() + IndexNode::kCapacity - 1) /
+      IndexNode::kCapacity;
+  EXPECT_LE(tb.NodeCount(), ideal_leaves * 2 + 16);
+}
+
+TEST(TBTreeDeathTest, RejectsOutOfOrderSegments) {
+  TBTree tree;
+  tree.Insert(LeafEntry::Of(1, {5.0, {0, 0}}, {6.0, {1, 1}}));
+  EXPECT_DEATH(tree.Insert(LeafEntry::Of(1, {0.0, {0, 0}}, {1.0, {1, 1}})),
+               "temporal insert order");
+}
+
+}  // namespace
+}  // namespace mst

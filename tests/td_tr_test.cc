@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/compress/td_tr.h"
+#include "src/util/random.h"
+#include "tests/test_util.h"
+
+namespace mst {
+namespace {
+
+using testing_util::RandomIrregularTrajectory;
+using testing_util::RandomTrajectory;
+
+TEST(SedTest, OnSegmentIsZero) {
+  const TPoint a{0.0, {0, 0}};
+  const TPoint b{2.0, {4, 4}};
+  const TPoint mid{1.0, {2, 2}};
+  EXPECT_DOUBLE_EQ(SynchronizedEuclideanDistance(mid, a, b), 0.0);
+}
+
+TEST(SedTest, TimeSynchronizedNotPerpendicular) {
+  // Point lies ON the segment's spatial line but at the wrong time: SED is
+  // positive even though perpendicular distance is zero.
+  const TPoint a{0.0, {0, 0}};
+  const TPoint b{2.0, {4, 0}};
+  const TPoint p{0.5, {3, 0}};  // synced position at t=0.5 is (1, 0)
+  EXPECT_DOUBLE_EQ(SynchronizedEuclideanDistance(p, a, b), 2.0);
+}
+
+TEST(SedTest, OffsetPoint) {
+  const TPoint a{0.0, {0, 0}};
+  const TPoint b{2.0, {4, 0}};
+  const TPoint p{1.0, {2, 3}};
+  EXPECT_DOUBLE_EQ(SynchronizedEuclideanDistance(p, a, b), 3.0);
+}
+
+TEST(TdTrTest, KeepsEndpointsAlways) {
+  Rng rng(131);
+  const Trajectory t = RandomTrajectory(&rng, 1, 50);
+  const Trajectory c = TdTrCompress(t, 1e9);
+  ASSERT_GE(c.size(), 2u);
+  EXPECT_EQ(c.samples().front(), t.samples().front());
+  EXPECT_EQ(c.samples().back(), t.samples().back());
+}
+
+TEST(TdTrTest, ZeroToleranceKeepsEverything) {
+  Rng rng(133);
+  const Trajectory t = RandomTrajectory(&rng, 1, 30);
+  const Trajectory c = TdTrCompress(t, 0.0);
+  EXPECT_EQ(c.size(), t.size());
+}
+
+TEST(TdTrTest, StraightLineCollapsesToTwoPoints) {
+  std::vector<TPoint> samples;
+  for (int i = 0; i <= 20; ++i) {
+    samples.push_back({static_cast<double>(i), {i * 2.0, i * 1.0}});
+  }
+  const Trajectory t(1, samples);
+  const Trajectory c = TdTrCompress(t, 1e-9);
+  EXPECT_EQ(c.size(), 2u);
+}
+
+TEST(TdTrTest, ErrorBoundHolds) {
+  // Every dropped sample must be within tolerance of its time-synchronized
+  // position on the compressed trajectory.
+  Rng rng(135);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Trajectory t = RandomIrregularTrajectory(&rng, 1, 80, 0.0, 10.0);
+    const double tol = rng.Uniform(0.05, 1.0);
+    const Trajectory c = TdTrCompress(t, tol);
+    for (const TPoint& s : t.samples()) {
+      const Vec2 synced = *c.PositionAt(s.t);
+      EXPECT_LE(Distance(s.p, synced), tol + 1e-9);
+    }
+  }
+}
+
+TEST(TdTrTest, VertexCountMonotoneInTolerance) {
+  Rng rng(137);
+  const Trajectory t = RandomIrregularTrajectory(&rng, 1, 120, 0.0, 10.0);
+  size_t prev = t.size() + 1;
+  for (const double p : {0.0001, 0.001, 0.01, 0.02, 0.05, 0.1}) {
+    const Trajectory c = TdTrCompressByFraction(t, p);
+    EXPECT_LE(c.size(), prev);
+    prev = c.size();
+  }
+}
+
+TEST(TdTrTest, CompressionActuallyReduces) {
+  // The Figure 8 behaviour: increasing p strips local detail.
+  Rng rng(139);
+  const Trajectory t = RandomIrregularTrajectory(&rng, 1, 150, 0.0, 10.0);
+  const Trajectory c1 = TdTrCompressByFraction(t, 0.01);
+  EXPECT_LT(c1.size(), t.size());
+  const Trajectory c2 = TdTrCompressByFraction(t, 0.10);
+  EXPECT_LT(c2.size(), c1.size() + 1);
+}
+
+TEST(TdTrTest, TwoPointTrajectoryUnchanged) {
+  const Trajectory t(1, {{0.0, {0, 0}}, {1.0, {5, 5}}});
+  const Trajectory c = TdTrCompress(t, 0.5);
+  EXPECT_EQ(c.size(), 2u);
+}
+
+}  // namespace
+}  // namespace mst

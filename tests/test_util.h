@@ -1,0 +1,84 @@
+// Shared helpers for the unit/property tests: deterministic random
+// trajectory builders and reference (brute-force) implementations used to
+// cross-check analytic code paths.
+
+#ifndef MST_TESTS_TEST_UTIL_H_
+#define MST_TESTS_TEST_UTIL_H_
+
+#include <cmath>
+#include <vector>
+
+#include "src/geom/trajectory.h"
+#include "src/util/random.h"
+
+namespace mst {
+namespace testing_util {
+
+/// Random trajectory: `n` samples with unit-ish spacing in time and smooth
+/// random-walk positions inside [0, span]².
+inline Trajectory RandomTrajectory(Rng* rng, TrajectoryId id, int n,
+                                   double t_begin = 0.0, double t_end = 10.0,
+                                   double span = 10.0) {
+  std::vector<TPoint> samples;
+  samples.reserve(static_cast<size_t>(n));
+  double x = rng->Uniform(0.0, span);
+  double y = rng->Uniform(0.0, span);
+  for (int i = 0; i < n; ++i) {
+    const double t = t_begin + (t_end - t_begin) * i / (n - 1);
+    samples.push_back({t, {x, y}});
+    x += rng->Uniform(-0.5, 0.5);
+    y += rng->Uniform(-0.5, 0.5);
+  }
+  return Trajectory(id, std::move(samples));
+}
+
+/// Random trajectory with *irregular* (jittered) timestamps, still spanning
+/// exactly [t_begin, t_end].
+inline Trajectory RandomIrregularTrajectory(Rng* rng, TrajectoryId id, int n,
+                                            double t_begin = 0.0,
+                                            double t_end = 10.0,
+                                            double span = 10.0) {
+  std::vector<double> times;
+  times.reserve(static_cast<size_t>(n));
+  times.push_back(t_begin);
+  for (int i = 1; i < n - 1; ++i) {
+    times.push_back(rng->Uniform(t_begin, t_end));
+  }
+  times.push_back(t_end);
+  std::sort(times.begin(), times.end());
+  for (size_t i = 1; i < times.size(); ++i) {
+    if (times[i] <= times[i - 1]) {
+      times[i] = std::nextafter(times[i - 1], 1e300);
+    }
+  }
+  std::vector<TPoint> samples;
+  samples.reserve(times.size());
+  double x = rng->Uniform(0.0, span);
+  double y = rng->Uniform(0.0, span);
+  for (const double t : times) {
+    samples.push_back({t, {x, y}});
+    x += rng->Uniform(-0.5, 0.5);
+    y += rng->Uniform(-0.5, 0.5);
+  }
+  return Trajectory(id, std::move(samples));
+}
+
+/// Brute-force DISSIM via dense Riemann sampling (midpoint rule, `steps`
+/// subintervals). Both trajectories must cover the period.
+inline double NumericDissim(const Trajectory& q, const Trajectory& t,
+                            double t_begin, double t_end, int steps = 20000) {
+  const double h = (t_end - t_begin) / steps;
+  double sum = 0.0;
+  for (int i = 0; i < steps; ++i) {
+    const double mid = t_begin + (i + 0.5) * h;
+    const Vec2 a = *q.PositionAt(mid);
+    const Vec2 b = *t.PositionAt(mid);
+    sum += Distance(a, b) * h;
+  }
+  return sum;
+}
+
+}  // namespace testing_util
+}  // namespace mst
+
+#endif  // MST_TESTS_TEST_UTIL_H_

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/time_relaxed.h"
+#include "src/gen/gstd.h"
+#include "src/index/rtree3d.h"
+#include "src/util/random.h"
+#include "tests/test_util.h"
+
+namespace mst {
+namespace {
+
+using testing_util::RandomIrregularTrajectory;
+
+TEST(ShiftInTimeTest, ShiftsTimestampsOnly) {
+  const Trajectory t(1, {{0.0, {1, 2}}, {1.0, {3, 4}}});
+  const Trajectory s = ShiftInTime(t, 2.5);
+  EXPECT_DOUBLE_EQ(s.start_time(), 2.5);
+  EXPECT_DOUBLE_EQ(s.end_time(), 3.5);
+  EXPECT_EQ(s.sample(0).p, (Vec2{1, 2}));
+  EXPECT_EQ(s.sample(1).p, (Vec2{3, 4}));
+}
+
+TEST(TimeRelaxedTest, InfeasibleWhenTargetTooShort) {
+  const Trajectory q(1, {{0.0, {0, 0}}, {5.0, {5, 5}}});
+  const Trajectory t(2, {{0.0, {0, 0}}, {2.0, {2, 2}}});
+  EXPECT_FALSE(TimeRelaxedDissim(q, t).has_value());
+}
+
+TEST(TimeRelaxedTest, RecoversKnownShift) {
+  // The target is the query itself delayed by 3 time units, embedded in a
+  // longer lifespan. The optimizer must find shift ≈ 3 with dissim ≈ 0.
+  Rng rng(141);
+  const Trajectory q = RandomIrregularTrajectory(&rng, 1, 25, 0.0, 4.0);
+  std::vector<TPoint> target;
+  // Lead-in: stay at the query's start position from t = 0.
+  target.push_back({0.0, q.sample(0).p});
+  for (const TPoint& s : q.samples()) {
+    target.push_back({s.t + 3.0, s.p});
+  }
+  // Lead-out.
+  target.push_back({12.0, q.samples().back().p});
+  const Trajectory t(2, std::move(target));
+
+  const auto match = TimeRelaxedDissim(q, t, /*coarse_steps=*/128);
+  ASSERT_TRUE(match.has_value());
+  EXPECT_NEAR(match->shift, 3.0, 0.05);
+  EXPECT_NEAR(match->dissim, 0.0, 1e-2);
+}
+
+TEST(TimeRelaxedTest, ZeroShiftWhenAligned) {
+  Rng rng(143);
+  const Trajectory q = RandomIrregularTrajectory(&rng, 1, 20, 1.0, 3.0);
+  const Trajectory t(2, q.samples());
+  const auto match = TimeRelaxedDissim(q, t);
+  ASSERT_TRUE(match.has_value());
+  EXPECT_NEAR(match->shift, 0.0, 1e-6);
+  EXPECT_NEAR(match->dissim, 0.0, 1e-9);
+}
+
+TEST(TimeRelaxedTest, NeverWorseThanAlignedDissim) {
+  Rng rng(145);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Trajectory q = RandomIrregularTrajectory(&rng, 1, 15, 2.0, 5.0);
+    const Trajectory t = RandomIrregularTrajectory(&rng, 2, 40, 0.0, 10.0);
+    const auto match = TimeRelaxedDissim(q, t);
+    ASSERT_TRUE(match.has_value());
+    const double aligned =
+        ComputeDissim(q, t, q.Lifespan(), IntegrationPolicy::kExact).value;
+    EXPECT_LE(match->dissim, aligned + 1e-6);
+  }
+}
+
+TEST(TimeRelaxedTest, KMstRanksByRelaxedDissim) {
+  GstdOptions opt;
+  opt.num_objects = 12;
+  opt.samples_per_object = 60;
+  opt.seed = 147;
+  const TrajectoryStore store = GenerateGstd(opt);
+  // Query: middle slice of object 4, shifted later in time — time-aligned
+  // search would be misled; time-relaxed search must still rank object 4
+  // first.
+  const Trajectory& base = store.trajectories()[4];
+  const Trajectory slice = *base.Slice({0.3, 0.6});
+  const Trajectory query = ShiftInTime(Trajectory(999, slice.samples()), 0.2);
+
+  const auto results = TimeRelaxedKMst(store, query, 3);
+  ASSERT_GE(results.size(), 1u);
+  EXPECT_EQ(results[0].id, base.id());
+  EXPECT_NEAR(results[0].shift, -0.2, 0.05);
+  for (size_t i = 1; i < results.size(); ++i) {
+    EXPECT_LE(results[i - 1].dissim, results[i].dissim);
+  }
+}
+
+TEST(TimeRelaxedIndexTest, MatchesLinearScanVariant) {
+  GstdOptions opt;
+  opt.num_objects = 25;
+  opt.samples_per_object = 80;
+  opt.seed = 149;
+  const TrajectoryStore store = GenerateGstd(opt);
+  RTree3D index;
+  index.BuildFrom(store);
+
+  Rng rng(151);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Trajectory& base =
+        store.trajectories()[rng.UniformIndex(store.size())];
+    const double begin = rng.Uniform(0.1, 0.5);
+    const Trajectory query(
+        991, base.Slice({begin, begin + 0.2})->samples());
+
+    const auto scan = TimeRelaxedKMst(store, query, 3);
+    TimeRelaxedSearchStats stats;
+    const auto indexed = TimeRelaxedIndexKMst(index, store, query, 3,
+                                              kInvalidTrajectoryId, 64,
+                                              &stats);
+    ASSERT_EQ(indexed.size(), scan.size());
+    for (size_t i = 0; i < scan.size(); ++i) {
+      EXPECT_EQ(indexed[i].id, scan[i].id) << "rank " << i;
+      EXPECT_NEAR(indexed[i].dissim, scan[i].dissim, 1e-9);
+      EXPECT_NEAR(indexed[i].shift, scan[i].shift, 1e-9);
+    }
+    // The index must avoid refining every trajectory.
+    EXPECT_LE(stats.candidates_refined,
+              static_cast<int64_t>(store.size()));
+  }
+}
+
+TEST(TimeRelaxedIndexTest, PrunesRefinementsOnClusteredData) {
+  // Two spatial clusters far apart: querying inside one cluster must not
+  // refine the other cluster's trajectories.
+  TrajectoryStore store;
+  Rng rng(153);
+  TrajectoryId next_id = 0;
+  for (const double cx : {0.0, 1000.0}) {
+    for (int i = 0; i < 10; ++i) {
+      std::vector<TPoint> samples;
+      double x = cx + rng.Uniform(0.0, 5.0);
+      double y = rng.Uniform(0.0, 5.0);
+      for (int s = 0; s <= 50; ++s) {
+        samples.push_back({static_cast<double>(s), {x, y}});
+        x += rng.Uniform(-0.2, 0.2);
+        y += rng.Uniform(-0.2, 0.2);
+      }
+      store.Add(Trajectory(next_id++, std::move(samples)));
+    }
+  }
+  RTree3D index;
+  index.BuildFrom(store);
+
+  const Trajectory query(
+      991, store.Get(3).Slice({10.0, 30.0})->samples());
+  TimeRelaxedSearchStats stats;
+  const auto got = TimeRelaxedIndexKMst(index, store, query, 2,
+                                        kInvalidTrajectoryId, 32, &stats);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_LT(got[0].dissim, 1000.0);  // a same-cluster match
+  // At most the near cluster (10 trajectories) got refined.
+  EXPECT_LE(stats.candidates_refined, 10);
+  EXPECT_TRUE(stats.terminated_early);
+}
+
+TEST(TimeRelaxedIndexTest, EmptyIndexGivesNothing) {
+  TrajectoryStore store;
+  RTree3D index;
+  const Trajectory query(1, {{0.0, {0, 0}}, {1.0, {1, 1}}});
+  EXPECT_TRUE(TimeRelaxedIndexKMst(index, store, query, 2).empty());
+}
+
+}  // namespace
+}  // namespace mst

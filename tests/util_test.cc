@@ -1,0 +1,230 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/flags.h"
+#include "src/util/random.h"
+#include "src/util/stats.h"
+#include "src/util/table.h"
+
+namespace mst {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Uniform(-3.0, 5.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIndexCoversRange) {
+  Rng rng(11);
+  std::vector<int> hits(5, 0);
+  for (int i = 0; i < 5000; ++i) {
+    ++hits[rng.UniformIndex(5)];
+  }
+  for (int h : hits) {
+    EXPECT_GT(h, 800);
+    EXPECT_LT(h, 1200);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(13);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.UniformInt(2, 4);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 4);
+    saw_lo = saw_lo || v == 2;
+    saw_hi = saw_hi || v == 4;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, GaussianMomentsRoughlyStandard) {
+  Rng rng(17);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) stats.Add(rng.NextGaussian());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.03);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.03);
+}
+
+TEST(RngTest, LogNormalIsPositive) {
+  Rng rng(19);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GT(rng.LogNormal(1.0, 0.6), 0.0);
+  }
+}
+
+TEST(RngTest, ForkedStreamsAreIndependentlyDeterministic) {
+  Rng a(5);
+  Rng b(5);
+  Rng fa = a.Fork(3);
+  Rng fb = b.Fork(3);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(fa.NextU64(), fb.NextU64());
+  }
+}
+
+TEST(RunningStatsTest, BasicMoments) {
+  RunningStats s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.Add(v);
+  EXPECT_EQ(s.count(), 4);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+  EXPECT_NEAR(s.variance(), 5.0 / 3.0, 1e-12);
+}
+
+TEST(RunningStatsTest, MergeMatchesCombinedStream) {
+  Rng rng(23);
+  RunningStats all;
+  RunningStats a;
+  RunningStats b;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Uniform(-1.0, 9.0);
+    all.Add(v);
+    (i % 2 == 0 ? a : b).Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(FlagParserTest, ParsesAllTypes) {
+  bool flag_b = false;
+  int64_t flag_i = 1;
+  double flag_d = 0.5;
+  std::string flag_s = "x";
+  FlagParser parser;
+  parser.AddBool("verbose", &flag_b, "");
+  parser.AddInt("count", &flag_i, "");
+  parser.AddDouble("ratio", &flag_d, "");
+  parser.AddString("name", &flag_s, "");
+  const char* argv[] = {"bin", "--verbose", "--count=42", "--ratio", "2.5",
+                        "--name=hello", "positional"};
+  EXPECT_TRUE(parser.Parse(7, const_cast<char**>(argv)));
+  EXPECT_TRUE(flag_b);
+  EXPECT_EQ(flag_i, 42);
+  EXPECT_DOUBLE_EQ(flag_d, 2.5);
+  EXPECT_EQ(flag_s, "hello");
+  ASSERT_EQ(parser.positional().size(), 1u);
+  EXPECT_EQ(parser.positional()[0], "positional");
+}
+
+TEST(FlagParserTest, RejectsUnknownFlag) {
+  FlagParser parser;
+  const char* argv[] = {"bin", "--nope"};
+  EXPECT_FALSE(parser.Parse(2, const_cast<char**>(argv)));
+}
+
+TEST(FlagParserTest, RejectsMalformedInt) {
+  int64_t v = 0;
+  FlagParser parser;
+  parser.AddInt("n", &v, "");
+  const char* argv[] = {"bin", "--n=abc"};
+  EXPECT_FALSE(parser.Parse(2, const_cast<char**>(argv)));
+}
+
+TEST(FlagParserTest, BoolAcceptsExplicitValues) {
+  bool v = true;
+  FlagParser parser;
+  parser.AddBool("flag", &v, "");
+  const char* argv[] = {"bin", "--flag=false"};
+  EXPECT_TRUE(parser.Parse(2, const_cast<char**>(argv)));
+  EXPECT_FALSE(v);
+}
+
+TEST(TextTableTest, RendersAlignedColumns) {
+  TextTable t;
+  t.SetHeader({"name", "value"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"long-name", "2"});
+  const std::string out = t.Render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("long-name"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TextTableTest, CsvRendering) {
+  TextTable t;
+  t.SetHeader({"name", "value"});
+  t.AddRow({"plain", "1"});
+  t.AddRow({"with,comma", "quote\"inside"});
+  const std::string csv = t.RenderCsv();
+  EXPECT_EQ(csv,
+            "name,value\n"
+            "plain,1\n"
+            "\"with,comma\",\"quote\"\"inside\"\n");
+}
+
+TEST(TextTableTest, WriteCsvRoundTrip) {
+  TextTable t;
+  t.SetHeader({"a", "b"});
+  t.AddRow({"1", "2"});
+  const std::string path = ::testing::TempDir() + "/table_test.csv";
+  ASSERT_TRUE(t.WriteCsv(path));
+  FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[64] = {};
+  const size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  EXPECT_EQ(std::string(buf, n), "a,b\n1,2\n");
+}
+
+TEST(TextTableTest, Formatters) {
+  EXPECT_EQ(TextTable::Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::FmtInt(42), "42");
+  EXPECT_EQ(TextTable::FmtPct(0.935, 1), "93.5%");
+}
+
+}  // namespace
+}  // namespace mst
