@@ -91,7 +91,9 @@ std::vector<MstResult> BFMstSearch::Search(const Trajectory& query,
 
   MstStats stats;
   stats.total_nodes = index_->NodeCount();
-  index_->ResetAccessCounters();
+  // Thread-local before/after delta rather than resetting the index's shared
+  // counter: concurrent queries on one index each get exact per-query stats.
+  const int64_t accesses_before = TrajectoryIndex::ThreadNodeAccesses();
 
   std::vector<MstResult> results;
   if (index_->empty()) {
@@ -295,7 +297,8 @@ std::vector<MstResult> BFMstSearch::Search(const Trajectory& query,
     results.resize(static_cast<size_t>(options.k));
   }
 
-  stats.nodes_accessed = index_->node_accesses();
+  stats.nodes_accessed =
+      TrajectoryIndex::ThreadNodeAccesses() - accesses_before;
   if (stats_out != nullptr) *stats_out = stats;
   return results;
 }

@@ -132,7 +132,7 @@ std::vector<TimeRelaxedMatch> TimeRelaxedIndexKMst(
   MST_CHECK(k >= 1);
   TimeRelaxedSearchStats stats;
   stats.total_nodes = index.NodeCount();
-  index.ResetAccessCounters();
+  const int64_t accesses_before = TrajectoryIndex::ThreadNodeAccesses();
 
   std::vector<TimeRelaxedMatch> results;
   if (index.empty()) {
@@ -205,7 +205,8 @@ std::vector<TimeRelaxedMatch> TimeRelaxedIndexKMst(
   if (results.size() > static_cast<size_t>(k)) {
     results.resize(static_cast<size_t>(k));
   }
-  stats.nodes_accessed = index.node_accesses();
+  stats.nodes_accessed =
+      TrajectoryIndex::ThreadNodeAccesses() - accesses_before;
   if (stats_out != nullptr) *stats_out = stats;
   return results;
 }

@@ -1,0 +1,93 @@
+// Bounded multi-producer/multi-consumer task queue used by the
+// QueryExecutor's submission path. Push blocks while the queue is full
+// (backpressure toward submitters), Pop blocks while it is empty, and
+// Close() wakes everyone: further pushes fail, pops drain the remaining
+// items and then report exhaustion.
+
+#ifndef MST_EXEC_BOUNDED_QUEUE_H_
+#define MST_EXEC_BOUNDED_QUEUE_H_
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace mst {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity)
+      : capacity_(std::max<size_t>(1, capacity)) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks until there is room (or the queue is closed). Returns false —
+  /// and drops `item` — iff the queue was closed.
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock,
+                   [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available. Returns std::nullopt once the queue
+  /// is closed *and* drained — the consumer-exit signal.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Rejects future pushes; queued items stay poppable until drained.
+  void Close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  /// Close() plus removal of everything still queued, handed back to the
+  /// caller (who owns cancelling/completing the abandoned work).
+  std::vector<T> CloseAndDrain() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    std::vector<T> drained;
+    drained.reserve(items_.size());
+    for (T& item : items_) drained.push_back(std::move(item));
+    items_.clear();
+    not_empty_.notify_all();
+    not_full_.notify_all();
+    return drained;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace mst
+
+#endif  // MST_EXEC_BOUNDED_QUEUE_H_

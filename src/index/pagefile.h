@@ -2,13 +2,21 @@
 // accounting. The experimental setup of the paper (§5) measures index size
 // and node accesses in terms of 4 KB pages; this module is the substrate for
 // that accounting.
+//
+// Thread safety: Allocate() takes an exclusive lock (the page array grows);
+// Read()/Write() take a shared lock, so concurrent readers never block each
+// other. The I/O counters are atomics, so totals aggregate exactly no matter
+// how many threads drive the file.
 
 #ifndef MST_INDEX_PAGEFILE_H_
 #define MST_INDEX_PAGEFILE_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <cstring>
+#include <mutex>
+#include <shared_mutex>
 #include <vector>
 
 #include "src/util/check.h"
@@ -48,7 +56,7 @@ struct Page {
   }
 };
 
-/// Counters of simulated disk traffic.
+/// Snapshot of the simulated disk-traffic counters.
 struct IoStats {
   int64_t physical_reads = 0;
   int64_t physical_writes = 0;
@@ -68,41 +76,66 @@ class PageFile {
 
   /// Allocates a fresh zeroed page and returns its id.
   PageId Allocate() {
+    std::unique_lock lock(mu_);
     pages_.emplace_back();
     return static_cast<PageId>(pages_.size() - 1);
   }
 
   /// Copies page `id` into `*out`, counting one physical read.
   void Read(PageId id, Page* out) {
-    MST_CHECK(IsValid(id));
-    ++stats_.physical_reads;
+    std::shared_lock lock(mu_);
+    MST_CHECK(IsValidLocked(id));
+    physical_reads_.fetch_add(1, std::memory_order_relaxed);
     *out = pages_[static_cast<size_t>(id)];
   }
 
-  /// Overwrites page `id`, counting one physical write.
+  /// Overwrites page `id`, counting one physical write. Concurrent writes to
+  /// *distinct* pages are safe; the buffer manager guarantees it never
+  /// writes back the same page from two threads at once.
   void Write(PageId id, const Page& page) {
-    MST_CHECK(IsValid(id));
-    ++stats_.physical_writes;
+    std::shared_lock lock(mu_);
+    MST_CHECK(IsValidLocked(id));
+    physical_writes_.fetch_add(1, std::memory_order_relaxed);
     pages_[static_cast<size_t>(id)] = page;
   }
 
   /// True iff `id` names an allocated page.
   bool IsValid(PageId id) const {
-    return id >= 0 && static_cast<size_t>(id) < pages_.size();
+    std::shared_lock lock(mu_);
+    return IsValidLocked(id);
   }
 
   /// Number of allocated pages.
-  int64_t PageCount() const { return static_cast<int64_t>(pages_.size()); }
+  int64_t PageCount() const {
+    std::shared_lock lock(mu_);
+    return static_cast<int64_t>(pages_.size());
+  }
 
   /// Total size of the simulated file in bytes.
   int64_t SizeBytes() const { return PageCount() * kPageSize; }
 
-  IoStats& stats() { return stats_; }
-  const IoStats& stats() const { return stats_; }
+  /// Snapshot of the physical I/O counters (exact totals under concurrency).
+  IoStats stats() const {
+    IoStats out;
+    out.physical_reads = physical_reads_.load(std::memory_order_relaxed);
+    out.physical_writes = physical_writes_.load(std::memory_order_relaxed);
+    return out;
+  }
+
+  void ResetStats() {
+    physical_reads_.store(0, std::memory_order_relaxed);
+    physical_writes_.store(0, std::memory_order_relaxed);
+  }
 
  private:
+  bool IsValidLocked(PageId id) const {
+    return id >= 0 && static_cast<size_t>(id) < pages_.size();
+  }
+
+  mutable std::shared_mutex mu_;
   std::vector<Page> pages_;
-  IoStats stats_;
+  std::atomic<int64_t> physical_reads_{0};
+  std::atomic<int64_t> physical_writes_{0};
 };
 
 }  // namespace mst

@@ -6,6 +6,16 @@
 #include "src/util/check.h"
 
 namespace mst {
+namespace {
+
+// Per-thread node-access tally backing ThreadNodeAccesses(). A query runs on
+// one thread, so the before/after delta is exactly its own access count even
+// when other threads traverse the same index concurrently.
+thread_local int64_t tls_node_accesses = 0;
+
+}  // namespace
+
+int64_t TrajectoryIndex::ThreadNodeAccesses() { return tls_node_accesses; }
 
 TrajectoryIndex::TrajectoryIndex(const Options& options)
     : file_(), buffer_(&file_, options.build_buffer_pages) {}
@@ -42,20 +52,21 @@ void TrajectoryIndex::BuildFrom(const TrajectoryStore& store) {
 }
 
 IndexNode TrajectoryIndex::ReadNode(PageId id) const {
-  ++node_accesses_;
-  const Page* page = buffer_.Get(id);
-  return IndexNode::Decode(*page, id);
+  node_accesses_.fetch_add(1, std::memory_order_relaxed);
+  ++tls_node_accesses;
+  const PageGuard guard = buffer_.Pin(id);
+  return IndexNode::Decode(*guard, id);
 }
 
 IndexNode TrajectoryIndex::ReadNodeForUpdate(PageId id) {
-  const Page* page = buffer_.Get(id);
-  return IndexNode::Decode(*page, id);
+  const PageGuard guard = buffer_.Pin(id);
+  return IndexNode::Decode(*guard, id);
 }
 
 void TrajectoryIndex::WriteNode(const IndexNode& node) {
   MST_DCHECK(node.self != kInvalidPageId);
-  Page* page = buffer_.GetMutable(node.self);
-  node.EncodeTo(page);
+  PageGuard guard = buffer_.PinMutable(node.self);
+  node.EncodeTo(guard.mutable_page());
 }
 
 PageId TrajectoryIndex::AllocateNode() { return buffer_.AllocatePage(); }

@@ -5,6 +5,7 @@
 #ifndef MST_INDEX_TRAJECTORY_INDEX_H_
 #define MST_INDEX_TRAJECTORY_INDEX_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -86,8 +87,21 @@ class TrajectoryIndex {
   double max_speed() const { return max_speed_; }
 
   /// Node accesses (logical node reads) since the last ResetAccessCounters().
-  int64_t node_accesses() const { return node_accesses_; }
-  void ResetAccessCounters() const { node_accesses_ = 0; }
+  /// The counter is atomic: with concurrent queries it aggregates exactly,
+  /// but Reset + read is only meaningful single-threaded — concurrent query
+  /// paths use ThreadNodeAccesses() deltas for per-query stats instead.
+  int64_t node_accesses() const {
+    return node_accesses_.load(std::memory_order_relaxed);
+  }
+  void ResetAccessCounters() const {
+    node_accesses_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Monotonic count of node accesses performed *by the calling thread*
+  /// across all indexes. Query code records the value before/after a
+  /// traversal to get per-query access counts that stay exact when many
+  /// queries run in parallel on a shared index.
+  static int64_t ThreadNodeAccesses();
 
   /// Shrinks the buffer to the paper's experiment setting — 10 % of the index
   /// size with a 1000-page cap — and drops cached frames.
@@ -140,7 +154,7 @@ class TrajectoryIndex {
   int height_ = 0;
   int64_t entry_count_ = 0;
   double max_speed_ = 0.0;
-  mutable int64_t node_accesses_ = 0;
+  mutable std::atomic<int64_t> node_accesses_{0};
 };
 
 }  // namespace mst

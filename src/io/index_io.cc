@@ -45,8 +45,8 @@ class LoadedIndex : public TrajectoryIndex {
   void Restore(const Header& header, const std::vector<Page>& pages) {
     for (const Page& page : pages) {
       const PageId id = buffer().AllocatePage();
-      Page* frame = buffer().GetMutable(id);
-      *frame = page;
+      PageGuard guard = buffer().PinMutable(id);
+      *guard.mutable_page() = page;
     }
     buffer().Flush();
     set_root(header.root);
@@ -88,7 +88,7 @@ bool SaveIndex(const TrajectoryIndex& index, const std::string& path) {
   }
   // Page payload, read through the buffer so accounting stays consistent.
   for (PageId id = 0; id < header.page_count; ++id) {
-    const Page* page = index.buffer().Get(id);
+    const PageGuard page = index.buffer().Pin(id);
     if (std::fwrite(page->bytes.data(), 1, kPageSize, file.get()) !=
         kPageSize) {
       return false;

@@ -1,0 +1,244 @@
+// Metamorphic test tier: properties that must hold between related runs of
+// the search, across every index family and heuristic configuration.
+//
+//  - With exact post-processing, BFMSTSearch over any index equals the
+//    LinearScan ground truth (ids and dissimilarities).
+//  - Without it, every returned dissimilarity brackets the truth within its
+//    Lemma-1 error bound.
+//  - Growing k only extends the result list; the first k entries never
+//    change (exact mode).
+//  - Results are sorted, duplicate-free, and respect exclude_id.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "src/core/linear_scan.h"
+#include "src/core/mst_search.h"
+#include "src/gen/gstd.h"
+#include "src/index/rtree3d.h"
+#include "src/index/strtree.h"
+#include "src/index/tbtree.h"
+#include "src/util/random.h"
+
+namespace mst {
+namespace {
+
+enum class IndexKind { kRTree3D, kRTree3DBulk, kTBTree, kSTRTree };
+
+const char* KindName(IndexKind kind) {
+  switch (kind) {
+    case IndexKind::kRTree3D: return "RTree3D";
+    case IndexKind::kRTree3DBulk: return "RTree3DBulk";
+    case IndexKind::kTBTree: return "TBTree";
+    case IndexKind::kSTRTree: return "STRTree";
+  }
+  return "?";
+}
+
+// Fixture: one GSTD dataset, indexed four ways.
+class MetamorphicTest
+    : public ::testing::TestWithParam<std::tuple<IndexKind, uint64_t>> {
+ protected:
+  static void SetUpTestSuite() {
+    GstdOptions opt;
+    opt.num_objects = 60;
+    opt.samples_per_object = 90;
+    opt.timestamp_jitter = 0.5;
+    opt.seed = 11;
+    store_ = new TrajectoryStore(GenerateGstd(opt));
+    rtree_ = new RTree3D();
+    rtree_->BuildFrom(*store_);
+    rtree_bulk_ = new RTree3D();
+    rtree_bulk_->BulkLoad(*store_);
+    tbtree_ = new TBTree();
+    tbtree_->BuildFrom(*store_);
+    strtree_ = new STRTree();
+    strtree_->BuildFrom(*store_);
+  }
+
+  static void TearDownTestSuite() {
+    delete store_;
+    delete rtree_;
+    delete rtree_bulk_;
+    delete tbtree_;
+    delete strtree_;
+    store_ = nullptr;
+    rtree_ = nullptr;
+    rtree_bulk_ = nullptr;
+    tbtree_ = nullptr;
+    strtree_ = nullptr;
+  }
+
+  const TrajectoryIndex& index() const {
+    switch (std::get<0>(GetParam())) {
+      case IndexKind::kRTree3D: return *rtree_;
+      case IndexKind::kRTree3DBulk: return *rtree_bulk_;
+      case IndexKind::kTBTree: return *tbtree_;
+      case IndexKind::kSTRTree: return *strtree_;
+    }
+    return *rtree_;
+  }
+  uint64_t seed() const { return std::get<1>(GetParam()); }
+
+  static Trajectory MakeQuery(Rng* rng, double length_fraction) {
+    const Trajectory& base =
+        store_->trajectories()[rng->UniformIndex(store_->size())];
+    const double span = base.end_time() - base.start_time();
+    const double len = span * length_fraction;
+    const double begin = base.start_time() + rng->Uniform(0.0, span - len);
+    const Trajectory slice = *base.Slice({begin, begin + len});
+    std::vector<TPoint> samples = slice.samples();
+    for (TPoint& s : samples) {
+      s.p.x += rng->Uniform(-0.05, 0.05);
+      s.p.y += rng->Uniform(-0.05, 0.05);
+    }
+    return Trajectory(424242, std::move(samples));
+  }
+
+  static TrajectoryStore* store_;
+  static RTree3D* rtree_;
+  static RTree3D* rtree_bulk_;
+  static TBTree* tbtree_;
+  static STRTree* strtree_;
+};
+
+TrajectoryStore* MetamorphicTest::store_ = nullptr;
+RTree3D* MetamorphicTest::rtree_ = nullptr;
+RTree3D* MetamorphicTest::rtree_bulk_ = nullptr;
+TBTree* MetamorphicTest::tbtree_ = nullptr;
+STRTree* MetamorphicTest::strtree_ = nullptr;
+
+TEST_P(MetamorphicTest, ExactModeMatchesLinearScanForAllHeuristics) {
+  Rng rng(seed());
+  const BFMstSearch searcher(&index(), store_);
+  for (int trial = 0; trial < 4; ++trial) {
+    const Trajectory query = MakeQuery(&rng, 0.25);
+    const TimeInterval period = query.Lifespan();
+    const int k = 1 + trial * 2;
+    const std::vector<MstResult> want =
+        LinearScanKMst(*store_, query, period, k, IntegrationPolicy::kExact);
+
+    for (const bool h1 : {false, true}) {
+      for (const bool h2 : {false, true}) {
+        MstOptions options;
+        options.k = k;
+        options.use_heuristic1 = h1;
+        options.use_heuristic2 = h2;
+        options.exact_postprocess = true;
+        const std::vector<MstResult> got =
+            searcher.Search(query, period, options);
+        ASSERT_EQ(got.size(), want.size())
+            << KindName(std::get<0>(GetParam())) << " h1=" << h1
+            << " h2=" << h2;
+        for (size_t i = 0; i < got.size(); ++i) {
+          EXPECT_EQ(got[i].id, want[i].id)
+              << "rank " << i << " h1=" << h1 << " h2=" << h2;
+          EXPECT_NEAR(got[i].dissim, want[i].dissim,
+                      1e-6 * std::max(1.0, want[i].dissim));
+          EXPECT_EQ(got[i].error_bound, 0.0);
+        }
+      }
+    }
+  }
+}
+
+TEST_P(MetamorphicTest, ApproximateDissimBracketsTruthWithinLemma1Bound) {
+  Rng rng(seed() + 1);
+  const BFMstSearch searcher(&index(), store_);
+  for (int trial = 0; trial < 4; ++trial) {
+    const Trajectory query = MakeQuery(&rng, 0.3);
+    const TimeInterval period = query.Lifespan();
+
+    // Exact truth for every eligible trajectory.
+    const std::vector<MstResult> truth_list =
+        LinearScanKMst(*store_, query, period,
+                       static_cast<int>(store_->size()),
+                       IntegrationPolicy::kExact);
+    std::map<TrajectoryId, double> truth;
+    for (const MstResult& r : truth_list) truth[r.id] = r.dissim;
+
+    MstOptions options;
+    options.k = 5;
+    options.exact_postprocess = false;  // keep the trapezoid approximation
+    const std::vector<MstResult> got = searcher.Search(query, period, options);
+    ASSERT_FALSE(got.empty());
+    for (const MstResult& r : got) {
+      ASSERT_TRUE(truth.count(r.id)) << "id " << r.id;
+      const double exact = truth[r.id];
+      const double slack = 1e-9 * std::max(1.0, std::abs(exact));
+      // Lemma 1: the reported value overestimates, by at most error_bound.
+      EXPECT_LE(exact, r.dissim + slack) << "id " << r.id;
+      EXPECT_GE(exact, r.dissim - r.error_bound - slack) << "id " << r.id;
+    }
+  }
+}
+
+TEST_P(MetamorphicTest, GrowingKExtendsButNeverReordersThePrefix) {
+  Rng rng(seed() + 2);
+  const BFMstSearch searcher(&index(), store_);
+  for (int trial = 0; trial < 3; ++trial) {
+    const Trajectory query = MakeQuery(&rng, 0.25);
+    const TimeInterval period = query.Lifespan();
+
+    MstOptions small;
+    small.k = 3;
+    MstOptions large;
+    large.k = 8;
+    const std::vector<MstResult> few = searcher.Search(query, period, small);
+    const std::vector<MstResult> many = searcher.Search(query, period, large);
+    ASSERT_LE(few.size(), many.size());
+    for (size_t i = 0; i < few.size(); ++i) {
+      EXPECT_EQ(few[i].id, many[i].id) << "rank " << i;
+      EXPECT_NEAR(few[i].dissim, many[i].dissim,
+                  1e-9 * std::max(1.0, many[i].dissim));
+    }
+  }
+}
+
+TEST_P(MetamorphicTest, ResultsSortedUniqueAndExclusionRespected) {
+  Rng rng(seed() + 3);
+  const BFMstSearch searcher(&index(), store_);
+  const Trajectory query = MakeQuery(&rng, 0.25);
+  const TimeInterval period = query.Lifespan();
+
+  MstOptions options;
+  options.k = 6;
+  std::vector<MstResult> got = searcher.Search(query, period, options);
+  ASSERT_GE(got.size(), 2u);
+  for (size_t i = 1; i < got.size(); ++i) {
+    EXPECT_LE(got[i - 1].dissim, got[i].dissim) << "rank " << i;
+    for (size_t j = 0; j < i; ++j) {
+      EXPECT_NE(got[i].id, got[j].id);
+    }
+  }
+
+  // Re-run excluding the winner: it disappears, the rest shift up.
+  const TrajectoryId winner = got[0].id;
+  options.exclude_id = winner;
+  const std::vector<MstResult> without =
+      searcher.Search(query, period, options);
+  ASSERT_FALSE(without.empty());
+  for (const MstResult& r : without) EXPECT_NE(r.id, winner);
+  EXPECT_EQ(without[0].id, got[1].id);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllIndexes, MetamorphicTest,
+    ::testing::Combine(::testing::Values(IndexKind::kRTree3D,
+                                         IndexKind::kRTree3DBulk,
+                                         IndexKind::kTBTree,
+                                         IndexKind::kSTRTree),
+                       ::testing::Values(17u, 23u)),
+    [](const auto& info) {
+      return std::string(KindName(std::get<0>(info.param))) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace mst

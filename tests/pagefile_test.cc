@@ -56,25 +56,27 @@ TEST(PageFileDeathTest, RejectsInvalidPage) {
   EXPECT_DEATH(f.Write(3, p), "IsValid");
 }
 
+// Buffer tests that assert exact LRU order use a single shard; the sharded
+// configurations are exercised in buffer_concurrency_test.cc.
+
 TEST(BufferManagerTest, HitsAvoidPhysicalReads) {
   PageFile f;
-  BufferManager buf(&f, 4);
+  BufferManager buf(&f, 4, /*num_shards=*/1);
   const PageId a = buf.AllocatePage();
   buf.Flush();
   const int64_t before = f.stats().physical_reads;
-  for (int i = 0; i < 10; ++i) buf.Get(a);
+  for (int i = 0; i < 10; ++i) buf.Pin(a);
   EXPECT_EQ(f.stats().physical_reads, before);  // all hits
   EXPECT_EQ(buf.logical_reads(), 10);
 }
 
 TEST(BufferManagerTest, EvictsLruAndWritesBackDirty) {
   PageFile f;
-  BufferManager buf(&f, 2);
+  BufferManager buf(&f, 2, /*num_shards=*/1);
   const PageId a = buf.AllocatePage();
   const PageId b = buf.AllocatePage();
-  Page* pa = buf.GetMutable(a);
-  pa->WriteAt<int32_t>(0, 11);
-  buf.GetMutable(b)->WriteAt<int32_t>(0, 22);
+  buf.PinMutable(a).mutable_page()->WriteAt<int32_t>(0, 11);
+  buf.PinMutable(b).mutable_page()->WriteAt<int32_t>(0, 22);
   // Capacity 2: touching a third page evicts the LRU (a).
   const PageId c = buf.AllocatePage();
   (void)c;
@@ -84,53 +86,120 @@ TEST(BufferManagerTest, EvictsLruAndWritesBackDirty) {
   EXPECT_EQ(raw.ReadAt<int32_t>(0), 11);
   // Re-reading a is a miss.
   const int64_t misses_before = buf.misses();
-  buf.Get(a);
+  const PageGuard ga = buf.Pin(a);
   EXPECT_EQ(buf.misses(), misses_before + 1);
-  EXPECT_EQ(buf.Get(a)->ReadAt<int32_t>(0), 11);
+  EXPECT_EQ(ga->ReadAt<int32_t>(0), 11);
 }
 
 TEST(BufferManagerTest, LruOrderRespectsRecency) {
   PageFile f;
-  BufferManager buf(&f, 2);
+  BufferManager buf(&f, 2, /*num_shards=*/1);
   const PageId a = buf.AllocatePage();
   const PageId b = buf.AllocatePage();
   buf.Flush();
   buf.Clear();
-  buf.Get(a);
-  buf.Get(b);
-  buf.Get(a);  // a is now MRU
+  buf.Pin(a);
+  buf.Pin(b);
+  buf.Pin(a);  // a is now MRU
   const PageId c = buf.AllocatePage();  // evicts b, not a
   (void)c;
   const int64_t misses_before = buf.misses();
-  buf.Get(a);  // hit
+  buf.Pin(a);  // hit
   EXPECT_EQ(buf.misses(), misses_before);
-  buf.Get(b);  // miss
+  buf.Pin(b);  // miss
   EXPECT_EQ(buf.misses(), misses_before + 1);
 }
 
 TEST(BufferManagerTest, FlushPersistsWithoutDropping) {
   PageFile f;
-  BufferManager buf(&f, 4);
+  BufferManager buf(&f, 4, /*num_shards=*/1);
   const PageId a = buf.AllocatePage();
-  buf.GetMutable(a)->WriteAt<double>(8, 2.5);
+  buf.PinMutable(a).mutable_page()->WriteAt<double>(8, 2.5);
   buf.Flush();
   Page raw;
   f.Read(a, &raw);
   EXPECT_DOUBLE_EQ(raw.ReadAt<double>(8), 2.5);
   // Still cached: no miss on next access.
   const int64_t misses_before = buf.misses();
-  buf.Get(a);
+  buf.Pin(a);
   EXPECT_EQ(buf.misses(), misses_before);
 }
 
 TEST(BufferManagerTest, SetCapacityShrinksAndEvicts) {
   PageFile f;
-  BufferManager buf(&f, 8);
+  BufferManager buf(&f, 8, /*num_shards=*/1);
   for (int i = 0; i < 6; ++i) buf.AllocatePage();
   buf.SetCapacity(2);
   EXPECT_EQ(buf.capacity(), 2u);
+  EXPECT_LE(buf.resident_frames(), 2u);
   // All six pages must still be readable (write-back happened on eviction).
-  for (PageId id = 0; id < 6; ++id) buf.Get(id);
+  for (PageId id = 0; id < 6; ++id) buf.Pin(id);
+}
+
+TEST(BufferManagerTest, PinnedFrameSurvivesEvictionPressure) {
+  PageFile f;
+  BufferManager buf(&f, 2, /*num_shards=*/1);
+  for (int i = 0; i < 8; ++i) buf.AllocatePage();
+  buf.PinMutable(0).mutable_page()->WriteAt<int32_t>(0, 123);
+  const PageGuard pinned = buf.Pin(0);
+  EXPECT_EQ(buf.pinned_frames(), 1);
+  // Thrash far past capacity: page 0 must stay resident and intact.
+  for (PageId id = 1; id < 8; ++id) buf.Pin(id);
+  EXPECT_EQ(pinned->ReadAt<int32_t>(0), 123);
+  EXPECT_EQ(pinned.id(), 0);
+}
+
+TEST(BufferManagerTest, ClearKeepsPinnedFrames) {
+  PageFile f;
+  BufferManager buf(&f, 4, /*num_shards=*/1);
+  const PageId a = buf.AllocatePage();
+  const PageId b = buf.AllocatePage();
+  const PageGuard ga = buf.Pin(a);
+  buf.Clear();
+  EXPECT_EQ(buf.resident_frames(), 1u);  // only the pinned frame remains
+  const int64_t misses_before = buf.misses();
+  buf.Pin(a);  // still cached: hit
+  EXPECT_EQ(buf.misses(), misses_before);
+  buf.Pin(b);  // dropped by Clear: miss
+  EXPECT_EQ(buf.misses(), misses_before + 1);
+}
+
+TEST(BufferManagerTest, GuardMoveTransfersThePin) {
+  PageFile f;
+  BufferManager buf(&f, 4, /*num_shards=*/1);
+  const PageId a = buf.AllocatePage();
+  PageGuard g1 = buf.Pin(a);
+  EXPECT_EQ(buf.pinned_frames(), 1);
+  PageGuard g2 = std::move(g1);
+  EXPECT_FALSE(g1.valid());  // NOLINT(bugprone-use-after-move): testing it
+  EXPECT_TRUE(g2.valid());
+  EXPECT_EQ(buf.pinned_frames(), 1);
+  g2.Release();
+  EXPECT_EQ(buf.pinned_frames(), 0);
+}
+
+TEST(BufferManagerDeathTest, ReadOnlyGuardRejectsMutableAccess) {
+  PageFile f;
+  BufferManager buf(&f, 4, /*num_shards=*/1);
+  const PageId a = buf.AllocatePage();
+  PageGuard g = buf.Pin(a);
+  EXPECT_DEATH(g.mutable_page(), "read-only");
+}
+
+TEST(BufferManagerTest, ShardedBufferServesAllPages) {
+  PageFile f;
+  BufferManager buf(&f, 16);  // default sharding
+  EXPECT_EQ(buf.shard_count(), BufferManager::kDefaultShards);
+  for (int i = 0; i < 64; ++i) buf.AllocatePage();
+  for (PageId id = 0; id < 64; ++id) {
+    buf.PinMutable(id).mutable_page()->WriteAt<PageId>(0, id);
+  }
+  buf.Flush();
+  buf.Clear();
+  for (PageId id = 0; id < 64; ++id) {
+    EXPECT_EQ(buf.Pin(id)->ReadAt<PageId>(0), id);
+  }
+  EXPECT_LE(buf.resident_frames(), 16u + buf.shard_count());
 }
 
 TEST(NodeCodecTest, CapacityIs72With4KPages) {
