@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_heuristics.dir/bench_ablation_heuristics.cc.o"
+  "CMakeFiles/bench_ablation_heuristics.dir/bench_ablation_heuristics.cc.o.d"
+  "bench_ablation_heuristics"
+  "bench_ablation_heuristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_heuristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_time_relaxed.dir/bench_ablation_time_relaxed.cc.o"
+  "CMakeFiles/bench_ablation_time_relaxed.dir/bench_ablation_time_relaxed.cc.o.d"
+  "bench_ablation_time_relaxed"
+  "bench_ablation_time_relaxed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_time_relaxed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_trapezoid.dir/bench_ablation_trapezoid.cc.o"
+  "CMakeFiles/bench_ablation_trapezoid.dir/bench_ablation_trapezoid.cc.o.d"
+  "bench_ablation_trapezoid"
+  "bench_ablation_trapezoid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_trapezoid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

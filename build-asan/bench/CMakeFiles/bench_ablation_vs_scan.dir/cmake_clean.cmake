@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_vs_scan.dir/bench_ablation_vs_scan.cc.o"
+  "CMakeFiles/bench_ablation_vs_scan.dir/bench_ablation_vs_scan.cc.o.d"
+  "bench_ablation_vs_scan"
+  "bench_ablation_vs_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_vs_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

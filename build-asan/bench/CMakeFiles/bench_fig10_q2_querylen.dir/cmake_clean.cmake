@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_q2_querylen.dir/bench_fig10_q2_querylen.cc.o"
+  "CMakeFiles/bench_fig10_q2_querylen.dir/bench_fig10_q2_querylen.cc.o.d"
+  "bench_fig10_q2_querylen"
+  "bench_fig10_q2_querylen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_q2_querylen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

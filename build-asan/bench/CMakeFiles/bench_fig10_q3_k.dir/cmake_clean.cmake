@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_q3_k.dir/bench_fig10_q3_k.cc.o"
+  "CMakeFiles/bench_fig10_q3_k.dir/bench_fig10_q3_k.cc.o.d"
+  "bench_fig10_q3_k"
+  "bench_fig10_q3_k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_q3_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig8_compression.cc" "bench/CMakeFiles/bench_fig8_compression.dir/bench_fig8_compression.cc.o" "gcc" "bench/CMakeFiles/bench_fig8_compression.dir/bench_fig8_compression.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/core/CMakeFiles/mst_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/query/CMakeFiles/mst_query.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/io/CMakeFiles/mst_io.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/index/CMakeFiles/mst_index.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/mst_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/compress/CMakeFiles/mst_compress.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/gen/CMakeFiles/mst_gen.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/geom/CMakeFiles/mst_geom.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/mst_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classical_queries.dir/classical_queries.cpp.o"
+  "CMakeFiles/classical_queries.dir/classical_queries.cpp.o.d"
+  "classical_queries"
+  "classical_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classical_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

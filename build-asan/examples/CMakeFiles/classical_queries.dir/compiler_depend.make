@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for classical_queries.
+# This may be replaced when dependencies are built.

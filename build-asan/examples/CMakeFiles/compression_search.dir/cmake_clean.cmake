@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compression_search.dir/compression_search.cpp.o"
+  "CMakeFiles/compression_search.dir/compression_search.cpp.o.d"
+  "compression_search"
+  "compression_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compression_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metro_planning.dir/metro_planning.cpp.o"
+  "CMakeFiles/metro_planning.dir/metro_planning.cpp.o.d"
+  "metro_planning"
+  "metro_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metro_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

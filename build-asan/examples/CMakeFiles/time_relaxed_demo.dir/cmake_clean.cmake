@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/time_relaxed_demo.dir/time_relaxed_demo.cpp.o"
+  "CMakeFiles/time_relaxed_demo.dir/time_relaxed_demo.cpp.o.d"
+  "time_relaxed_demo"
+  "time_relaxed_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/time_relaxed_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

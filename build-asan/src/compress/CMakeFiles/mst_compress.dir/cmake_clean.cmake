@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mst_compress.dir/td_tr.cc.o"
+  "CMakeFiles/mst_compress.dir/td_tr.cc.o.d"
+  "libmst_compress.a"
+  "libmst_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mst_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bounds.cc" "src/core/CMakeFiles/mst_core.dir/bounds.cc.o" "gcc" "src/core/CMakeFiles/mst_core.dir/bounds.cc.o.d"
+  "/root/repo/src/core/candidate.cc" "src/core/CMakeFiles/mst_core.dir/candidate.cc.o" "gcc" "src/core/CMakeFiles/mst_core.dir/candidate.cc.o.d"
+  "/root/repo/src/core/dissim.cc" "src/core/CMakeFiles/mst_core.dir/dissim.cc.o" "gcc" "src/core/CMakeFiles/mst_core.dir/dissim.cc.o.d"
+  "/root/repo/src/core/linear_scan.cc" "src/core/CMakeFiles/mst_core.dir/linear_scan.cc.o" "gcc" "src/core/CMakeFiles/mst_core.dir/linear_scan.cc.o.d"
+  "/root/repo/src/core/mst_search.cc" "src/core/CMakeFiles/mst_core.dir/mst_search.cc.o" "gcc" "src/core/CMakeFiles/mst_core.dir/mst_search.cc.o.d"
+  "/root/repo/src/core/profile.cc" "src/core/CMakeFiles/mst_core.dir/profile.cc.o" "gcc" "src/core/CMakeFiles/mst_core.dir/profile.cc.o.d"
+  "/root/repo/src/core/time_relaxed.cc" "src/core/CMakeFiles/mst_core.dir/time_relaxed.cc.o" "gcc" "src/core/CMakeFiles/mst_core.dir/time_relaxed.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/geom/CMakeFiles/mst_geom.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/index/CMakeFiles/mst_index.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/mst_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mst_core.dir/bounds.cc.o"
+  "CMakeFiles/mst_core.dir/bounds.cc.o.d"
+  "CMakeFiles/mst_core.dir/candidate.cc.o"
+  "CMakeFiles/mst_core.dir/candidate.cc.o.d"
+  "CMakeFiles/mst_core.dir/dissim.cc.o"
+  "CMakeFiles/mst_core.dir/dissim.cc.o.d"
+  "CMakeFiles/mst_core.dir/linear_scan.cc.o"
+  "CMakeFiles/mst_core.dir/linear_scan.cc.o.d"
+  "CMakeFiles/mst_core.dir/mst_search.cc.o"
+  "CMakeFiles/mst_core.dir/mst_search.cc.o.d"
+  "CMakeFiles/mst_core.dir/profile.cc.o"
+  "CMakeFiles/mst_core.dir/profile.cc.o.d"
+  "CMakeFiles/mst_core.dir/time_relaxed.cc.o"
+  "CMakeFiles/mst_core.dir/time_relaxed.cc.o.d"
+  "libmst_core.a"
+  "libmst_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mst_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmst_core.a"
+)

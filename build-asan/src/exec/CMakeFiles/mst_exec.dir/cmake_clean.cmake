@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mst_exec.dir/query_executor.cc.o"
+  "CMakeFiles/mst_exec.dir/query_executor.cc.o.d"
+  "libmst_exec.a"
+  "libmst_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mst_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mst_gen.dir/gstd.cc.o"
+  "CMakeFiles/mst_gen.dir/gstd.cc.o.d"
+  "CMakeFiles/mst_gen.dir/trucks.cc.o"
+  "CMakeFiles/mst_gen.dir/trucks.cc.o.d"
+  "libmst_gen.a"
+  "libmst_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mst_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

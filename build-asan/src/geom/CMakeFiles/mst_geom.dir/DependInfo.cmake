@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geom/mindist.cc" "src/geom/CMakeFiles/mst_geom.dir/mindist.cc.o" "gcc" "src/geom/CMakeFiles/mst_geom.dir/mindist.cc.o.d"
+  "/root/repo/src/geom/moving_distance.cc" "src/geom/CMakeFiles/mst_geom.dir/moving_distance.cc.o" "gcc" "src/geom/CMakeFiles/mst_geom.dir/moving_distance.cc.o.d"
+  "/root/repo/src/geom/trajectory.cc" "src/geom/CMakeFiles/mst_geom.dir/trajectory.cc.o" "gcc" "src/geom/CMakeFiles/mst_geom.dir/trajectory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/util/CMakeFiles/mst_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

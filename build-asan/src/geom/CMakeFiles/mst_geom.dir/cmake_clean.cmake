@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mst_geom.dir/mindist.cc.o"
+  "CMakeFiles/mst_geom.dir/mindist.cc.o.d"
+  "CMakeFiles/mst_geom.dir/moving_distance.cc.o"
+  "CMakeFiles/mst_geom.dir/moving_distance.cc.o.d"
+  "CMakeFiles/mst_geom.dir/trajectory.cc.o"
+  "CMakeFiles/mst_geom.dir/trajectory.cc.o.d"
+  "libmst_geom.a"
+  "libmst_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mst_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/buffer.cc" "src/index/CMakeFiles/mst_index.dir/buffer.cc.o" "gcc" "src/index/CMakeFiles/mst_index.dir/buffer.cc.o.d"
+  "/root/repo/src/index/node.cc" "src/index/CMakeFiles/mst_index.dir/node.cc.o" "gcc" "src/index/CMakeFiles/mst_index.dir/node.cc.o.d"
+  "/root/repo/src/index/rtree3d.cc" "src/index/CMakeFiles/mst_index.dir/rtree3d.cc.o" "gcc" "src/index/CMakeFiles/mst_index.dir/rtree3d.cc.o.d"
+  "/root/repo/src/index/strtree.cc" "src/index/CMakeFiles/mst_index.dir/strtree.cc.o" "gcc" "src/index/CMakeFiles/mst_index.dir/strtree.cc.o.d"
+  "/root/repo/src/index/tbtree.cc" "src/index/CMakeFiles/mst_index.dir/tbtree.cc.o" "gcc" "src/index/CMakeFiles/mst_index.dir/tbtree.cc.o.d"
+  "/root/repo/src/index/trajectory_index.cc" "src/index/CMakeFiles/mst_index.dir/trajectory_index.cc.o" "gcc" "src/index/CMakeFiles/mst_index.dir/trajectory_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/geom/CMakeFiles/mst_geom.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/mst_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

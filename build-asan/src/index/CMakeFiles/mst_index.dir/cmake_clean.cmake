@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mst_index.dir/buffer.cc.o"
+  "CMakeFiles/mst_index.dir/buffer.cc.o.d"
+  "CMakeFiles/mst_index.dir/node.cc.o"
+  "CMakeFiles/mst_index.dir/node.cc.o.d"
+  "CMakeFiles/mst_index.dir/rtree3d.cc.o"
+  "CMakeFiles/mst_index.dir/rtree3d.cc.o.d"
+  "CMakeFiles/mst_index.dir/strtree.cc.o"
+  "CMakeFiles/mst_index.dir/strtree.cc.o.d"
+  "CMakeFiles/mst_index.dir/tbtree.cc.o"
+  "CMakeFiles/mst_index.dir/tbtree.cc.o.d"
+  "CMakeFiles/mst_index.dir/trajectory_index.cc.o"
+  "CMakeFiles/mst_index.dir/trajectory_index.cc.o.d"
+  "libmst_index.a"
+  "libmst_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mst_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

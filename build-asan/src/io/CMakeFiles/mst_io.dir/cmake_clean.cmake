@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mst_io.dir/csv.cc.o"
+  "CMakeFiles/mst_io.dir/csv.cc.o.d"
+  "CMakeFiles/mst_io.dir/index_io.cc.o"
+  "CMakeFiles/mst_io.dir/index_io.cc.o.d"
+  "libmst_io.a"
+  "libmst_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mst_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/cnn.cc" "src/query/CMakeFiles/mst_query.dir/cnn.cc.o" "gcc" "src/query/CMakeFiles/mst_query.dir/cnn.cc.o.d"
+  "/root/repo/src/query/nn.cc" "src/query/CMakeFiles/mst_query.dir/nn.cc.o" "gcc" "src/query/CMakeFiles/mst_query.dir/nn.cc.o.d"
+  "/root/repo/src/query/range.cc" "src/query/CMakeFiles/mst_query.dir/range.cc.o" "gcc" "src/query/CMakeFiles/mst_query.dir/range.cc.o.d"
+  "/root/repo/src/query/selectivity.cc" "src/query/CMakeFiles/mst_query.dir/selectivity.cc.o" "gcc" "src/query/CMakeFiles/mst_query.dir/selectivity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/geom/CMakeFiles/mst_geom.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/index/CMakeFiles/mst_index.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/mst_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

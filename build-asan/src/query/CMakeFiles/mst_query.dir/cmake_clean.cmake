@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mst_query.dir/cnn.cc.o"
+  "CMakeFiles/mst_query.dir/cnn.cc.o.d"
+  "CMakeFiles/mst_query.dir/nn.cc.o"
+  "CMakeFiles/mst_query.dir/nn.cc.o.d"
+  "CMakeFiles/mst_query.dir/range.cc.o"
+  "CMakeFiles/mst_query.dir/range.cc.o.d"
+  "CMakeFiles/mst_query.dir/selectivity.cc.o"
+  "CMakeFiles/mst_query.dir/selectivity.cc.o.d"
+  "libmst_query.a"
+  "libmst_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mst_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mst_sim.dir/dtw.cc.o"
+  "CMakeFiles/mst_sim.dir/dtw.cc.o.d"
+  "CMakeFiles/mst_sim.dir/edr.cc.o"
+  "CMakeFiles/mst_sim.dir/edr.cc.o.d"
+  "CMakeFiles/mst_sim.dir/lcss.cc.o"
+  "CMakeFiles/mst_sim.dir/lcss.cc.o.d"
+  "CMakeFiles/mst_sim.dir/owd.cc.o"
+  "CMakeFiles/mst_sim.dir/owd.cc.o.d"
+  "CMakeFiles/mst_sim.dir/preprocess.cc.o"
+  "CMakeFiles/mst_sim.dir/preprocess.cc.o.d"
+  "libmst_sim.a"
+  "libmst_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mst_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mst_util.dir/flags.cc.o"
+  "CMakeFiles/mst_util.dir/flags.cc.o.d"
+  "CMakeFiles/mst_util.dir/table.cc.o"
+  "CMakeFiles/mst_util.dir/table.cc.o.d"
+  "libmst_util.a"
+  "libmst_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mst_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

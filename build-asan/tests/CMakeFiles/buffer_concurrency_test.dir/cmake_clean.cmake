@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buffer_concurrency_test.dir/buffer_concurrency_test.cc.o"
+  "CMakeFiles/buffer_concurrency_test.dir/buffer_concurrency_test.cc.o.d"
+  "buffer_concurrency_test"
+  "buffer_concurrency_test.pdb"
+  "buffer_concurrency_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buffer_concurrency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dissim_test.dir/dissim_test.cc.o"
+  "CMakeFiles/dissim_test.dir/dissim_test.cc.o.d"
+  "dissim_test"
+  "dissim_test.pdb"
+  "dissim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dissim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/error_management_test.dir/error_management_test.cc.o"
+  "CMakeFiles/error_management_test.dir/error_management_test.cc.o.d"
+  "error_management_test"
+  "error_management_test.pdb"
+  "error_management_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/error_management_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

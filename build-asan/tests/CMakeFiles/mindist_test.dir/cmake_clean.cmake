@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mindist_test.dir/mindist_test.cc.o"
+  "CMakeFiles/mindist_test.dir/mindist_test.cc.o.d"
+  "mindist_test"
+  "mindist_test.pdb"
+  "mindist_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mindist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

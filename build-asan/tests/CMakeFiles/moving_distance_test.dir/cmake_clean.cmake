@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moving_distance_test.dir/moving_distance_test.cc.o"
+  "CMakeFiles/moving_distance_test.dir/moving_distance_test.cc.o.d"
+  "moving_distance_test"
+  "moving_distance_test.pdb"
+  "moving_distance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moving_distance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

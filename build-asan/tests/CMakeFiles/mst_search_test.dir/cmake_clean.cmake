@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mst_search_test.dir/mst_search_test.cc.o"
+  "CMakeFiles/mst_search_test.dir/mst_search_test.cc.o.d"
+  "mst_search_test"
+  "mst_search_test.pdb"
+  "mst_search_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mst_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pagefile_test.dir/pagefile_test.cc.o"
+  "CMakeFiles/pagefile_test.dir/pagefile_test.cc.o.d"
+  "pagefile_test"
+  "pagefile_test.pdb"
+  "pagefile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pagefile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/stress_test.cc" "tests/CMakeFiles/stress_test.dir/stress_test.cc.o" "gcc" "tests/CMakeFiles/stress_test.dir/stress_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/exec/CMakeFiles/mst_exec.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/core/CMakeFiles/mst_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/query/CMakeFiles/mst_query.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/io/CMakeFiles/mst_io.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/index/CMakeFiles/mst_index.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/mst_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/compress/CMakeFiles/mst_compress.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/gen/CMakeFiles/mst_gen.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/geom/CMakeFiles/mst_geom.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/mst_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

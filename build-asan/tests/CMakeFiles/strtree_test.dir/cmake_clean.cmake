@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strtree_test.dir/strtree_test.cc.o"
+  "CMakeFiles/strtree_test.dir/strtree_test.cc.o.d"
+  "strtree_test"
+  "strtree_test.pdb"
+  "strtree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strtree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

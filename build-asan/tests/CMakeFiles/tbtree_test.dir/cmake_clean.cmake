@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbtree_test.dir/tbtree_test.cc.o"
+  "CMakeFiles/tbtree_test.dir/tbtree_test.cc.o.d"
+  "tbtree_test"
+  "tbtree_test.pdb"
+  "tbtree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbtree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

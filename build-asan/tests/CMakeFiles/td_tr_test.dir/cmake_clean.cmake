@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/td_tr_test.dir/td_tr_test.cc.o"
+  "CMakeFiles/td_tr_test.dir/td_tr_test.cc.o.d"
+  "td_tr_test"
+  "td_tr_test.pdb"
+  "td_tr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/td_tr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/time_relaxed_test.dir/time_relaxed_test.cc.o"
+  "CMakeFiles/time_relaxed_test.dir/time_relaxed_test.cc.o.d"
+  "time_relaxed_test"
+  "time_relaxed_test.pdb"
+  "time_relaxed_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/time_relaxed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

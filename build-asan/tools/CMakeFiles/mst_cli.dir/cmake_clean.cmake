@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mst_cli.dir/mst_cli.cc.o"
+  "CMakeFiles/mst_cli.dir/mst_cli.cc.o.d"
+  "mst_cli"
+  "mst_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mst_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/gstd.cc" "src/gen/CMakeFiles/mst_gen.dir/gstd.cc.o" "gcc" "src/gen/CMakeFiles/mst_gen.dir/gstd.cc.o.d"
+  "/root/repo/src/gen/trucks.cc" "src/gen/CMakeFiles/mst_gen.dir/trucks.cc.o" "gcc" "src/gen/CMakeFiles/mst_gen.dir/trucks.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/geom/CMakeFiles/mst_geom.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/mst_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

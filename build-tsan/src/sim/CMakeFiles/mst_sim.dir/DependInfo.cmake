@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/dtw.cc" "src/sim/CMakeFiles/mst_sim.dir/dtw.cc.o" "gcc" "src/sim/CMakeFiles/mst_sim.dir/dtw.cc.o.d"
+  "/root/repo/src/sim/edr.cc" "src/sim/CMakeFiles/mst_sim.dir/edr.cc.o" "gcc" "src/sim/CMakeFiles/mst_sim.dir/edr.cc.o.d"
+  "/root/repo/src/sim/lcss.cc" "src/sim/CMakeFiles/mst_sim.dir/lcss.cc.o" "gcc" "src/sim/CMakeFiles/mst_sim.dir/lcss.cc.o.d"
+  "/root/repo/src/sim/owd.cc" "src/sim/CMakeFiles/mst_sim.dir/owd.cc.o" "gcc" "src/sim/CMakeFiles/mst_sim.dir/owd.cc.o.d"
+  "/root/repo/src/sim/preprocess.cc" "src/sim/CMakeFiles/mst_sim.dir/preprocess.cc.o" "gcc" "src/sim/CMakeFiles/mst_sim.dir/preprocess.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/geom/CMakeFiles/mst_geom.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/mst_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
