@@ -35,15 +35,15 @@ LeafStats ComputeLeafStats(const TrajectoryIndex& index) {
   while (!stack.empty()) {
     const PageId page = stack.back();
     stack.pop_back();
-    const IndexNode node = index.ReadNode(page);
-    if (node.IsLeaf()) {
+    const NodeRef node = index.ReadNode(page);
+    if (node->IsLeaf()) {
       ++out.leaves;
-      entries += node.Count();
-      for (const LeafEntry& e : node.leaves) {
+      entries += node->Count();
+      for (const LeafEntry& e : node->leaves) {
         placed.push_back({e.traj_id, e.t0, page});
       }
     } else {
-      for (const InternalEntry& e : node.internals) stack.push_back(e.child);
+      for (const InternalEntry& e : node->internals) stack.push_back(e.child);
     }
   }
   out.fill = out.leaves > 0 ? static_cast<double>(entries) /

@@ -1,0 +1,278 @@
+// Hot-path benchmark for the decoded-node cache: runs the same single-thread
+// k-MST query set over a TB-tree with the cache off and on, checks that the
+// answers and the *logical* node-access counts are identical either way, and
+// reports throughput, per-segment integration cost and the cache hit rate as
+// machine-readable JSON (BENCH_hotpath.json) for CI trend tracking.
+//
+// The workload leans on eager completion (the TB-tree chain fetch), which
+// turns candidate refinement into index reads — the regime where per-read
+// decode cost, and hence the cache, matters most. --eager=false measures the
+// paper-default traversal instead.
+//
+// The default workload (short queries, large k) is deliberately the
+// decode-bound regime: short query windows keep per-candidate integration
+// cheap while a large k keeps many candidates live, so traversal and chain
+// fetches — i.e. node reads — dominate. Long queries (--length 0.25) shift
+// the cost into DISSIM integration, where the cache still wins but by less;
+// the ns/segment column separates the two effects.
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/util/flags.h"
+#include "src/util/timer.h"
+
+namespace mst {
+namespace {
+
+struct QueryRecord {
+  std::vector<MstResult> results;
+  int64_t nodes_accessed = 0;
+};
+
+struct PhaseResult {
+  std::vector<QueryRecord> records;  // from the last measured pass
+  double best_seconds = 1e300;       // fastest pass, whole query set
+  int64_t leaf_entries_seen = 0;     // per pass (identical across passes)
+  int64_t cache_hits = 0;            // measured passes only
+  int64_t cache_misses = 0;
+};
+
+// One pass over the query set; timed, with per-query records.
+double RunPass(const BFMstSearch& searcher,
+               const std::vector<Trajectory>& queries,
+               const MstOptions& options, PhaseResult* out) {
+  std::vector<QueryRecord> records;
+  records.reserve(queries.size());
+  int64_t leaf_entries = 0;
+  // CPU time, not wall clock: this is a single-thread cost comparison and it
+  // must stay meaningful on loaded CI machines.
+  CpuTimer timer;
+  for (const Trajectory& q : queries) {
+    MstStats stats;
+    QueryRecord rec;
+    rec.results = searcher.Search(q, q.Lifespan(), options, &stats);
+    rec.nodes_accessed = stats.nodes_accessed;
+    leaf_entries += stats.leaf_entries_seen;
+    records.push_back(std::move(rec));
+  }
+  const double seconds = timer.ElapsedMs() / 1e3;
+  if (seconds < out->best_seconds) out->best_seconds = seconds;
+  out->records = std::move(records);
+  out->leaf_entries_seen = leaf_entries;
+  return seconds;
+}
+
+// Runs `repeats` interleaved off/on pass pairs. Interleaving (instead of one
+// sequential block per mode) keeps thermal drift and frequency scaling from
+// biasing whichever mode happens to run later; best-of over repeats absorbs
+// the rest.
+void RunInterleaved(const TBTree& index, const TrajectoryStore& store,
+                    const std::vector<Trajectory>& queries,
+                    const MstOptions& options, int repeats,
+                    size_t cache_nodes, PhaseResult* off, PhaseResult* on) {
+  const BFMstSearch searcher(&index, &store);
+
+  // Initial warm-up with the cache off: brings the page buffer to steady
+  // state. The on-mode hits the buffer only on cache misses, so the buffer
+  // stays in off-mode steady state across the whole interleaving.
+  index.node_cache().SetCapacity(0);
+  for (const Trajectory& q : queries) {
+    searcher.Search(q, q.Lifespan(), options);
+  }
+
+  for (int rep = 0; rep < repeats; ++rep) {
+    index.node_cache().SetCapacity(0);
+    RunPass(searcher, queries, options, off);
+
+    index.node_cache().SetCapacity(cache_nodes);
+    // Warm pass fills the node cache; not timed, not counted.
+    for (const Trajectory& q : queries) {
+      searcher.Search(q, q.Lifespan(), options);
+    }
+    const int64_t hits_before = index.node_cache().hits();
+    const int64_t misses_before = index.node_cache().misses();
+    RunPass(searcher, queries, options, on);
+    on->cache_hits += index.node_cache().hits() - hits_before;
+    on->cache_misses += index.node_cache().misses() - misses_before;
+  }
+}
+
+// Bitwise comparison: the cache must be invisible to results and to the
+// paper's logical I/O accounting.
+bool PhasesAgree(const PhaseResult& off, const PhaseResult& on) {
+  if (off.records.size() != on.records.size()) return false;
+  for (size_t i = 0; i < off.records.size(); ++i) {
+    const QueryRecord& a = off.records[i];
+    const QueryRecord& b = on.records[i];
+    if (a.nodes_accessed != b.nodes_accessed) {
+      std::fprintf(stderr,
+                   "[hotpath] query %zu: node accesses differ "
+                   "(off=%" PRId64 " on=%" PRId64 ")\n",
+                   i, a.nodes_accessed, b.nodes_accessed);
+      return false;
+    }
+    if (a.results.size() != b.results.size()) return false;
+    for (size_t j = 0; j < a.results.size(); ++j) {
+      if (a.results[j].id != b.results[j].id ||
+          a.results[j].dissim != b.results[j].dissim ||
+          a.results[j].error_bound != b.results[j].error_bound) {
+        std::fprintf(stderr, "[hotpath] query %zu result %zu differs\n", i, j);
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+int Main(int argc, char** argv) {
+  int64_t objects = 1000;
+  int64_t samples = 200;
+  int64_t queries = 40;
+  int64_t k = 50;
+  int64_t repeats = 5;
+  int64_t cache_nodes = 4096;
+  double length = 0.05;
+  double min_hit_rate = 0.5;
+  bool eager = true;
+  bool quick = false;
+  bool help = false;
+  std::string out_path = "BENCH_hotpath.json";
+  FlagParser flags;
+  flags.AddInt("objects", &objects, "dataset cardinality");
+  flags.AddInt("samples", &samples, "samples per object");
+  flags.AddInt("queries", &queries, "queries in the measured set");
+  flags.AddInt("k", &k, "k of the k-MST queries");
+  flags.AddInt("repeats", &repeats, "measured repeats (fastest counts)");
+  flags.AddInt("cache_nodes", &cache_nodes, "node-cache capacity (on-phase)");
+  flags.AddDouble("length", &length, "query length fraction of a lifespan");
+  flags.AddDouble("min_hit_rate", &min_hit_rate,
+                  "fail when the on-phase hit rate is below this");
+  flags.AddBool("eager", &eager, "use TB-tree eager completion");
+  flags.AddBool("quick", &quick, "CI smoke mode: small dataset, few queries");
+  flags.AddBool("help", &help, "print usage");
+  flags.AddString("out", &out_path, "JSON output path");
+  if (!flags.Parse(argc, argv)) return 1;
+  if (help) {
+    flags.PrintUsage("bench_hotpath_cache");
+    return 0;
+  }
+  if (quick) {
+    objects = 200;
+    samples = 200;
+    queries = 20;
+    repeats = 2;
+  }
+
+  std::fprintf(stderr, "[hotpath] building %s (%" PRId64 " samples/obj)...\n",
+               bench::SDatasetName(static_cast<int>(objects)).c_str(),
+               samples);
+  const TrajectoryStore store = bench::MakeSDataset(
+      static_cast<int>(objects), static_cast<int>(samples));
+  TrajectoryIndex::Options idx_opt;
+  idx_opt.node_cache_nodes = static_cast<size_t>(cache_nodes);
+  TBTree index(idx_opt);
+  index.BuildFrom(store);
+  index.ConfigurePaperBuffer();
+
+  Rng rng(20070415);
+  std::vector<Trajectory> query_set;
+  query_set.reserve(static_cast<size_t>(queries));
+  for (int i = 0; i < queries; ++i) {
+    query_set.push_back(bench::MakeQuery(store, &rng, length));
+  }
+  MstOptions options;
+  options.k = static_cast<int>(k);
+  options.use_eager_completion = eager;
+
+  std::fprintf(stderr,
+               "[hotpath] measuring %" PRId64 " interleaved off/on pass "
+               "pairs (cache %" PRId64 " nodes)...\n",
+               repeats, cache_nodes);
+  PhaseResult off;
+  PhaseResult on;
+  RunInterleaved(index, store, query_set, options, static_cast<int>(repeats),
+                 static_cast<size_t>(cache_nodes), &off, &on);
+
+  if (!PhasesAgree(off, on)) {
+    std::fprintf(stderr,
+                 "[hotpath] FAIL: cache changed results or access counts\n");
+    return 2;
+  }
+
+  const double qps_off = static_cast<double>(queries) / off.best_seconds;
+  const double qps_on = static_cast<double>(queries) / on.best_seconds;
+  const double speedup = qps_on / qps_off;
+  const int64_t cache_lookups = on.cache_hits + on.cache_misses;
+  const double hit_rate =
+      cache_lookups > 0
+          ? static_cast<double>(on.cache_hits) /
+                static_cast<double>(cache_lookups)
+          : 0.0;
+  const auto ns_per_segment = [](const PhaseResult& p) {
+    return p.leaf_entries_seen > 0
+               ? p.best_seconds * 1e9 /
+                     static_cast<double>(p.leaf_entries_seen)
+               : 0.0;
+  };
+
+  std::printf("== Hot-path decoded-node cache ==\n");
+  std::printf("dataset %s, %" PRId64 " queries (len %.2f, k=%" PRId64
+              ", eager=%d), %" PRId64 " repeats\n",
+              bench::SDatasetName(static_cast<int>(objects)).c_str(), queries,
+              length, k, eager ? 1 : 0, repeats);
+  std::printf("cache off: %8.1f q/s  (%7.1f ns/segment)\n", qps_off,
+              ns_per_segment(off));
+  std::printf("cache on : %8.1f q/s  (%7.1f ns/segment)  hit rate %.1f%%\n",
+              qps_on, ns_per_segment(on), 100.0 * hit_rate);
+  std::printf("speedup  : %.2fx\n", speedup);
+
+  if (std::FILE* f = std::fopen(out_path.c_str(), "w")) {
+    std::fprintf(f,
+                 "{\n"
+                 "  \"dataset\": \"%s\",\n"
+                 "  \"samples_per_object\": %" PRId64 ",\n"
+                 "  \"queries\": %" PRId64 ",\n"
+                 "  \"k\": %" PRId64 ",\n"
+                 "  \"length_fraction\": %.4f,\n"
+                 "  \"eager_completion\": %s,\n"
+                 "  \"repeats\": %" PRId64 ",\n"
+                 "  \"cache_nodes\": %" PRId64 ",\n"
+                 "  \"qps_cache_off\": %.2f,\n"
+                 "  \"qps_cache_on\": %.2f,\n"
+                 "  \"speedup\": %.4f,\n"
+                 "  \"ns_per_segment_cache_off\": %.2f,\n"
+                 "  \"ns_per_segment_cache_on\": %.2f,\n"
+                 "  \"cache_hits\": %" PRId64 ",\n"
+                 "  \"cache_misses\": %" PRId64 ",\n"
+                 "  \"cache_hit_rate\": %.4f\n"
+                 "}\n",
+                 bench::SDatasetName(static_cast<int>(objects)).c_str(),
+                 samples, queries, k, length, eager ? "true" : "false",
+                 repeats, cache_nodes, qps_off, qps_on, speedup,
+                 ns_per_segment(off), ns_per_segment(on), on.cache_hits,
+                 on.cache_misses, hit_rate);
+    std::fclose(f);
+    std::fprintf(stderr, "[hotpath] wrote %s\n", out_path.c_str());
+  } else {
+    std::fprintf(stderr, "[hotpath] cannot write %s\n", out_path.c_str());
+    return 3;
+  }
+
+  if (hit_rate < min_hit_rate) {
+    std::fprintf(stderr,
+                 "[hotpath] FAIL: hit rate %.3f below required %.3f\n",
+                 hit_rate, min_hit_rate);
+    return 4;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace mst
+
+int main(int argc, char** argv) { return mst::Main(argc, argv); }

@@ -7,7 +7,9 @@
 #include "bench/bench_common.h"
 #include "src/core/bounds.h"
 #include "src/core/dissim.h"
+#include "src/core/dissim_batch.h"
 #include "src/geom/mindist.h"
+#include "src/index/tbtree.h"
 #include "src/sim/dtw.h"
 #include "src/sim/edr.h"
 #include "src/sim/lcss.h"
@@ -40,6 +42,110 @@ void BM_TrapezoidSegmentIntegral(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TrapezoidSegmentIntegral);
+
+// Batch SoA integrator vs the scalar per-interval loop over the same
+// trinomials, at DISSIM-typical batch sizes (arg = intervals per call).
+void BM_IntegrateScalarLoop(benchmark::State& state) {
+  Rng rng(7);
+  TrinomialBatch batch;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    batch.Add(DistanceTrinomial::Between(
+        {rng.Uniform(-5, 5), rng.Uniform(-5, 5)},
+        {rng.Uniform(-5, 5), rng.Uniform(-5, 5)},
+        {rng.Uniform(-5, 5), rng.Uniform(-5, 5)},
+        {rng.Uniform(-5, 5), rng.Uniform(-5, 5)}, 0.7));
+  }
+  for (auto _ : state) {
+    DissimResult total;
+    for (size_t i = 0; i < batch.size(); ++i) {
+      total.Accumulate(
+          IntegrateSegment(batch.At(i), IntegrationPolicy::kTrapezoid));
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_IntegrateScalarLoop)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_IntegrateBatch(benchmark::State& state) {
+  Rng rng(7);
+  TrinomialBatch batch;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    batch.Add(DistanceTrinomial::Between(
+        {rng.Uniform(-5, 5), rng.Uniform(-5, 5)},
+        {rng.Uniform(-5, 5), rng.Uniform(-5, 5)},
+        {rng.Uniform(-5, 5), rng.Uniform(-5, 5)},
+        {rng.Uniform(-5, 5), rng.Uniform(-5, 5)}, 0.7));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        IntegrateBatch(batch, IntegrationPolicy::kTrapezoid));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_IntegrateBatch)->Arg(64)->Arg(512)->Arg(4096);
+
+// ReadNode with the decoded-node cache on (steady-state hits) vs off (page
+// decode on every read) — the per-node cost the cache removes.
+class ReadNodeFixture : public benchmark::Fixture {
+ public:
+  void SetUp(const benchmark::State&) override {
+    if (cached_ == nullptr) {
+      GstdOptions opt;
+      opt.num_objects = 20;
+      opt.samples_per_object = 500;
+      opt.seed = 12;
+      const TrajectoryStore store = GenerateGstd(opt);
+      cached_ = std::make_unique<TBTree>();
+      cached_->BuildFrom(store);
+      TrajectoryIndex::Options no_cache;
+      no_cache.node_cache_nodes = 0;
+      uncached_ = std::make_unique<TBTree>(no_cache);
+      uncached_->BuildFrom(store);
+      pages_.clear();
+      std::vector<PageId> stack = {cached_->root()};
+      while (!stack.empty()) {
+        const PageId page = stack.back();
+        stack.pop_back();
+        pages_.push_back(page);
+        const NodeRef node = cached_->ReadNode(page);
+        if (!node->IsLeaf()) {
+          for (const InternalEntry& e : node->internals) {
+            stack.push_back(e.child);
+          }
+        }
+      }
+    }
+  }
+
+ protected:
+  static std::unique_ptr<TBTree> cached_;
+  static std::unique_ptr<TBTree> uncached_;
+  static std::vector<PageId> pages_;
+};
+std::unique_ptr<TBTree> ReadNodeFixture::cached_;
+std::unique_ptr<TBTree> ReadNodeFixture::uncached_;
+std::vector<PageId> ReadNodeFixture::pages_;
+
+BENCHMARK_DEFINE_F(ReadNodeFixture, ReadNodeCached)
+(benchmark::State& state) {
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cached_->ReadNode(pages_[i]));
+    i = (i + 1) % pages_.size();
+  }
+}
+BENCHMARK_REGISTER_F(ReadNodeFixture, ReadNodeCached);
+
+BENCHMARK_DEFINE_F(ReadNodeFixture, ReadNodeUncached)
+(benchmark::State& state) {
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(uncached_->ReadNode(pages_[i]));
+    i = (i + 1) % pages_.size();
+  }
+}
+BENCHMARK_REGISTER_F(ReadNodeFixture, ReadNodeUncached);
 
 void BM_Ldd(benchmark::State& state) {
   for (auto _ : state) {

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "src/core/dissim_batch.h"
 #include "src/util/check.h"
 
 namespace mst {
@@ -122,7 +123,8 @@ DissimResult ComputeDissim(const Trajectory& q, const Trajectory& t,
   if (period.Duration() == 0.0) return total;
 
   // Merge the two timestamp sequences restricted to the open period.
-  std::vector<double> cuts;
+  static thread_local std::vector<double> cuts;
+  cuts.clear();
   cuts.reserve(q.size() + t.size() + 2);
   cuts.push_back(period.begin);
   for (const TPoint& s : q.samples()) {
@@ -134,6 +136,13 @@ DissimResult ComputeDissim(const Trajectory& q, const Trajectory& t,
   cuts.push_back(period.end);
   std::sort(cuts.begin(), cuts.end());
 
+  // Materialize every elementary interval's trinomial into a reused SoA
+  // batch, then integrate in one pass: IntegrateBatch reproduces the scalar
+  // per-interval accumulation bit-for-bit while letting the trapezoid values
+  // vectorize.
+  static thread_local TrinomialBatch batch;
+  batch.Clear();
+  batch.Reserve(cuts.size());
   std::optional<Vec2> q_prev = q.PositionAt(cuts.front());
   std::optional<Vec2> t_prev = t.PositionAt(cuts.front());
   for (size_t i = 0; i + 1 < cuts.size(); ++i) {
@@ -143,12 +152,12 @@ DissimResult ComputeDissim(const Trajectory& q, const Trajectory& t,
     const std::optional<Vec2> q_next = q.PositionAt(t1);
     const std::optional<Vec2> t_next = t.PositionAt(t1);
     MST_DCHECK(q_prev && t_prev && q_next && t_next);
-    const DistanceTrinomial tri =
-        DistanceTrinomial::Between(*q_prev, *q_next, *t_prev, *t_next, t1 - t0);
-    total.Accumulate(IntegrateSegment(tri, policy));
+    batch.Add(
+        DistanceTrinomial::Between(*q_prev, *q_next, *t_prev, *t_next, t1 - t0));
     q_prev = q_next;
     t_prev = t_next;
   }
+  total = IntegrateBatch(batch, policy);
   return total;
 }
 
@@ -163,7 +172,11 @@ SegmentDissim ComputeSegmentDissim(const Trajectory& q, const LeafEntry& entry,
   const TPoint b = entry.End();
   auto entry_pos = [&](double time) { return Lerp(a, b, time); };
 
-  std::vector<double> cuts;
+  // Called once per candidate leaf entry on the k-MST hot path: reuse the
+  // cuts scratch and route the per-interval integrals through the batch
+  // kernel (bit-for-bit identical to the scalar loop, see IntegrateBatch).
+  static thread_local std::vector<double> cuts;
+  cuts.clear();
   cuts.push_back(window.begin);
   for (const TPoint& s : q.samples()) {
     if (s.t > window.begin && s.t < window.end) cuts.push_back(s.t);
@@ -171,6 +184,8 @@ SegmentDissim ComputeSegmentDissim(const Trajectory& q, const LeafEntry& entry,
   cuts.push_back(window.end);
   // Query samples are already sorted; cuts is sorted by construction.
 
+  static thread_local TrinomialBatch batch;
+  batch.Clear();
   SegmentDissim out;
   Vec2 q_prev = *q.PositionAt(cuts.front());
   Vec2 e_prev = entry_pos(cuts.front());
@@ -181,12 +196,12 @@ SegmentDissim ComputeSegmentDissim(const Trajectory& q, const LeafEntry& entry,
     if (t1 <= t0) continue;
     const Vec2 q_next = *q.PositionAt(t1);
     const Vec2 e_next = entry_pos(t1);
-    const DistanceTrinomial tri =
-        DistanceTrinomial::Between(q_prev, q_next, e_prev, e_next, t1 - t0);
-    out.integral.Accumulate(IntegrateSegment(tri, policy));
+    batch.Add(
+        DistanceTrinomial::Between(q_prev, q_next, e_prev, e_next, t1 - t0));
     q_prev = q_next;
     e_prev = e_next;
   }
+  out.integral = IntegrateBatch(batch, policy);
   out.dist_end = Distance(q_prev, e_prev);
   return out;
 }

@@ -91,9 +91,12 @@ std::vector<MstResult> BFMstSearch::Search(const Trajectory& query,
 
   MstStats stats;
   stats.total_nodes = index_->NodeCount();
-  // Thread-local before/after delta rather than resetting the index's shared
-  // counter: concurrent queries on one index each get exact per-query stats.
+  // Thread-local before/after deltas rather than resetting the index's
+  // shared counters: concurrent queries on one index each get exact
+  // per-query stats.
   const int64_t accesses_before = TrajectoryIndex::ThreadNodeAccesses();
+  const int64_t cache_hits_before = NodeCache::ThreadHits();
+  const int64_t cache_misses_before = NodeCache::ThreadMisses();
 
   std::vector<MstResult> results;
   if (index_->empty()) {
@@ -115,6 +118,9 @@ std::vector<MstResult> BFMstSearch::Search(const Trajectory& query,
   std::unordered_map<TrajectoryId, CandidateList> completed;
   std::unordered_set<TrajectoryId> rejected;
   UpperBounds uppers(options.k);
+  // Scratch for the per-leaf temporal sort: cached nodes are immutable and
+  // shared, so the sort works on a reused copy instead of the node itself.
+  std::vector<LeafEntry> sorted_leaves;
 
   while (!queue.empty()) {
     const QueueEntry top = queue.top();
@@ -141,10 +147,10 @@ std::vector<MstResult> BFMstSearch::Search(const Trajectory& query,
       }
     }
 
-    IndexNode node = index_->ReadNode(top.page);
+    const NodeRef node = index_->ReadNode(top.page);
 
-    if (!node.IsLeaf()) {
-      for (const InternalEntry& e : node.internals) {
+    if (!node->IsLeaf()) {
+      for (const InternalEntry& e : node->internals) {
         const double d = MinDist(query, e.mbb, period);
         if (std::isinf(d)) continue;  // no temporal overlap with the period
         queue.push({d, e.child});
@@ -153,14 +159,20 @@ std::vector<MstResult> BFMstSearch::Search(const Trajectory& query,
       continue;
     }
 
-    // Leaf: process entries in temporal order (the paper's line 10; TB-tree
-    // leaves are already sorted, the 3D R-tree's need it).
-    std::sort(node.leaves.begin(), node.leaves.end(),
-              [](const LeafEntry& a, const LeafEntry& b) {
-                if (a.t0 != b.t0) return a.t0 < b.t0;
-                return a.traj_id < b.traj_id;
-              });
-    for (const LeafEntry& e : node.leaves) {
+    // Leaf: process entries in temporal order (the paper's line 10). TB-tree
+    // leaves are already sorted — iterate the shared cached node directly;
+    // only the 3D R-tree's leaves need the copy + sort into the scratch.
+    const auto temporal_order = [](const LeafEntry& a, const LeafEntry& b) {
+      if (a.t0 != b.t0) return a.t0 < b.t0;
+      return a.traj_id < b.traj_id;
+    };
+    const std::vector<LeafEntry>* entries = &node->leaves;
+    if (!std::is_sorted(entries->begin(), entries->end(), temporal_order)) {
+      sorted_leaves.assign(entries->begin(), entries->end());
+      std::sort(sorted_leaves.begin(), sorted_leaves.end(), temporal_order);
+      entries = &sorted_leaves;
+    }
+    for (const LeafEntry& e : *entries) {
       ++stats.leaf_entries_seen;
       const TrajectoryId id = e.traj_id;
       if (id == options.exclude_id) continue;
@@ -299,6 +311,8 @@ std::vector<MstResult> BFMstSearch::Search(const Trajectory& query,
 
   stats.nodes_accessed =
       TrajectoryIndex::ThreadNodeAccesses() - accesses_before;
+  stats.node_cache_hits = NodeCache::ThreadHits() - cache_hits_before;
+  stats.node_cache_misses = NodeCache::ThreadMisses() - cache_misses_before;
   if (stats_out != nullptr) *stats_out = stats;
   return results;
 }

@@ -174,9 +174,9 @@ std::vector<TimeRelaxedMatch> TimeRelaxedIndexKMst(
       stats.terminated_early = true;
       break;
     }
-    const IndexNode node = index.ReadNode(top.page);
-    if (node.IsLeaf()) {
-      for (const LeafEntry& e : node.leaves) {
+    const NodeRef node = index.ReadNode(top.page);
+    if (node->IsLeaf()) {
+      for (const LeafEntry& e : node->leaves) {
         if (e.traj_id == exclude_id || seen.contains(e.traj_id)) continue;
         seen.insert(e.traj_id);
         const Trajectory* t = store.Find(e.traj_id);
@@ -191,7 +191,7 @@ std::vector<TimeRelaxedMatch> TimeRelaxedIndexKMst(
       }
       continue;
     }
-    for (const InternalEntry& e : node.internals) {
+    for (const InternalEntry& e : node->internals) {
       const double d = PathRectDistance(query, e.mbb);
       if (q_dur * d < kth()) queue.push({d, e.child});
     }

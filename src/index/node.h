@@ -12,6 +12,7 @@
 #define MST_INDEX_NODE_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "src/geom/interval.h"
@@ -101,6 +102,12 @@ struct IndexNode {
   /// Parses a node from `page`; `self` is recorded for convenience.
   static IndexNode Decode(const Page& page, PageId self);
 };
+
+/// Shared handle to an immutable decoded node, as returned by
+/// TrajectoryIndex::ReadNode and held by the decoded-node cache. Stays valid
+/// for as long as the caller keeps the reference, independent of buffer
+/// eviction or cache invalidation.
+using NodeRef = std::shared_ptr<const IndexNode>;
 
 }  // namespace mst
 

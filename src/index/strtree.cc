@@ -292,13 +292,13 @@ double STRTree::PreservationRatio() const {
   while (!stack.empty()) {
     const PageId page = stack.back();
     stack.pop_back();
-    const IndexNode node = ReadNode(page);
-    if (node.IsLeaf()) {
-      for (const LeafEntry& e : node.leaves) {
+    const NodeRef node = ReadNode(page);
+    if (node->IsLeaf()) {
+      for (const LeafEntry& e : node->leaves) {
         placed.push_back({e.traj_id, e.t0, page});
       }
     } else {
-      for (const InternalEntry& e : node.internals) stack.push_back(e.child);
+      for (const InternalEntry& e : node->internals) stack.push_back(e.child);
     }
   }
   std::sort(placed.begin(), placed.end(), [](const Placed& a, const Placed& b) {

@@ -136,12 +136,12 @@ std::vector<LeafEntry> TBTree::RetrieveTrajectory(TrajectoryId id) const {
   std::vector<LeafEntry> out;
   PageId cur = HeadLeaf(id);
   while (cur != kInvalidPageId) {
-    const IndexNode leaf = ReadNode(cur);
-    for (const LeafEntry& e : leaf.leaves) {
+    const NodeRef leaf = ReadNode(cur);
+    for (const LeafEntry& e : leaf->leaves) {
       MST_CHECK(e.traj_id == id);
       out.push_back(e);
     }
-    cur = leaf.next_leaf;
+    cur = leaf->next_leaf;
   }
   return out;
 }
@@ -154,25 +154,25 @@ void TBTree::CheckTBInvariants() const {
     PageId prev = kInvalidPageId;
     double last_t = -1e300;
     while (cur != kInvalidPageId) {
-      const IndexNode leaf = ReadNode(cur);
-      MST_CHECK_MSG(leaf.IsLeaf(), "chain points at a non-leaf");
-      MST_CHECK_MSG(leaf.prev_leaf == prev, "broken prev pointer");
-      for (const LeafEntry& e : leaf.leaves) {
+      const NodeRef leaf = ReadNode(cur);
+      MST_CHECK_MSG(leaf->IsLeaf(), "chain points at a non-leaf");
+      MST_CHECK_MSG(leaf->prev_leaf == prev, "broken prev pointer");
+      for (const LeafEntry& e : leaf->leaves) {
         MST_CHECK_MSG(e.traj_id == id, "foreign segment in TB leaf");
         MST_CHECK_MSG(e.t0 >= last_t, "chain out of temporal order");
         last_t = e.t1;
       }
       // Parent pointer must route back to this leaf.
-      if (leaf.parent != kInvalidPageId) {
-        const IndexNode parent = ReadNode(leaf.parent);
+      if (leaf->parent != kInvalidPageId) {
+        const NodeRef parent = ReadNode(leaf->parent);
         bool found = false;
-        for (const InternalEntry& e : parent.internals) {
+        for (const InternalEntry& e : parent->internals) {
           found = found || e.child == cur;
         }
         MST_CHECK_MSG(found, "leaf's parent does not reference it");
       }
       prev = cur;
-      cur = leaf.next_leaf;
+      cur = leaf->next_leaf;
     }
     MST_CHECK_MSG(prev == chain.tail, "chain tail mismatch");
   }

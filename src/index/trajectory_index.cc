@@ -18,7 +18,9 @@ thread_local int64_t tls_node_accesses = 0;
 int64_t TrajectoryIndex::ThreadNodeAccesses() { return tls_node_accesses; }
 
 TrajectoryIndex::TrajectoryIndex(const Options& options)
-    : file_(), buffer_(&file_, options.build_buffer_pages) {}
+    : file_(),
+      buffer_(&file_, options.build_buffer_pages),
+      node_cache_(options.node_cache_nodes) {}
 
 TrajectoryIndex::~TrajectoryIndex() = default;
 
@@ -51,11 +53,17 @@ void TrajectoryIndex::BuildFrom(const TrajectoryStore& store) {
   }
 }
 
-IndexNode TrajectoryIndex::ReadNode(PageId id) const {
+NodeRef TrajectoryIndex::ReadNode(PageId id) const {
+  // Count the logical access unconditionally: Table-2/Fig-10 node-access
+  // numbers must be byte-identical whether the node cache is on or off.
   node_accesses_.fetch_add(1, std::memory_order_relaxed);
   ++tls_node_accesses;
+  uint64_t version = 0;
+  if (NodeRef cached = node_cache_.Lookup(id, &version)) return cached;
   const PageGuard guard = buffer_.Pin(id);
-  return IndexNode::Decode(*guard, id);
+  NodeRef node = std::make_shared<const IndexNode>(IndexNode::Decode(*guard, id));
+  node_cache_.Insert(id, node, version);
+  return node;
 }
 
 IndexNode TrajectoryIndex::ReadNodeForUpdate(PageId id) {
@@ -65,8 +73,13 @@ IndexNode TrajectoryIndex::ReadNodeForUpdate(PageId id) {
 
 void TrajectoryIndex::WriteNode(const IndexNode& node) {
   MST_DCHECK(node.self != kInvalidPageId);
-  PageGuard guard = buffer_.PinMutable(node.self);
-  node.EncodeTo(guard.mutable_page());
+  {
+    PageGuard guard = buffer_.PinMutable(node.self);
+    node.EncodeTo(guard.mutable_page());
+  }
+  // Bump the page version after the bytes change: a concurrent decode of
+  // the old bytes observed the old version and will fail to publish.
+  node_cache_.Invalidate(node.self);
 }
 
 PageId TrajectoryIndex::AllocateNode() { return buffer_.AllocatePage(); }
@@ -104,30 +117,31 @@ void TrajectoryIndex::ConfigurePaperBuffer() {
       std::clamp<int64_t>(pages / 10, /*lo=*/1, /*hi=*/1000);
   buffer_.Clear();
   buffer_.SetCapacity(static_cast<size_t>(target));
+  node_cache_.Clear();
 }
 
 void TrajectoryIndex::CheckSubtree(PageId id, int expected_level,
                                    const Mbb3* parent_box,
                                    PageId parent_id) const {
-  const IndexNode node = ReadNode(id);
-  MST_CHECK_MSG(node.level == expected_level, "node level mismatch");
-  MST_CHECK(node.Count() <= IndexNode::kCapacity);
+  const NodeRef node = ReadNode(id);
+  MST_CHECK_MSG(node->level == expected_level, "node level mismatch");
+  MST_CHECK(node->Count() <= IndexNode::kCapacity);
   if (parent_box != nullptr) {
-    MST_CHECK_MSG(parent_box->Contains(node.Bounds()),
+    MST_CHECK_MSG(parent_box->Contains(node->Bounds()),
                   "parent MBB does not contain child contents");
   }
-  if (node.parent != kInvalidPageId) {
-    MST_CHECK_MSG(node.parent == parent_id, "stale parent pointer");
+  if (node->parent != kInvalidPageId) {
+    MST_CHECK_MSG(node->parent == parent_id, "stale parent pointer");
   }
-  if (node.IsLeaf()) {
-    for (const LeafEntry& e : node.leaves) {
+  if (node->IsLeaf()) {
+    for (const LeafEntry& e : node->leaves) {
       MST_CHECK(e.t0 < e.t1);
       MST_CHECK(e.traj_id != kInvalidTrajectoryId);
     }
     return;
   }
-  MST_CHECK_MSG(node.Count() > 0, "empty internal node");
-  for (const InternalEntry& e : node.internals) {
+  MST_CHECK_MSG(node->Count() > 0, "empty internal node");
+  for (const InternalEntry& e : node->internals) {
     MST_CHECK(e.child != kInvalidPageId);
     CheckSubtree(e.child, expected_level - 1, &e.mbb, id);
   }

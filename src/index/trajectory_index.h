@@ -14,6 +14,7 @@
 #include "src/geom/trajectory.h"
 #include "src/index/buffer.h"
 #include "src/index/node.h"
+#include "src/index/node_cache.h"
 #include "src/index/pagefile.h"
 
 namespace mst {
@@ -28,9 +29,13 @@ class TrajectoryIndex {
  public:
   /// Construction-time knobs. `build_buffer_pages` is the cache used while
   /// building; ConfigurePaperBuffer() later shrinks it to the experiment
-  /// setting (10 % of the index, max 1000 pages).
+  /// setting (10 % of the index, max 1000 pages). `node_cache_nodes` sizes
+  /// the decoded-node cache above the page buffer (0 disables it; it is an
+  /// engineering layer, not part of the paper's I/O model — logical node
+  /// accesses are counted identically with it on or off).
   struct Options {
     size_t build_buffer_pages = 4096;
+    size_t node_cache_nodes = 4096;
   };
 
   virtual ~TrajectoryIndex();
@@ -70,8 +75,12 @@ class TrajectoryIndex {
   /// Height of the tree (1 = root is a leaf); 0 when empty.
   int height() const { return height_; }
 
-  /// Reads and decodes a node through the buffer, counting one node access.
-  IndexNode ReadNode(PageId id) const;
+  /// Reads a node, counting one node access (always — cache hits included,
+  /// so logical access counts are independent of caching). Served from the
+  /// decoded-node cache when possible, else decoded through the page buffer
+  /// and published to the cache. The returned node is immutable and shared;
+  /// callers needing to modify entries must copy them.
+  NodeRef ReadNode(PageId id) const;
 
   /// Number of nodes (== allocated pages).
   int64_t NodeCount() const { return file_.PageCount(); }
@@ -93,8 +102,15 @@ class TrajectoryIndex {
   int64_t node_accesses() const {
     return node_accesses_.load(std::memory_order_relaxed);
   }
+
+  /// Resets the logical node-access counter together with the buffer's
+  /// logical-read/miss counters and the node cache's hit/miss/invalidation
+  /// counters, so a reset-then-measure experiment reads every layer from
+  /// zero (see EXPERIMENTS.md).
   void ResetAccessCounters() const {
     node_accesses_.store(0, std::memory_order_relaxed);
+    buffer_.ResetCounters();
+    node_cache_.ResetCounters();
   }
 
   /// Monotonic count of node accesses performed *by the calling thread*
@@ -104,10 +120,12 @@ class TrajectoryIndex {
   static int64_t ThreadNodeAccesses();
 
   /// Shrinks the buffer to the paper's experiment setting — 10 % of the index
-  /// size with a 1000-page cap — and drops cached frames.
+  /// size with a 1000-page cap — and drops cached frames and cached decoded
+  /// nodes (both caching layers restart cold).
   void ConfigurePaperBuffer();
 
   BufferManager& buffer() const { return buffer_; }
+  NodeCache& node_cache() const { return node_cache_; }
   PageFile& file() { return file_; }
 
   /// Structural invariant check (MBB containment, counts, parent links where
@@ -150,6 +168,7 @@ class TrajectoryIndex {
 
   mutable PageFile file_;
   mutable BufferManager buffer_;
+  mutable NodeCache node_cache_;
   PageId root_ = kInvalidPageId;
   int height_ = 0;
   int64_t entry_count_ = 0;

@@ -193,9 +193,9 @@ std::vector<CnnPiece> ContinuousNearestNeighbor(const TrajectoryIndex& index,
   while (!stack.empty()) {
     const PageId page = stack.back();
     stack.pop_back();
-    const IndexNode node = index.ReadNode(page);
-    if (node.IsLeaf()) {
-      for (const LeafEntry& e : node.leaves) {
+    const NodeRef node = index.ReadNode(page);
+    if (node->IsLeaf()) {
+      for (const LeafEntry& e : node->leaves) {
         const TimeInterval window = period.Intersect(e.TimeSpan());
         if (window.Duration() <= 0.0) continue;
         if (MinDist(query, e.Bounds(), period) > umax) continue;
@@ -203,7 +203,7 @@ std::vector<CnnPiece> ContinuousNearestNeighbor(const TrajectoryIndex& index,
       }
       continue;
     }
-    for (const InternalEntry& e : node.internals) {
+    for (const InternalEntry& e : node->internals) {
       if (MinDist(query, e.mbb, period) <= umax) stack.push_back(e.child);
     }
   }

@@ -86,15 +86,15 @@ std::vector<NnResult> BestFirstKnn(const TrajectoryIndex& index, int k,
     const QueueEntry top = queue.top();
     queue.pop();
     if (top.mindist >= best.KthValue()) break;  // exact termination
-    const IndexNode node = index.ReadNode(top.page);
-    if (node.IsLeaf()) {
-      for (const LeafEntry& e : node.leaves) {
+    const NodeRef node = index.ReadNode(top.page);
+    if (node->IsLeaf()) {
+      for (const LeafEntry& e : node->leaves) {
         const double d = segment_distance(e);
         if (d < kInf) best.Offer(e.traj_id, d);
       }
       continue;
     }
-    for (const InternalEntry& e : node.internals) {
+    for (const InternalEntry& e : node->internals) {
       const double d = node_distance(e.mbb);
       if (d < kInf && d < best.KthValue()) queue.push({d, e.child});
     }

@@ -23,14 +23,14 @@ std::vector<LeafEntry> RangeSegments(const TrajectoryIndex& index,
   while (!stack.empty()) {
     const PageId page = stack.back();
     stack.pop_back();
-    const IndexNode node = index.ReadNode(page);
-    if (node.IsLeaf()) {
-      for (const LeafEntry& e : node.leaves) {
+    const NodeRef node = index.ReadNode(page);
+    if (node->IsLeaf()) {
+      for (const LeafEntry& e : node->leaves) {
         if (e.Bounds().Intersects(window)) out.push_back(e);
       }
       continue;
     }
-    for (const InternalEntry& e : node.internals) {
+    for (const InternalEntry& e : node->internals) {
       if (e.mbb.Intersects(window)) stack.push_back(e.child);
     }
   }

@@ -1,9 +1,10 @@
-// Wall-clock timing utilities for the benchmark harness.
+// Wall-clock and CPU-time stopwatches for the benchmark harness.
 
 #ifndef MST_UTIL_TIMER_H_
 #define MST_UTIL_TIMER_H_
 
 #include <chrono>
+#include <ctime>
 
 namespace mst {
 
@@ -28,6 +29,36 @@ class WallTimer {
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+};
+
+/// Process-CPU-time stopwatch, for benchmarks that must stay meaningful on
+/// shared or oversubscribed machines where wall-clock noise drowns the
+/// signal. Same interface as WallTimer. Only measures this process's CPU
+/// time — use WallTimer for anything involving multiple processes or real
+/// concurrency throughput.
+class CpuTimer {
+ public:
+  CpuTimer() : start_(Now()) {}
+
+  void Restart() { start_ = Now(); }
+
+  double ElapsedMs() const { return (Now() - start_) * 1e3; }
+
+  double ElapsedSeconds() const { return Now() - start_; }
+
+ private:
+  static double Now() {
+#if defined(CLOCK_PROCESS_CPUTIME_ID)
+    timespec ts;
+    clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+#else
+    return static_cast<double>(std::clock()) / CLOCKS_PER_SEC;
+#endif
+  }
+
+  double start_;
 };
 
 }  // namespace mst

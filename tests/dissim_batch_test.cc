@@ -1,0 +1,187 @@
+// The batch SoA integrator must be a drop-in for the scalar per-interval
+// loop: bit-for-bit identical in trapezoid mode (values AND error bounds),
+// identical in exact and adaptive modes, across random, degenerate (a ≈ 0)
+// and perfect-square (touching distance zero) trinomials. The Lemma 1
+// bracket [value − error_bound, value] must keep containing the exact
+// integral.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/core/dissim.h"
+#include "src/core/dissim_batch.h"
+#include "src/geom/moving_distance.h"
+#include "src/util/random.h"
+#include "tests/test_util.h"
+
+namespace mst {
+namespace {
+
+// The reference: the scalar accumulation loop the batch kernel replaces.
+DissimResult ScalarIntegrate(const TrinomialBatch& batch,
+                             IntegrationPolicy policy) {
+  DissimResult total;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    total.Accumulate(IntegrateSegment(batch.At(i), policy));
+  }
+  return total;
+}
+
+// Random moving-point pair trinomial with occasional degenerate shapes.
+DistanceTrinomial RandomTrinomial(Rng* rng) {
+  const double dur = rng->Uniform(1e-3, 5.0);
+  const Vec2 q0{rng->Uniform(-10.0, 10.0), rng->Uniform(-10.0, 10.0)};
+  const Vec2 q1{rng->Uniform(-10.0, 10.0), rng->Uniform(-10.0, 10.0)};
+  switch (rng->UniformIndex(4)) {
+    case 0: {  // same velocity: a == b == 0, constant distance
+      const Vec2 d{rng->Uniform(-3.0, 3.0), rng->Uniform(-3.0, 3.0)};
+      return DistanceTrinomial::Between(q0, q1, {q0.x + d.x, q0.y + d.y},
+                                        {q1.x + d.x, q1.y + d.y}, dur);
+    }
+    case 1: {  // relative position sweeps through zero: perfect square
+      const Vec2 d{rng->Uniform(-3.0, 3.0), rng->Uniform(-3.0, 3.0)};
+      return DistanceTrinomial::Between(q0, q1, {q0.x + d.x, q0.y + d.y},
+                                        {q1.x - d.x, q1.y - d.y}, dur);
+    }
+    case 2: {  // near-constant: tiny relative drift on a large offset
+      const Vec2 d{rng->Uniform(50.0, 100.0), rng->Uniform(50.0, 100.0)};
+      const double eps = rng->Uniform(-1e-8, 1e-8);
+      return DistanceTrinomial::Between(q0, q1, {q0.x + d.x, q0.y + d.y},
+                                        {q1.x + d.x + eps, q1.y + d.y}, dur);
+    }
+    default:  // general position
+      return DistanceTrinomial::Between(
+          q0, q1, {rng->Uniform(-10.0, 10.0), rng->Uniform(-10.0, 10.0)},
+          {rng->Uniform(-10.0, 10.0), rng->Uniform(-10.0, 10.0)}, dur);
+  }
+}
+
+TrinomialBatch RandomBatch(Rng* rng, int n) {
+  TrinomialBatch batch;
+  batch.Reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) batch.Add(RandomTrinomial(rng));
+  return batch;
+}
+
+TEST(DissimBatchTest, TrapezoidMatchesScalarBitForBit) {
+  Rng rng(101);
+  for (int round = 0; round < 50; ++round) {
+    const TrinomialBatch batch = RandomBatch(&rng, 1 + round * 3);
+    const DissimResult batched =
+        IntegrateBatch(batch, IntegrationPolicy::kTrapezoid);
+    const DissimResult scalar =
+        ScalarIntegrate(batch, IntegrationPolicy::kTrapezoid);
+    // Bitwise: the batch path must not perturb Table 2 / Fig. 10 numbers.
+    EXPECT_EQ(batched.value, scalar.value) << "round " << round;
+    EXPECT_EQ(batched.error_bound, scalar.error_bound) << "round " << round;
+  }
+}
+
+TEST(DissimBatchTest, ExactMatchesScalarBitForBit) {
+  Rng rng(202);
+  for (int round = 0; round < 50; ++round) {
+    const TrinomialBatch batch = RandomBatch(&rng, 1 + round * 3);
+    const DissimResult batched =
+        IntegrateBatch(batch, IntegrationPolicy::kExact);
+    const DissimResult scalar =
+        ScalarIntegrate(batch, IntegrationPolicy::kExact);
+    EXPECT_EQ(batched.value, scalar.value) << "round " << round;
+    EXPECT_EQ(batched.error_bound, 0.0);
+  }
+}
+
+TEST(DissimBatchTest, AdaptiveMatchesScalarBitForBit) {
+  Rng rng(303);
+  for (int round = 0; round < 50; ++round) {
+    const TrinomialBatch batch = RandomBatch(&rng, 1 + round * 3);
+    const DissimResult batched =
+        IntegrateBatch(batch, IntegrationPolicy::kAdaptive);
+    const DissimResult scalar =
+        ScalarIntegrate(batch, IntegrationPolicy::kAdaptive);
+    EXPECT_EQ(batched.value, scalar.value) << "round " << round;
+    EXPECT_EQ(batched.error_bound, scalar.error_bound) << "round " << round;
+  }
+}
+
+TEST(DissimBatchTest, EmptyBatchIsZero) {
+  const TrinomialBatch batch;
+  const DissimResult r = IntegrateBatch(batch, IntegrationPolicy::kTrapezoid);
+  EXPECT_EQ(r.value, 0.0);
+  EXPECT_EQ(r.error_bound, 0.0);
+}
+
+TEST(DissimBatchTest, DegenerateShapesMatchScalar) {
+  // Hand-picked hard cases, one per batch so a failure names the culprit.
+  const Vec2 o{0.0, 0.0};
+  const std::vector<DistanceTrinomial> cases = {
+      // Both static, coincident: all-zero trinomial.
+      DistanceTrinomial::Between(o, o, o, o, 1.0),
+      // Both static, apart: a == b == 0, c > 0.
+      DistanceTrinomial::Between(o, o, {3.0, 4.0}, {3.0, 4.0}, 2.0),
+      // Same velocity, offset: constant distance while moving.
+      DistanceTrinomial::Between(o, {5.0, 0.0}, {0.0, 2.0}, {5.0, 2.0}, 1.5),
+      // Head-on pass through zero distance: perfect square, D'' unbounded.
+      DistanceTrinomial::Between(o, o, {-1.0, 0.0}, {1.0, 0.0}, 1.0),
+      // Near miss: minimum distance tiny but positive.
+      DistanceTrinomial::Between(o, o, {-1.0, 1e-9}, {1.0, 1e-9}, 1.0),
+      // Long interval amplifying the cubic error term.
+      DistanceTrinomial::Between(o, {1.0, 0.0}, {0.0, 10.0}, {1.0, -10.0},
+                                 100.0),
+  };
+  for (const IntegrationPolicy policy :
+       {IntegrationPolicy::kTrapezoid, IntegrationPolicy::kExact,
+        IntegrationPolicy::kAdaptive}) {
+    for (size_t i = 0; i < cases.size(); ++i) {
+      TrinomialBatch batch;
+      batch.Add(cases[i]);
+      const DissimResult batched = IntegrateBatch(batch, policy);
+      const DissimResult scalar = ScalarIntegrate(batch, policy);
+      EXPECT_EQ(batched.value, scalar.value)
+          << "case " << i << " policy " << static_cast<int>(policy);
+      EXPECT_EQ(batched.error_bound, scalar.error_bound)
+          << "case " << i << " policy " << static_cast<int>(policy);
+    }
+  }
+}
+
+TEST(DissimBatchTest, Lemma1BracketContainsExactValue) {
+  Rng rng(404);
+  for (int round = 0; round < 200; ++round) {
+    TrinomialBatch batch;
+    batch.Add(RandomTrinomial(&rng));
+    const DissimResult approx =
+        IntegrateBatch(batch, IntegrationPolicy::kTrapezoid);
+    const double exact =
+        IntegrateBatch(batch, IntegrationPolicy::kExact).value;
+    // One-sided Lemma 1 bracket, with an ulp-scale slack for the closed
+    // form's own rounding.
+    const double slack = 1e-9 * std::max(1.0, approx.value);
+    EXPECT_LE(exact, approx.value + slack) << "round " << round;
+    EXPECT_GE(exact, approx.LowerBound() - slack) << "round " << round;
+  }
+}
+
+TEST(DissimBatchTest, ComputeDissimStillMatchesNumericReference) {
+  // End-to-end: ComputeDissim now routes through the batch kernel; it must
+  // still agree with dense numeric integration on random trajectories.
+  Rng rng(505);
+  for (int round = 0; round < 10; ++round) {
+    const Trajectory q =
+        testing_util::RandomTrajectory(&rng, 1, 30, 0.0, 10.0);
+    const Trajectory t =
+        testing_util::RandomIrregularTrajectory(&rng, 2, 25, 0.0, 10.0);
+    const double reference = testing_util::NumericDissim(q, t, 0.0, 10.0);
+    const double exact =
+        ComputeDissim(q, t, {0.0, 10.0}, IntegrationPolicy::kExact).value;
+    const DissimResult trap =
+        ComputeDissim(q, t, {0.0, 10.0}, IntegrationPolicy::kTrapezoid);
+    EXPECT_NEAR(exact, reference, 1e-3 * std::max(1.0, reference));
+    EXPECT_LE(exact, trap.value + 1e-9);
+    EXPECT_GE(exact, trap.LowerBound() - 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace mst

@@ -36,12 +36,12 @@ std::unique_ptr<TrajectoryIndex> Make(Kind kind) {
 
 void CollectAll(const TrajectoryIndex& index, PageId page,
                 std::vector<LeafEntry>* out) {
-  const IndexNode node = index.ReadNode(page);
-  if (node.IsLeaf()) {
-    out->insert(out->end(), node.leaves.begin(), node.leaves.end());
+  const NodeRef node = index.ReadNode(page);
+  if (node->IsLeaf()) {
+    out->insert(out->end(), node->leaves.begin(), node->leaves.end());
     return;
   }
-  for (const InternalEntry& e : node.internals) {
+  for (const InternalEntry& e : node->internals) {
     CollectAll(index, e.child, out);
   }
 }

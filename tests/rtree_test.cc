@@ -15,12 +15,12 @@ namespace {
 // Collects every leaf entry in the tree by full traversal.
 void CollectAll(const TrajectoryIndex& index, PageId page,
                 std::vector<LeafEntry>* out) {
-  const IndexNode node = index.ReadNode(page);
-  if (node.IsLeaf()) {
-    out->insert(out->end(), node.leaves.begin(), node.leaves.end());
+  const NodeRef node = index.ReadNode(page);
+  if (node->IsLeaf()) {
+    out->insert(out->end(), node->leaves.begin(), node->leaves.end());
     return;
   }
-  for (const InternalEntry& e : node.internals) {
+  for (const InternalEntry& e : node->internals) {
     CollectAll(index, e.child, out);
   }
 }
@@ -28,14 +28,14 @@ void CollectAll(const TrajectoryIndex& index, PageId page,
 // Range query using MBB pruning.
 void RangeQuery(const TrajectoryIndex& index, PageId page, const Mbb3& box,
                 std::vector<LeafEntry>* out) {
-  const IndexNode node = index.ReadNode(page);
-  if (node.IsLeaf()) {
-    for (const LeafEntry& e : node.leaves) {
+  const NodeRef node = index.ReadNode(page);
+  if (node->IsLeaf()) {
+    for (const LeafEntry& e : node->leaves) {
       if (e.Bounds().Intersects(box)) out->push_back(e);
     }
     return;
   }
-  for (const InternalEntry& e : node.internals) {
+  for (const InternalEntry& e : node->internals) {
     if (e.mbb.Intersects(box)) RangeQuery(index, e.child, box, out);
   }
 }
@@ -313,9 +313,9 @@ TEST(RTreeTest, SingleEntryTree) {
   tree.Insert(LeafEntry::Of(7, {0.0, {1, 1}}, {1.0, {2, 2}}));
   tree.CheckInvariants();
   EXPECT_EQ(tree.height(), 1);
-  const IndexNode root = tree.ReadNode(tree.root());
-  ASSERT_EQ(root.leaves.size(), 1u);
-  EXPECT_EQ(root.leaves[0].traj_id, 7);
+  const NodeRef root = tree.ReadNode(tree.root());
+  ASSERT_EQ(root->leaves.size(), 1u);
+  EXPECT_EQ(root->leaves[0].traj_id, 7);
 }
 
 }  // namespace

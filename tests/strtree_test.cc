@@ -16,12 +16,12 @@ namespace {
 
 void CollectAll(const TrajectoryIndex& index, PageId page,
                 std::vector<LeafEntry>* out) {
-  const IndexNode node = index.ReadNode(page);
-  if (node.IsLeaf()) {
-    out->insert(out->end(), node.leaves.begin(), node.leaves.end());
+  const NodeRef node = index.ReadNode(page);
+  if (node->IsLeaf()) {
+    out->insert(out->end(), node->leaves.begin(), node->leaves.end());
     return;
   }
-  for (const InternalEntry& e : node.internals) {
+  for (const InternalEntry& e : node->internals) {
     CollectAll(index, e.child, out);
   }
 }
@@ -110,13 +110,13 @@ TEST(STRTreeTest, PreservesTrajectoriesBetterThanPlainRTree) {
   while (!stack.empty()) {
     const PageId page = stack.back();
     stack.pop_back();
-    const IndexNode node = rtree.ReadNode(page);
-    if (node.IsLeaf()) {
-      for (const LeafEntry& e : node.leaves) {
+    const NodeRef node = rtree.ReadNode(page);
+    if (node->IsLeaf()) {
+      for (const LeafEntry& e : node->leaves) {
         placed.push_back({e.traj_id, e.t0, page});
       }
     } else {
-      for (const InternalEntry& e : node.internals) stack.push_back(e.child);
+      for (const InternalEntry& e : node->internals) stack.push_back(e.child);
     }
   }
   std::sort(placed.begin(), placed.end(),
@@ -146,9 +146,9 @@ TEST(STRTreeTest, TailLeafTracksNewestSegment) {
                               {i + 1.0, {i + 1.0, 0.0}}));
     const PageId tail = tree.TailLeaf(1);
     ASSERT_NE(tail, kInvalidPageId);
-    const IndexNode leaf = tree.ReadNode(tail);
+    const NodeRef leaf = tree.ReadNode(tail);
     bool found = false;
-    for (const LeafEntry& e : leaf.leaves) {
+    for (const LeafEntry& e : leaf->leaves) {
       found = found || e.t0 == static_cast<double>(i);
     }
     EXPECT_TRUE(found) << "newest segment not in the tracked tail leaf";

@@ -12,12 +12,12 @@ namespace {
 
 void CollectAll(const TrajectoryIndex& index, PageId page,
                 std::vector<LeafEntry>* out) {
-  const IndexNode node = index.ReadNode(page);
-  if (node.IsLeaf()) {
-    out->insert(out->end(), node.leaves.begin(), node.leaves.end());
+  const NodeRef node = index.ReadNode(page);
+  if (node->IsLeaf()) {
+    out->insert(out->end(), node->leaves.begin(), node->leaves.end());
     return;
   }
-  for (const InternalEntry& e : node.internals) {
+  for (const InternalEntry& e : node->internals) {
     CollectAll(index, e.child, out);
   }
 }
@@ -76,13 +76,13 @@ TEST(TBTreeTest, LeavesHoldSingleTrajectory) {
   while (!stack.empty()) {
     const PageId page = stack.back();
     stack.pop_back();
-    const IndexNode node = tree.ReadNode(page);
-    if (node.IsLeaf()) {
-      ASSERT_FALSE(node.leaves.empty());
-      const TrajectoryId id = node.leaves.front().traj_id;
-      for (const LeafEntry& e : node.leaves) EXPECT_EQ(e.traj_id, id);
+    const NodeRef node = tree.ReadNode(page);
+    if (node->IsLeaf()) {
+      ASSERT_FALSE(node->leaves.empty());
+      const TrajectoryId id = node->leaves.front().traj_id;
+      for (const LeafEntry& e : node->leaves) EXPECT_EQ(e.traj_id, id);
     } else {
-      for (const InternalEntry& e : node.internals) stack.push_back(e.child);
+      for (const InternalEntry& e : node->internals) stack.push_back(e.child);
     }
   }
 }
