@@ -4,6 +4,7 @@
 #ifndef MST_BENCH_BENCH_COMMON_H_
 #define MST_BENCH_BENCH_COMMON_H_
 
+#include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
@@ -19,8 +20,29 @@
 #include "src/util/stats.h"
 #include "src/util/timer.h"
 
+// Git revision baked in by bench/CMakeLists.txt; benches built outside a
+// checkout fall back to "unknown".
+#ifndef MST_GIT_REV
+#define MST_GIT_REV "unknown"
+#endif
+
 namespace mst {
 namespace bench {
+
+/// Version of the BENCH_*.json field conventions. Bump when a bench's field
+/// set changes shape so downstream perf-trend tooling can tell a schema
+/// change from a perf change. v2 added schema_version/git_rev themselves.
+inline constexpr int kBenchJsonSchemaVersion = 2;
+
+/// Writes the fields every BENCH_*.json must carry (call right after the
+/// opening "{\n"): the JSON schema version and the producing git revision,
+/// which together make the perf trajectory machine-comparable across PRs.
+inline void WriteJsonSchemaFields(std::FILE* f) {
+  std::fprintf(f,
+               "  \"schema_version\": %d,\n"
+               "  \"git_rev\": \"%s\",\n",
+               kBenchJsonSchemaVersion, MST_GIT_REV);
+}
 
 /// One of the paper's synthetic datasets (Table 2): S0100 … S1000, N objects
 /// sampled ~2000 times, lognormal(1, 0.6) speed, uniform initial placement.

@@ -232,8 +232,9 @@ int Main(int argc, char** argv) {
   std::printf("speedup  : %.2fx\n", speedup);
 
   if (std::FILE* f = std::fopen(out_path.c_str(), "w")) {
+    std::fprintf(f, "{\n");
+    bench::WriteJsonSchemaFields(f);
     std::fprintf(f,
-                 "{\n"
                  "  \"dataset\": \"%s\",\n"
                  "  \"samples_per_object\": %" PRId64 ",\n"
                  "  \"queries\": %" PRId64 ",\n"

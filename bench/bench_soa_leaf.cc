@@ -1,0 +1,313 @@
+// Benchmark of the v2 columnar (SoA) leaf pages against the v1 row-major
+// layout, on the same single-thread k-MST workload as bench_hotpath_cache.
+//
+// Two TB-trees are built over the same dataset, identical except for the
+// leaf format their writers emit. The decoded-node cache is OFF for both:
+// that is the decode-bound regime where the layout matters — every logical
+// node access decodes a page, and the v1 path pays the compatibility shim's
+// AoS→SoA transpose (plus MBB/sorted-flag recomputation) while the v2 path
+// is a single 4032-byte memcpy with the metadata read from the header.
+// (bench_hotpath_cache, unchanged, guards the cache-on regime.)
+//
+// The bench verifies the tentpole's compatibility contract bitwise — same
+// top-k ids/dissims/error bounds, same logical node accesses, same physical
+// page reads per pass — and exits non-zero on any mismatch, which is what
+// CI gates on. It also times raw page decodes of both formats over the
+// trees' actual leaf pages, isolating the codec from the query logic.
+//
+// Passes are interleaved v1/v2 with best-of CPU time per mode, as in
+// bench_hotpath_cache, to keep frequency drift from biasing either mode.
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/util/flags.h"
+#include "src/util/timer.h"
+
+namespace mst {
+namespace {
+
+struct QueryRecord {
+  std::vector<MstResult> results;
+  int64_t nodes_accessed = 0;
+};
+
+struct PhaseResult {
+  std::vector<QueryRecord> records;   // from the last measured pass
+  double best_seconds = 1e300;        // fastest pass, whole query set
+  int64_t leaf_entries_seen = 0;      // per pass (identical across passes)
+  int64_t physical_reads_pass = 0;    // per pass, steady state
+};
+
+void RunPass(TBTree& index, const TrajectoryStore& store,
+             const std::vector<Trajectory>& queries, const MstOptions& options,
+             PhaseResult* out) {
+  const BFMstSearch searcher(&index, &store);
+  std::vector<QueryRecord> records;
+  records.reserve(queries.size());
+  int64_t leaf_entries = 0;
+  const int64_t reads_before = index.file().stats().physical_reads;
+  // CPU time, not wall clock: single-thread cost comparison that must stay
+  // meaningful on loaded CI machines.
+  CpuTimer timer;
+  for (const Trajectory& q : queries) {
+    MstStats stats;
+    QueryRecord rec;
+    rec.results = searcher.Search(q, q.Lifespan(), options, &stats);
+    rec.nodes_accessed = stats.nodes_accessed;
+    leaf_entries += stats.leaf_entries_seen;
+    records.push_back(std::move(rec));
+  }
+  const double seconds = timer.ElapsedMs() / 1e3;
+  if (seconds < out->best_seconds) out->best_seconds = seconds;
+  out->records = std::move(records);
+  out->leaf_entries_seen = leaf_entries;
+  out->physical_reads_pass = index.file().stats().physical_reads - reads_before;
+}
+
+bool PhasesAgree(const PhaseResult& v1, const PhaseResult& v2) {
+  if (v1.physical_reads_pass != v2.physical_reads_pass) {
+    std::fprintf(stderr,
+                 "[soa_leaf] physical page reads per pass differ "
+                 "(v1=%" PRId64 " v2=%" PRId64 ")\n",
+                 v1.physical_reads_pass, v2.physical_reads_pass);
+    return false;
+  }
+  if (v1.records.size() != v2.records.size()) return false;
+  for (size_t i = 0; i < v1.records.size(); ++i) {
+    const QueryRecord& a = v1.records[i];
+    const QueryRecord& b = v2.records[i];
+    if (a.nodes_accessed != b.nodes_accessed) {
+      std::fprintf(stderr,
+                   "[soa_leaf] query %zu: node accesses differ "
+                   "(v1=%" PRId64 " v2=%" PRId64 ")\n",
+                   i, a.nodes_accessed, b.nodes_accessed);
+      return false;
+    }
+    if (a.results.size() != b.results.size()) return false;
+    for (size_t j = 0; j < a.results.size(); ++j) {
+      if (a.results[j].id != b.results[j].id ||
+          a.results[j].dissim != b.results[j].dissim ||
+          a.results[j].error_bound != b.results[j].error_bound) {
+        std::fprintf(stderr, "[soa_leaf] query %zu result %zu differs\n", i,
+                     j);
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+// Copies every leaf page of `index` into memory (so the timing below sees
+// only the codec, not the buffer) and returns them.
+std::vector<Page> CollectLeafPages(const TBTree& index) {
+  std::vector<Page> pages;
+  const int64_t n = index.NodeCount();
+  for (PageId id = 0; id < n; ++id) {
+    const PageGuard guard = index.buffer().Pin(id);
+    if (IndexNode::Decode(*guard, id).IsLeaf()) pages.push_back(*guard);
+  }
+  return pages;
+}
+
+// Average ns per page decode over `reps` sweeps of the collected pages.
+double TimeDecode(const std::vector<Page>& pages, int reps, int64_t* sink) {
+  CpuTimer timer;
+  int64_t total = 0;
+  for (int r = 0; r < reps; ++r) {
+    for (size_t i = 0; i < pages.size(); ++i) {
+      const IndexNode node = IndexNode::Decode(pages[i], static_cast<PageId>(i));
+      total += node.Count();
+    }
+  }
+  const double ns = timer.ElapsedMs() * 1e6;
+  *sink += total;
+  return ns / (static_cast<double>(reps) * static_cast<double>(pages.size()));
+}
+
+int Main(int argc, char** argv) {
+  int64_t objects = 1000;
+  int64_t samples = 200;
+  int64_t queries = 40;
+  int64_t k = 50;
+  int64_t repeats = 5;
+  int64_t decode_reps = 50;
+  double length = 0.05;
+  bool eager = true;
+  bool quick = false;
+  bool help = false;
+  std::string out_path = "BENCH_soa_leaf.json";
+  FlagParser flags;
+  flags.AddInt("objects", &objects, "dataset cardinality");
+  flags.AddInt("samples", &samples, "samples per object");
+  flags.AddInt("queries", &queries, "queries in the measured set");
+  flags.AddInt("k", &k, "k of the k-MST queries");
+  flags.AddInt("repeats", &repeats, "measured repeats (fastest counts)");
+  flags.AddInt("decode_reps", &decode_reps, "sweeps of the decode microbench");
+  flags.AddDouble("length", &length, "query length fraction of a lifespan");
+  flags.AddBool("eager", &eager, "use TB-tree eager completion");
+  flags.AddBool("quick", &quick, "CI smoke mode: small dataset, few queries");
+  flags.AddBool("help", &help, "print usage");
+  flags.AddString("out", &out_path, "JSON output path");
+  if (!flags.Parse(argc, argv)) return 1;
+  if (help) {
+    flags.PrintUsage("bench_soa_leaf");
+    return 0;
+  }
+  if (quick) {
+    objects = 200;
+    samples = 200;
+    queries = 20;
+    repeats = 2;
+    decode_reps = 10;
+  }
+
+  std::fprintf(stderr, "[soa_leaf] building %s twice (%" PRId64
+                       " samples/obj, leaf formats v1 and v2)...\n",
+               bench::SDatasetName(static_cast<int>(objects)).c_str(),
+               samples);
+  const TrajectoryStore store = bench::MakeSDataset(
+      static_cast<int>(objects), static_cast<int>(samples));
+
+  // Decode-bound regime: the node cache is off (every logical access
+  // decodes a page) and the page buffer is left at its build size, large
+  // enough to hold the whole index — the measured passes then perform zero
+  // simulated physical I/O and the codec itself is what is timed. The
+  // paper-buffer configuration (with its identical-in-both-legs 4 KB page
+  // copies on every miss) is bench_ablation_buffer's subject, not ours.
+  TrajectoryIndex::Options v1_opt;
+  v1_opt.node_cache_nodes = 0;
+  v1_opt.leaf_format = LeafPageFormat::kV1Aos;
+  TBTree v1_index(v1_opt);
+  v1_index.BuildFrom(store);
+
+  TrajectoryIndex::Options v2_opt = v1_opt;
+  v2_opt.leaf_format = LeafPageFormat::kV2Soa;
+  TBTree v2_index(v2_opt);
+  v2_index.BuildFrom(store);
+
+  if (v1_index.NodeCount() != v2_index.NodeCount() ||
+      v1_index.root() != v2_index.root()) {
+    std::fprintf(stderr, "[soa_leaf] FAIL: tree shapes differ across formats\n");
+    return 2;
+  }
+  // Grow the buffer when a large --objects overflows the build default, so
+  // the whole index stays resident and the passes stay I/O-free.
+  if (v1_index.NodeCount() > static_cast<int64_t>(v1_opt.build_buffer_pages)) {
+    v1_index.buffer().SetCapacity(static_cast<size_t>(v1_index.NodeCount()));
+    v2_index.buffer().SetCapacity(static_cast<size_t>(v2_index.NodeCount()));
+  }
+
+  Rng rng(20070415);
+  std::vector<Trajectory> query_set;
+  query_set.reserve(static_cast<size_t>(queries));
+  for (int i = 0; i < queries; ++i) {
+    query_set.push_back(bench::MakeQuery(store, &rng, length));
+  }
+  MstOptions options;
+  options.k = static_cast<int>(k);
+  options.use_eager_completion = eager;
+
+  // One warm-up pass per tree brings each page buffer to steady state, so
+  // the measured passes see identical, stable physical-read counts.
+  PhaseResult v1;
+  PhaseResult v2;
+  RunPass(v1_index, store, query_set, options, &v1);
+  RunPass(v2_index, store, query_set, options, &v2);
+  v1.best_seconds = v2.best_seconds = 1e300;
+
+  std::fprintf(stderr, "[soa_leaf] measuring %" PRId64
+                       " interleaved v1/v2 pass pairs...\n",
+               repeats);
+  for (int rep = 0; rep < repeats; ++rep) {
+    RunPass(v1_index, store, query_set, options, &v1);
+    RunPass(v2_index, store, query_set, options, &v2);
+  }
+
+  if (!PhasesAgree(v1, v2)) {
+    std::fprintf(stderr,
+                 "[soa_leaf] FAIL: leaf format changed results or counters\n");
+    return 2;
+  }
+
+  // Decode microbench over the trees' real leaf pages, buffer taken out of
+  // the picture.
+  const std::vector<Page> v1_pages = CollectLeafPages(v1_index);
+  const std::vector<Page> v2_pages = CollectLeafPages(v2_index);
+  int64_t sink = 0;
+  const double decode_ns_v1 =
+      TimeDecode(v1_pages, static_cast<int>(decode_reps), &sink);
+  const double decode_ns_v2 =
+      TimeDecode(v2_pages, static_cast<int>(decode_reps), &sink);
+  if (sink < 0) std::fprintf(stderr, "unreachable %" PRId64 "\n", sink);
+
+  const double qps_v1 = static_cast<double>(queries) / v1.best_seconds;
+  const double qps_v2 = static_cast<double>(queries) / v2.best_seconds;
+  const double speedup = qps_v2 / qps_v1;
+  const auto ns_per_segment = [](const PhaseResult& p) {
+    return p.leaf_entries_seen > 0
+               ? p.best_seconds * 1e9 /
+                     static_cast<double>(p.leaf_entries_seen)
+               : 0.0;
+  };
+  const double decode_speedup =
+      decode_ns_v2 > 0.0 ? decode_ns_v1 / decode_ns_v2 : 0.0;
+
+  std::printf("== Columnar (SoA) leaf pages: v1 vs v2 ==\n");
+  std::printf("dataset %s, %" PRId64 " queries (len %.2f, k=%" PRId64
+              ", eager=%d), %" PRId64 " repeats, node cache off\n",
+              bench::SDatasetName(static_cast<int>(objects)).c_str(), queries,
+              length, k, eager ? 1 : 0, repeats);
+  std::printf("v1 (AoS): %8.1f q/s  (%7.1f ns/segment)\n", qps_v1,
+              ns_per_segment(v1));
+  std::printf("v2 (SoA): %8.1f q/s  (%7.1f ns/segment)\n", qps_v2,
+              ns_per_segment(v2));
+  std::printf("k-MST speedup : %.2fx\n", speedup);
+  std::printf("page decode   : v1 %.0f ns, v2 %.0f ns (%.2fx, %zu leaf "
+              "pages)\n",
+              decode_ns_v1, decode_ns_v2, decode_speedup, v2_pages.size());
+
+  if (std::FILE* f = std::fopen(out_path.c_str(), "w")) {
+    std::fprintf(f, "{\n");
+    bench::WriteJsonSchemaFields(f);
+    std::fprintf(f,
+                 "  \"dataset\": \"%s\",\n"
+                 "  \"samples_per_object\": %" PRId64 ",\n"
+                 "  \"queries\": %" PRId64 ",\n"
+                 "  \"k\": %" PRId64 ",\n"
+                 "  \"length_fraction\": %.4f,\n"
+                 "  \"eager_completion\": %s,\n"
+                 "  \"repeats\": %" PRId64 ",\n"
+                 "  \"leaf_pages\": %zu,\n"
+                 "  \"physical_reads_per_pass\": %" PRId64 ",\n"
+                 "  \"qps_v1\": %.2f,\n"
+                 "  \"qps_v2\": %.2f,\n"
+                 "  \"speedup\": %.4f,\n"
+                 "  \"ns_per_segment_v1\": %.2f,\n"
+                 "  \"ns_per_segment_v2\": %.2f,\n"
+                 "  \"decode_ns_v1\": %.2f,\n"
+                 "  \"decode_ns_v2\": %.2f,\n"
+                 "  \"decode_speedup\": %.4f\n"
+                 "}\n",
+                 bench::SDatasetName(static_cast<int>(objects)).c_str(),
+                 samples, queries, k, length, eager ? "true" : "false",
+                 repeats, v2_pages.size(), v2.physical_reads_pass, qps_v1,
+                 qps_v2, speedup, ns_per_segment(v1), ns_per_segment(v2),
+                 decode_ns_v1, decode_ns_v2, decode_speedup);
+    std::fclose(f);
+    std::fprintf(stderr, "[soa_leaf] wrote %s\n", out_path.c_str());
+  } else {
+    std::fprintf(stderr, "[soa_leaf] cannot write %s\n", out_path.c_str());
+    return 3;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace mst
+
+int main(int argc, char** argv) { return mst::Main(argc, argv); }

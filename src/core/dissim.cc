@@ -161,22 +161,29 @@ DissimResult ComputeDissim(const Trajectory& q, const Trajectory& t,
   return total;
 }
 
-SegmentDissim ComputeSegmentDissim(const Trajectory& q, const LeafEntry& entry,
-                                   const TimeInterval& window,
-                                   IntegrationPolicy policy) {
+namespace {
+
+// Shared core of the two ComputeSegmentDissim overloads: integrates the
+// moving segment a → b against q over `window`. Both overloads feed the
+// same scalars through here, so the columnar (LeafView) path is
+// bit-identical to the LeafEntry path.
+SegmentDissim SegmentDissimCore(const Trajectory& q, const TPoint& a,
+                                const TPoint& b, const TimeInterval& window,
+                                IntegrationPolicy policy) {
   MST_CHECK(window.Duration() > 0.0);
-  MST_CHECK(entry.t0 <= window.begin && window.end <= entry.t1);
+  MST_CHECK(a.t <= window.begin && window.end <= b.t);
   MST_CHECK(q.Covers(window));
 
-  const TPoint a = entry.Start();
-  const TPoint b = entry.End();
   auto entry_pos = [&](double time) { return Lerp(a, b, time); };
 
   // Called once per candidate leaf entry on the k-MST hot path: reuse the
-  // cuts scratch and route the per-interval integrals through the batch
-  // kernel (bit-for-bit identical to the scalar loop, see IntegrateBatch).
+  // cuts scratch (reserve makes even a thread's first leaf allocation-free
+  // after warmup — at most q.size() interior samples + 2 endpoints) and
+  // route the per-interval integrals through the batch kernel (bit-for-bit
+  // identical to the scalar loop, see IntegrateBatch).
   static thread_local std::vector<double> cuts;
   cuts.clear();
+  cuts.reserve(q.size() + 2);
   cuts.push_back(window.begin);
   for (const TPoint& s : q.samples()) {
     if (s.t > window.begin && s.t < window.end) cuts.push_back(s.t);
@@ -186,6 +193,7 @@ SegmentDissim ComputeSegmentDissim(const Trajectory& q, const LeafEntry& entry,
 
   static thread_local TrinomialBatch batch;
   batch.Clear();
+  batch.Reserve(cuts.size());
   SegmentDissim out;
   Vec2 q_prev = *q.PositionAt(cuts.front());
   Vec2 e_prev = entry_pos(cuts.front());
@@ -204,6 +212,23 @@ SegmentDissim ComputeSegmentDissim(const Trajectory& q, const LeafEntry& entry,
   out.integral = IntegrateBatch(batch, policy);
   out.dist_end = Distance(q_prev, e_prev);
   return out;
+}
+
+}  // namespace
+
+SegmentDissim ComputeSegmentDissim(const Trajectory& q, const LeafEntry& entry,
+                                   const TimeInterval& window,
+                                   IntegrationPolicy policy) {
+  return SegmentDissimCore(q, entry.Start(), entry.End(), window, policy);
+}
+
+SegmentDissim ComputeSegmentDissim(const Trajectory& q, const LeafView& view,
+                                   int i, const TimeInterval& window,
+                                   IntegrationPolicy policy) {
+  MST_DCHECK(i >= 0 && i < view.count);
+  return SegmentDissimCore(q, {view.t0[i], {view.x0[i], view.y0[i]}},
+                           {view.t1[i], {view.x1[i], view.y1[i]}}, window,
+                           policy);
 }
 
 }  // namespace mst

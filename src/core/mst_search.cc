@@ -24,6 +24,9 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 struct QueueEntry {
   double mindist;
   PageId page;
+  // Whether `page` is a leaf (known from the parent's level when pushed).
+  // Leaf pops take the column-streaming read path; not part of the order.
+  bool leaf;
 
   bool operator>(const QueueEntry& o) const {
     if (mindist != o.mindist) return mindist > o.mindist;
@@ -34,6 +37,12 @@ struct QueueEntry {
 // The "k-buffer": tracks, for every live candidate, an upper bound of its
 // true DISSIM (exact-side value for completed candidates, PESDISSIM for
 // partial ones) and answers "current kth best upper bound" queries.
+//
+// KthValue() is consulted for every processed leaf entry (Heuristic 1, the
+// batched leaf prune) and on every heap pop (Heuristic 2), so the bounds
+// are kept split into the k smallest (`topk_`) and the rest, with
+// max(topk_) <= min(rest_): the kth value is then the largest element of
+// topk_, read in O(1) instead of advancing k set nodes per call.
 class UpperBounds {
  public:
   explicit UpperBounds(int k) : k_(k) {}
@@ -41,36 +50,150 @@ class UpperBounds {
   void Update(TrajectoryId id, double upper) {
     const auto it = current_.find(id);
     if (it != current_.end()) {
-      ordered_.erase(ordered_.find({it->second, id}));
+      EraseOrdered({it->second, id});
       it->second = upper;
     } else {
       current_[id] = upper;
     }
-    ordered_.insert({upper, id});
+    InsertOrdered({upper, id});
   }
 
   void Remove(TrajectoryId id) {
     const auto it = current_.find(id);
     if (it == current_.end()) return;
-    ordered_.erase(ordered_.find({it->second, id}));
+    EraseOrdered({it->second, id});
     current_.erase(it);
   }
 
   /// kth smallest upper bound, or +inf while fewer than k candidates exist.
   double KthValue() const {
-    if (static_cast<int>(ordered_.size()) < k_) return kInf;
-    auto it = ordered_.begin();
-    std::advance(it, k_ - 1);
-    return it->first;
+    if (static_cast<int>(topk_.size()) < k_) return kInf;
+    return topk_.rbegin()->first;
   }
 
-  size_t size() const { return ordered_.size(); }
+  size_t size() const { return current_.size(); }
 
  private:
+  using Key = std::pair<double, TrajectoryId>;
+
+  void InsertOrdered(const Key& key) {
+    if (static_cast<int>(topk_.size()) < k_) {
+      topk_.insert(key);
+      return;
+    }
+    const auto last = std::prev(topk_.end());
+    if (key < *last) {
+      rest_.insert(*last);
+      topk_.erase(last);
+      topk_.insert(key);
+    } else {
+      rest_.insert(key);
+    }
+  }
+
+  void EraseOrdered(const Key& key) {
+    const auto it = topk_.find(key);
+    if (it != topk_.end()) {
+      topk_.erase(it);
+      if (!rest_.empty()) {
+        topk_.insert(*rest_.begin());
+        rest_.erase(rest_.begin());
+      }
+    } else {
+      rest_.erase(rest_.find(key));
+    }
+  }
+
   int k_;
-  std::set<std::pair<double, TrajectoryId>> ordered_;
+  std::set<Key> topk_;  // the k smallest bounds (all of them while < k)
+  std::set<Key> rest_;  // everything above, max(topk_) <= min(rest_)
   std::unordered_map<TrajectoryId, double> current_;
 };
+
+// Spatial rectangle of the query's positions over `period` (the query is
+// piecewise linear, so boundary positions plus interior samples span it).
+struct Rect2 {
+  double xlo = kInf;
+  double ylo = kInf;
+  double xhi = -kInf;
+  double yhi = -kInf;
+};
+
+Rect2 QueryFootprint(const Trajectory& q, const TimeInterval& period) {
+  Rect2 r;
+  const auto add = [&r](const Vec2& p) {
+    r.xlo = std::min(r.xlo, p.x);
+    r.ylo = std::min(r.ylo, p.y);
+    r.xhi = std::max(r.xhi, p.x);
+    r.yhi = std::max(r.yhi, p.y);
+  };
+  add(*q.PositionAt(period.begin));
+  add(*q.PositionAt(period.end));
+  for (const TPoint& s : q.samples()) {
+    if (s.t > period.begin && s.t < period.end) add(s.p);
+  }
+  return r;
+}
+
+// Per-leaf batched scratch: query windows and DISSIM lower bounds for every
+// entry of one leaf, filled in a single pass over the columnar view.
+struct LeafBatchScratch {
+  std::vector<double> wbegin;
+  std::vector<double> wend;
+  std::vector<double> dur;
+  std::vector<double> lower;
+  std::vector<int> order;  // temporal argsort when the leaf is unsorted
+};
+
+// One vectorizable sweep over the leaf's columns: clip each segment's
+// lifespan against the query period and lower-bound its DISSIM contribution
+// by (spatial gap between the segment's bounding rect and the query's
+// period footprint) × (window duration). The gap under-estimates the
+// pointwise inter-object distance throughout the window, so `lower` is a
+// true lower bound of the candidate's full-period DISSIM — exactly the
+// one-sided test Heuristic 1 needs, evaluated per entry without touching
+// the trajectory store.
+//
+// `lower` holds the SQUARE of the bound: both sides of Heuristic 1's
+// comparison are non-negative, so comparing squares gives bit-identical
+// decisions while the sweep drops its per-entry sqrt (the bound's only
+// other consumer, the > 0 test, is square-invariant too).
+void ComputeLeafBatch(const LeafView& v, const TimeInterval& period,
+                      const Rect2& qbox, LeafBatchScratch* s) {
+  const size_t n = static_cast<size_t>(v.count);
+  s->wbegin.resize(n);
+  s->wend.resize(n);
+  s->dur.resize(n);
+  s->lower.resize(n);
+  const double* t0 = v.t0;
+  const double* t1 = v.t1;
+  const double* x0 = v.x0;
+  const double* x1 = v.x1;
+  const double* y0 = v.y0;
+  const double* y1 = v.y1;
+  for (size_t i = 0; i < n; ++i) {
+    const double wb = t0[i] > period.begin ? t0[i] : period.begin;
+    const double we = t1[i] < period.end ? t1[i] : period.end;
+    const double d = we - wb;
+    s->wbegin[i] = wb;
+    s->wend[i] = we;
+    s->dur[i] = d;
+    const double sxlo = x0[i] < x1[i] ? x0[i] : x1[i];
+    const double sxhi = x0[i] < x1[i] ? x1[i] : x0[i];
+    const double sylo = y0[i] < y1[i] ? y0[i] : y1[i];
+    const double syhi = y0[i] < y1[i] ? y1[i] : y0[i];
+    double dx = qbox.xlo - sxhi;
+    const double dx2 = sxlo - qbox.xhi;
+    dx = dx > dx2 ? dx : dx2;
+    dx = dx > 0.0 ? dx : 0.0;
+    double dy = qbox.ylo - syhi;
+    const double dy2 = sylo - qbox.yhi;
+    dy = dy > dy2 ? dy : dy2;
+    dy = dy > 0.0 ? dy : 0.0;
+    const double gap2 = dx * dx + dy * dy;
+    s->lower[i] = d > 0.0 ? gap2 * (d * d) : 0.0;
+  }
+}
 
 }  // namespace
 
@@ -111,16 +234,23 @@ std::vector<MstResult> BFMstSearch::Search(const Trajectory& query,
   std::priority_queue<QueueEntry, std::vector<QueueEntry>,
                       std::greater<QueueEntry>>
       queue;
-  queue.push({0.0, index_->root()});
+  queue.push({0.0, index_->root(), index_->height() == 1});
   ++stats.heap_pushes;
 
   std::unordered_map<TrajectoryId, CandidateList> valid;
   std::unordered_map<TrajectoryId, CandidateList> completed;
   std::unordered_set<TrajectoryId> rejected;
   UpperBounds uppers(options.k);
-  // Scratch for the per-leaf temporal sort: cached nodes are immutable and
-  // shared, so the sort works on a reused copy instead of the node itself.
-  std::vector<LeafEntry> sorted_leaves;
+  // Reused per-leaf scratch for the batched window/lower-bound pass; the
+  // query's spatial footprint over the period is its fixed input.
+  LeafBatchScratch batch;
+  const Rect2 query_box = QueryFootprint(query, period);
+  // Sticky skip cache: exclusion, rejection and completion are monotone over
+  // one search (ids only ever enter those states), so once an id skips it
+  // skips for good. TB-tree leaves bundle consecutive segments of a single
+  // trajectory, so remembering the last skipped id collapses a whole leaf's
+  // hash-set probes into one comparison.
+  TrajectoryId skip_id = kInvalidTrajectoryId;
 
   while (!queue.empty()) {
     const QueueEntry top = queue.top();
@@ -147,44 +277,82 @@ std::vector<MstResult> BFMstSearch::Search(const Trajectory& query,
       }
     }
 
-    const NodeRef node = index_->ReadNode(top.page);
-
-    if (!node->IsLeaf()) {
+    if (!top.leaf) {
+      const NodeRef node = index_->ReadNode(top.page);
       for (const InternalEntry& e : node->internals) {
         const double d = MinDist(query, e.mbb, period);
         if (std::isinf(d)) continue;  // no temporal overlap with the period
-        queue.push({d, e.child});
+        queue.push({d, e.child, node->level == 1});
         ++stats.heap_pushes;
       }
       continue;
     }
 
-    // Leaf: process entries in temporal order (the paper's line 10). TB-tree
-    // leaves are already sorted — iterate the shared cached node directly;
-    // only the 3D R-tree's leaves need the copy + sort into the scratch.
-    const auto temporal_order = [](const LeafEntry& a, const LeafEntry& b) {
-      if (a.t0 != b.t0) return a.t0 < b.t0;
-      return a.traj_id < b.traj_id;
-    };
-    const std::vector<LeafEntry>* entries = &node->leaves;
-    if (!std::is_sorted(entries->begin(), entries->end(), temporal_order)) {
-      sorted_leaves.assign(entries->begin(), entries->end());
-      std::sort(sorted_leaves.begin(), sorted_leaves.end(), temporal_order);
-      entries = &sorted_leaves;
+    // Leaf: stream the columns straight from the page (zero-copy for v2
+    // pages with the node cache off — see ReadLeafColumns). One
+    // vectorizable pass over the columnar view computes every entry's query
+    // window and its DISSIM lower bound (batched leaf-level pruning), then
+    // entries are processed in temporal order (the paper's line 10).
+    // TB-tree leaves carry the time-sorted header flag — iterate the
+    // columns directly; only the 3D R-tree's unsorted leaves argsort an
+    // index permutation (no entry copies either way).
+    const TrajectoryIndex::LeafPageRead leaf =
+        index_->ReadLeafColumns(top.page);
+    const LeafView& view = leaf.view;
+    ComputeLeafBatch(view, period, query_box, &batch);
+    const int* order = nullptr;
+    if (!view.time_sorted) {
+      batch.order.resize(static_cast<size_t>(view.count));
+      for (int i = 0; i < view.count; ++i) batch.order[i] = i;
+      std::sort(batch.order.begin(), batch.order.end(),
+                [&view](int a, int b) {
+                  if (view.t0[a] != view.t0[b]) return view.t0[a] < view.t0[b];
+                  if (view.traj_id[a] != view.traj_id[b]) {
+                    return view.traj_id[a] < view.traj_id[b];
+                  }
+                  return a < b;
+                });
+      order = batch.order.data();
     }
-    for (const LeafEntry& e : *entries) {
+    for (int pos = 0; pos < view.count; ++pos) {
+      const int j = order != nullptr ? order[pos] : pos;
       ++stats.leaf_entries_seen;
-      const TrajectoryId id = e.traj_id;
-      if (id == options.exclude_id) continue;
-      if (rejected.contains(id) || completed.contains(id)) continue;
-      const TimeInterval window = period.Intersect(e.TimeSpan());
-      if (window.Duration() <= 0.0) continue;
+      const TrajectoryId id = view.traj_id[j];
+      if (id == skip_id) continue;
+      if (id == options.exclude_id) {
+        skip_id = id;
+        continue;
+      }
+      if (rejected.contains(id) || completed.contains(id)) {
+        skip_id = id;
+        continue;
+      }
+      if (batch.dur[static_cast<size_t>(j)] <= 0.0) continue;
+      const TimeInterval window{batch.wbegin[static_cast<size_t>(j)],
+                                batch.wend[static_cast<size_t>(j)]};
 
       auto it = valid.find(id);
       if (it == valid.end()) {
+        // Batched leaf-level prune (Heuristic 1's test with the precomputed
+        // per-entry lower bound): a would-be-new candidate whose bound
+        // already exceeds the current kth upper bound can never enter the
+        // top k — reject it before paying the store lookup and the
+        // refinement integral. Existing candidates keep accumulating pieces
+        // so their OPTDISSIM/PESDISSIM bookkeeping is unchanged. Both sides
+        // are squared (see ComputeLeafBatch).
+        if (options.use_heuristic1 &&
+            batch.lower[static_cast<size_t>(j)] > 0.0 &&
+            batch.lower[static_cast<size_t>(j)] >
+                uppers.KthValue() * uppers.KthValue()) {
+          rejected.insert(id);
+          skip_id = id;
+          ++stats.leaf_entries_pruned;
+          continue;
+        }
         const Trajectory* t = store_->Find(id);
         if (t == nullptr || !t->Covers(period)) {
           rejected.insert(id);
+          skip_id = id;
           ++stats.candidates_ineligible;
           continue;
         }
@@ -194,13 +362,14 @@ std::vector<MstResult> BFMstSearch::Search(const Trajectory& query,
       CandidateList& list = it->second;
 
       const SegmentDissim seg =
-          ComputeSegmentDissim(query, e, window, options.policy);
+          ComputeSegmentDissim(query, view, j, window, options.policy);
       list.AddPiece(window, seg.integral, seg.dist_begin, seg.dist_end);
 
       if (list.IsComplete()) {
         uppers.Update(id, list.covered().value);
         completed.emplace(id, std::move(list));
         valid.erase(it);
+        skip_id = id;
         ++stats.candidates_completed;
         continue;
       }
@@ -211,29 +380,61 @@ std::vector<MstResult> BFMstSearch::Search(const Trajectory& query,
           uppers.Remove(id);
           rejected.insert(id);
           valid.erase(it);
+          skip_id = id;
           ++stats.candidates_rejected;
           continue;
         }
       }
       // Eager completion (extension): a contender on an index with a direct
       // trajectory access path gets its remaining segments through the
-      // chain right away.
+      // chain right away. The chain is walked page by page through the
+      // columnar LeafView (zero repack) — pages are read in the same order
+      // FetchTrajectorySegments would read them, so the logical and
+      // physical I/O accounting is unchanged, but no entry vector is ever
+      // materialized and out-of-period segments cost two column loads.
       if (options.use_eager_completion && index_->SupportsTrajectoryFetch()) {
         const double kth = uppers.KthValue();
         if (static_cast<int>(uppers.size()) <= options.k ||
             list.OptDissim(vmax) <= kth) {
-          for (const LeafEntry& seg : index_->FetchTrajectorySegments(id)) {
-            const TimeInterval w = period.Intersect(seg.TimeSpan());
-            if (w.Duration() <= 0.0 || list.CoversInterval(w)) continue;
-            const SegmentDissim sd =
-                ComputeSegmentDissim(query, seg, w, options.policy);
-            list.AddPiece(w, sd.integral, sd.dist_begin, sd.dist_end);
-            ++stats.leaf_entries_seen;
+          PageId chain = index_->TrajectoryChainHead(id);
+          if (chain == kInvalidPageId) {
+            // Direct-path index without a chain-head hook: fall back to the
+            // materializing fetch.
+            for (const LeafEntry& seg : index_->FetchTrajectorySegments(id)) {
+              const TimeInterval w = period.Intersect(seg.TimeSpan());
+              if (w.Duration() <= 0.0 || list.CoversInterval(w)) continue;
+              const SegmentDissim sd =
+                  ComputeSegmentDissim(query, seg, w, options.policy);
+              list.AddPiece(w, sd.integral, sd.dist_begin, sd.dist_end);
+              ++stats.leaf_entries_seen;
+            }
+          }
+          while (chain != kInvalidPageId) {
+            const TrajectoryIndex::LeafPageRead link =
+                index_->ReadLeafColumns(chain);
+            chain = link.next_leaf;
+            const LeafView& cv = link.view;
+            // A page whose time range misses the period contributes no
+            // pieces; one header test skips its entries (the page read
+            // above still counts, so I/O accounting is unchanged).
+            if (cv.bounds.thi <= period.begin || cv.bounds.tlo >= period.end) {
+              continue;
+            }
+            for (int ci = 0; ci < cv.count; ++ci) {
+              const TimeInterval w =
+                  period.Intersect({cv.t0[ci], cv.t1[ci]});
+              if (w.Duration() <= 0.0 || list.CoversInterval(w)) continue;
+              const SegmentDissim sd =
+                  ComputeSegmentDissim(query, cv, ci, w, options.policy);
+              list.AddPiece(w, sd.integral, sd.dist_begin, sd.dist_end);
+              ++stats.leaf_entries_seen;
+            }
           }
           if (list.IsComplete()) {
             uppers.Update(id, list.covered().value);
             completed.emplace(id, std::move(list));
             valid.erase(it);
+            skip_id = id;
             ++stats.candidates_completed;
             ++stats.eager_completions;
           }

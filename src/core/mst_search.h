@@ -36,6 +36,7 @@ struct MstStats {
   int64_t candidates_created = 0;
   int64_t candidates_completed = 0;
   int64_t candidates_rejected = 0;   // by Heuristic 1
+  int64_t leaf_entries_pruned = 0;   // by the batched leaf lower-bound pass
   int64_t candidates_ineligible = 0; // lifespan does not cover the period
   int64_t eager_completions = 0;     // candidates completed via chain fetch
   int64_t exact_recomputations = 0;  // post-processing integrals

@@ -17,14 +17,24 @@ double AxisPenalty(double v, double lo, double hi) {
   return 0.0;
 }
 
+// Breakpoint times of the piecewise-linear axis penalties: 0, dur, and up
+// to one boundary crossing per rectangle edge. Fixed-capacity stack storage
+// — this sits on the MINDIST hot path (once per routing entry per query),
+// where a heap-allocated vector per call dominated the profile.
+struct TauList {
+  double v[6];
+  int n = 0;
+  void push(double tau) { v[n++] = tau; }
+};
+
 // Adds the local times in (0, dur) at which the linear motion v0→v1 crosses
 // the boundary value `bound`.
 void AddCrossing(double v0, double v1, double dur, double bound,
-                 std::vector<double>* taus) {
+                 TauList* taus) {
   const double dv = v1 - v0;
   if (dv == 0.0) return;
   const double tau = (bound - v0) / dv * dur;
-  if (tau > 0.0 && tau < dur) taus->push_back(tau);
+  if (tau > 0.0 && tau < dur) taus->push(tau);
 }
 
 }  // namespace
@@ -39,25 +49,23 @@ double PointRectDistance(Vec2 p, double xlo, double ylo, double xhi,
 double MovingPointRectMinDistance(Vec2 q0, Vec2 q1, double dur, double xlo,
                                   double ylo, double xhi, double yhi) {
   MST_CHECK(dur > 0.0);
-  // Breakpoints of the piecewise-linear axis penalties.
-  std::vector<double> taus;
-  taus.reserve(6);
-  taus.push_back(0.0);
-  taus.push_back(dur);
+  TauList taus;
+  taus.push(0.0);
+  taus.push(dur);
   AddCrossing(q0.x, q1.x, dur, xlo, &taus);
   AddCrossing(q0.x, q1.x, dur, xhi, &taus);
   AddCrossing(q0.y, q1.y, dur, ylo, &taus);
   AddCrossing(q0.y, q1.y, dur, yhi, &taus);
-  std::sort(taus.begin(), taus.end());
+  std::sort(taus.v, taus.v + taus.n);
 
   auto position = [&](double tau) -> Vec2 {
     return q0 + (q1 - q0) * (tau / dur);
   };
 
   double best2 = std::numeric_limits<double>::infinity();
-  for (size_t i = 0; i + 1 < taus.size(); ++i) {
-    const double ta = taus[i];
-    const double tb = taus[i + 1];
+  for (int i = 0; i + 1 < taus.n; ++i) {
+    const double ta = taus.v[i];
+    const double tb = taus.v[i + 1];
     const Vec2 pa = position(ta);
     const Vec2 pb = position(tb);
     const double dxa = AxisPenalty(pa.x, xlo, xhi);

@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <list>
 #include <mutex>
-#include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "src/util/check.h"
 
@@ -24,8 +24,18 @@ struct BufferShard {
   // front = most recently used. std::list keeps frame addresses stable while
   // guards hold BufferFrame pointers across splices.
   std::list<BufferFrame> lru;
-  std::unordered_map<PageId, std::list<BufferFrame>::iterator> index;
+  // Direct-indexed page table: pages map to shards by id % shard_count, so
+  // the per-shard slot id / shard_count is dense. Empty slots hold
+  // lru.end(). Page ids are small dense integers, so this replaces a hash
+  // lookup per pin — the hottest buffer operation — with an array index.
+  std::vector<std::list<BufferFrame>::iterator> index;
   size_t budget = 1;  // frames this shard may keep resident
+
+  std::list<BufferFrame>::iterator* Slot(PageId id, size_t shard_count) {
+    const size_t slot = static_cast<size_t>(id) / shard_count;
+    if (slot >= index.size()) index.resize(slot + 1, lru.end());
+    return &index[slot];
+  }
 };
 
 }  // namespace internal
@@ -120,7 +130,7 @@ void BufferManager::EvictLocked(BufferShard& shard) {
     if (candidate->dirty) {
       file_->Write(candidate->id, candidate->page);
     }
-    shard.index.erase(candidate->id);
+    *shard.Slot(candidate->id, shards_.size()) = shard.lru.end();
     it = shard.lru.erase(candidate);
   }
 }
@@ -131,8 +141,10 @@ PageGuard BufferManager::PinImpl(PageId id, bool writable,
   std::lock_guard<std::mutex> lock(shard.mu);
   logical_reads_.fetch_add(1, std::memory_order_relaxed);
 
-  auto it = shard.index.find(id);
-  if (it == shard.index.end()) {
+  const size_t slot = static_cast<size_t>(id) / shards_.size();
+  const auto resident = slot < shard.index.size() ? shard.index[slot]
+                                                  : shard.lru.end();
+  if (resident == shard.lru.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
     shard.lru.emplace_front();
     BufferFrame& inserted = shard.lru.front();
@@ -143,9 +155,9 @@ PageGuard BufferManager::PinImpl(PageId id, bool writable,
       // spares a racy frame-under-construction state.
       file_->Read(id, &inserted.page);
     }
-    shard.index[id] = shard.lru.begin();
+    *shard.Slot(id, shards_.size()) = shard.lru.begin();
   } else {
-    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    shard.lru.splice(shard.lru.begin(), shard.lru, resident);
   }
 
   // Pin before evicting so the eviction scan can never reclaim this frame,
@@ -194,7 +206,7 @@ PageId BufferManager::AllocatePage() {
   BufferFrame& frame = shard.lru.front();
   frame.id = id;
   frame.dirty = true;
-  shard.index[id] = shard.lru.begin();
+  *shard.Slot(id, shards_.size()) = shard.lru.begin();
   EvictLocked(shard);
   return id;
 }
@@ -220,7 +232,7 @@ void BufferManager::Clear() {
         it->dirty = false;
       }
       if (it->pins == 0) {
-        shard->index.erase(it->id);
+        *shard->Slot(it->id, shards_.size()) = shard->lru.end();
         it = shard->lru.erase(it);
       } else {
         ++it;

@@ -1,24 +1,164 @@
 #include "src/index/node.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "src/util/check.h"
 
 namespace mst {
 
-Mbb3 IndexNode::Bounds() const {
-  Mbb3 m;
-  if (IsLeaf()) {
-    for (const LeafEntry& e : leaves) m.Expand(e.Bounds());
-  } else {
-    for (const InternalEntry& e : internals) m.Expand(e.mbb);
+namespace {
+
+// v2 leaf-page header field offsets (see the layout comment in node.h).
+// Byte 0 is the level (0 for leaves), byte 1 the format version — the byte
+// that is provably 0 in every v1 page, where it holds the second byte of the
+// little-endian int32 level.
+constexpr size_t kV2OffLevel = 0;
+constexpr size_t kV2OffVersion = 1;
+constexpr size_t kV2OffFlags = 2;
+constexpr size_t kV2OffCount = 3;
+constexpr size_t kV2OffParent = 4;
+constexpr size_t kV2OffPrevLeaf = 8;
+constexpr size_t kV2OffNextLeaf = 12;
+constexpr size_t kV2OffBounds = 16;
+constexpr size_t kV2OffColumns = kLeafHeaderV2Size;
+
+constexpr uint8_t kV2FlagTimeSorted = 1u;
+
+static_assert(sizeof(Mbb3) == 48, "v2 header embeds the MBB verbatim");
+static_assert(kV2OffBounds + sizeof(Mbb3) == kLeafHeaderV2Size);
+
+// Per-thread freelist of recycled column blocks. Leaf decode allocates one
+// 4 KB block per read; with the node cache disabled that is an allocator
+// round trip per node access, which shows up in the k-MST hot path.
+// Donated blocks hold arbitrary bytes — consumers either overwrite the
+// whole block (AssignFromSoa, copy) or re-zero it (EnsureBlock). The list
+// is thread-local, so no synchronization; the cap bounds each thread at
+// 512 KB of standby blocks.
+constexpr size_t kBlockFreelistCap = 128;
+thread_local std::vector<std::unique_ptr<LeafBlock>> tls_block_freelist;
+
+std::unique_ptr<LeafBlock> AcquireBlock() {
+  if (!tls_block_freelist.empty()) {
+    std::unique_ptr<LeafBlock> b = std::move(tls_block_freelist.back());
+    tls_block_freelist.pop_back();
+    return b;
   }
+  return std::make_unique_for_overwrite<LeafBlock>();
+}
+
+void RecycleBlock(std::unique_ptr<LeafBlock> b) {
+  if (b != nullptr && tls_block_freelist.size() < kBlockFreelistCap) {
+    tls_block_freelist.push_back(std::move(b));
+  }
+}
+
+}  // namespace
+
+LeafColumns::~LeafColumns() { RecycleBlock(std::move(block_)); }
+
+void LeafColumns::EnsureBlock() {
+  if (block_ != nullptr) return;
+  block_ = AcquireBlock();
+  std::memset(block_.get(), 0, sizeof(LeafBlock));
+}
+
+void LeafColumns::clear() {
+  if (block_ != nullptr && count_ > 0) {
+    // Re-zero only the used prefix of each column; the tail is already zero
+    // (zero-tail invariant keeps v2 page encodes byte-deterministic).
+    const size_t n = static_cast<size_t>(count_);
+    std::fill_n(block_->t0, n, 0.0);
+    std::fill_n(block_->x0, n, 0.0);
+    std::fill_n(block_->y0, n, 0.0);
+    std::fill_n(block_->t1, n, 0.0);
+    std::fill_n(block_->x1, n, 0.0);
+    std::fill_n(block_->y1, n, 0.0);
+    std::fill_n(block_->traj_id, n, TrajectoryId{0});
+  }
+  count_ = 0;
+  sorted_ = true;
+  mbb_ = Mbb3();
+}
+
+std::vector<LeafEntry> LeafColumns::ToVector() const {
+  std::vector<LeafEntry> out;
+  out.reserve(size());
+  for (size_t i = 0; i < size(); ++i) out.push_back((*this)[i]);
+  return out;
+}
+
+void LeafColumns::AssignFromAos(const uint8_t* src, int count) {
+  clear();
+  if (count == 0) return;
+  EnsureBlock();
+  LeafBlock& b = *block_;
+  for (int i = 0; i < count; ++i) {
+    LeafEntry e;
+    std::memcpy(&e, src + static_cast<size_t>(i) * kNodeEntrySize, sizeof(e));
+    b.t0[i] = e.t0;
+    b.x0[i] = e.x0;
+    b.y0[i] = e.y0;
+    b.t1[i] = e.t1;
+    b.x1[i] = e.x1;
+    b.y1[i] = e.y1;
+    b.traj_id[i] = e.traj_id;
+    if (i > 0 && (e.t0 < b.t0[i - 1] ||
+                  (e.t0 == b.t0[i - 1] && e.traj_id < b.traj_id[i - 1]))) {
+      sorted_ = false;
+    }
+    mbb_.Expand(Mbb3::OfSegment(e.Start(), e.End()));
+  }
+  count_ = count;
+}
+
+void LeafColumns::AssignFromSoa(const uint8_t* src, int count,
+                                bool time_sorted, const Mbb3& bounds) {
+  // No EnsureBlock here: the full-block copy overwrites every byte anyway
+  // (v2 pages carry the zero tail), so a recycled block needs no re-zeroing
+  // — this is the decode hot path with the node cache disabled.
+  if (block_ == nullptr) block_ = AcquireBlock();
+  std::memcpy(block_.get(), src, sizeof(LeafBlock));
+  count_ = count;
+  sorted_ = time_sorted;
+  mbb_ = bounds;
+}
+
+Mbb3 IndexNode::Bounds() const {
+  if (IsLeaf()) return leaves.bounds();
+  Mbb3 m;
+  for (const InternalEntry& e : internals) m.Expand(e.mbb);
   return m;
 }
 
-void IndexNode::EncodeTo(Page* page) const {
+void IndexNode::EncodeTo(Page* page, LeafPageFormat leaf_format) const {
   const int count = Count();
   MST_CHECK_MSG(count <= kCapacity, "node overflow at encode time");
+
+  if (IsLeaf() && leaf_format == LeafPageFormat::kV2Soa) {
+    page->WriteAt<uint8_t>(kV2OffLevel, 0);
+    page->WriteAt<uint8_t>(kV2OffVersion,
+                           static_cast<uint8_t>(LeafPageFormat::kV2Soa));
+    const uint8_t flags = leaves.time_sorted() ? kV2FlagTimeSorted : 0u;
+    page->WriteAt<uint8_t>(kV2OffFlags, flags);
+    page->WriteAt<uint8_t>(kV2OffCount, static_cast<uint8_t>(count));
+    page->WriteAt<PageId>(kV2OffParent, parent);
+    page->WriteAt<PageId>(kV2OffPrevLeaf, prev_leaf);
+    page->WriteAt<PageId>(kV2OffNextLeaf, next_leaf);
+    page->WriteAt<Mbb3>(kV2OffBounds, leaves.bounds());
+    uint8_t* dst = page->bytes.data() + kV2OffColumns;
+    const LeafView v = leaves.View();
+    if (v.t0 != nullptr) {
+      // Single full-block copy; the zero-tail invariant makes it
+      // deterministic regardless of count.
+      std::memcpy(dst, v.t0, sizeof(LeafBlock));
+    } else {
+      std::memset(dst, 0, sizeof(LeafBlock));
+    }
+    return;
+  }
+
+  // v1 layout (internal nodes always; leaves when explicitly requested).
   page->WriteAt<int32_t>(0, level);
   page->WriteAt<int32_t>(4, count);
   page->WriteAt<PageId>(8, parent);
@@ -27,8 +167,9 @@ void IndexNode::EncodeTo(Page* page) const {
   page->WriteAt<int32_t>(20, 0);
   uint8_t* dst = page->bytes.data() + kHeaderSize;
   if (IsLeaf()) {
-    if (count > 0) {
-      std::memcpy(dst, leaves.data(), static_cast<size_t>(count) * kEntrySize);
+    for (int i = 0; i < count; ++i) {
+      const LeafEntry e = leaves[static_cast<size_t>(i)];
+      std::memcpy(dst + static_cast<size_t>(i) * kEntrySize, &e, sizeof(e));
     }
   } else {
     if (count > 0) {
@@ -38,9 +179,54 @@ void IndexNode::EncodeTo(Page* page) const {
   }
 }
 
+bool IsV2LeafPage(const Page& page) {
+  return page.ReadAt<uint8_t>(kV2OffVersion) ==
+         static_cast<uint8_t>(LeafPageFormat::kV2Soa);
+}
+
+LeafView ViewOfV2LeafPage(const Page& page, PageId* next_leaf) {
+  MST_DCHECK(IsV2LeafPage(page));
+  LeafView v;
+  v.count = page.ReadAt<uint8_t>(kV2OffCount);
+  v.time_sorted =
+      (page.ReadAt<uint8_t>(kV2OffFlags) & kV2FlagTimeSorted) != 0;
+  v.bounds = page.ReadAt<Mbb3>(kV2OffBounds);
+  if (next_leaf != nullptr) *next_leaf = page.ReadAt<PageId>(kV2OffNextLeaf);
+  // The column region is an exact LeafBlock image at an 8-byte-aligned
+  // offset of the (alignas(8)) page, so the columns are readable in place.
+  const auto* block =
+      reinterpret_cast<const LeafBlock*>(page.bytes.data() + kV2OffColumns);
+  v.t0 = block->t0;
+  v.x0 = block->x0;
+  v.y0 = block->y0;
+  v.t1 = block->t1;
+  v.x1 = block->x1;
+  v.y1 = block->y1;
+  v.traj_id = block->traj_id;
+  return v;
+}
+
 IndexNode IndexNode::Decode(const Page& page, PageId self) {
   IndexNode node;
   node.self = self;
+
+  const uint8_t version = page.ReadAt<uint8_t>(kV2OffVersion);
+  if (version == static_cast<uint8_t>(LeafPageFormat::kV2Soa)) {
+    node.level = 0;
+    const uint8_t flags = page.ReadAt<uint8_t>(kV2OffFlags);
+    const int count = page.ReadAt<uint8_t>(kV2OffCount);
+    MST_CHECK_MSG(count <= kCapacity, "corrupt v2 leaf count");
+    node.parent = page.ReadAt<PageId>(kV2OffParent);
+    node.prev_leaf = page.ReadAt<PageId>(kV2OffPrevLeaf);
+    node.next_leaf = page.ReadAt<PageId>(kV2OffNextLeaf);
+    const Mbb3 bounds = page.ReadAt<Mbb3>(kV2OffBounds);
+    node.leaves.AssignFromSoa(page.bytes.data() + kV2OffColumns, count,
+                              (flags & kV2FlagTimeSorted) != 0, bounds);
+    return node;
+  }
+  MST_CHECK_MSG(version == 0, "unknown node format version");
+
+  // v1 layout.
   node.level = page.ReadAt<int32_t>(0);
   const int32_t count = page.ReadAt<int32_t>(4);
   MST_CHECK_MSG(count >= 0 && count <= kCapacity, "corrupt node count");
@@ -49,11 +235,7 @@ IndexNode IndexNode::Decode(const Page& page, PageId self) {
   node.next_leaf = page.ReadAt<PageId>(16);
   const uint8_t* src = page.bytes.data() + kHeaderSize;
   if (node.IsLeaf()) {
-    node.leaves.resize(static_cast<size_t>(count));
-    if (count > 0) {
-      std::memcpy(node.leaves.data(), src,
-                  static_cast<size_t>(count) * kEntrySize);
-    }
+    node.leaves.AssignFromAos(src, count);
   } else {
     node.internals.resize(static_cast<size_t>(count));
     if (count > 0) {

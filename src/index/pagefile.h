@@ -33,8 +33,10 @@ using PageId = int32_t;
 inline constexpr PageId kInvalidPageId = -1;
 
 /// One fixed-size page of raw bytes, with bounds-checked scalar access
-/// helpers used by the node serializers.
-struct Page {
+/// helpers used by the node serializers. Pages are 8-byte aligned so the
+/// v2 leaf layout's column region (a LeafBlock image at an 8-byte offset)
+/// can be read in place, without copying it out of the buffer frame.
+struct alignas(8) Page {
   std::array<uint8_t, kPageSize> bytes{};
 
   /// Writes a trivially copyable value at byte offset `off`.

@@ -280,7 +280,7 @@ void RTree3D::Insert(const LeafEntry& entry) {
   // Leaf overflow: quadratic split.
   const int min_fill = std::max(
       1, static_cast<int>(IndexNode::kCapacity * kMinFillFraction));
-  std::vector<LeafEntry> all = node.leaves;
+  std::vector<LeafEntry> all = node.leaves.ToVector();
   all.push_back(entry);
   std::vector<Mbb3> boxes;
   boxes.reserve(all.size());

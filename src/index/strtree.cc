@@ -223,7 +223,7 @@ void STRTree::StandardInsert(const LeafEntry& entry) {
     ExpandAncestorsViaParents(node.self, box);
     entry_leaf = node.self;
   } else {
-    std::vector<LeafEntry> all = node.leaves;
+    std::vector<LeafEntry> all = node.leaves.ToVector();
     all.push_back(entry);
     std::vector<Mbb3> boxes;
     boxes.reserve(all.size());

@@ -45,6 +45,9 @@ class TBTree : public TrajectoryIndex {
       TrajectoryId id) const override {
     return RetrieveTrajectory(id);
   }
+  PageId TrajectoryChainHead(TrajectoryId id) const override {
+    return HeadLeaf(id);
+  }
 
   /// TB-specific structural checks (single-trajectory leaves, chain
   /// consistency, parent pointers). Aborts on violation; for tests.

@@ -33,9 +33,13 @@ class TrajectoryIndex {
   /// the decoded-node cache above the page buffer (0 disables it; it is an
   /// engineering layer, not part of the paper's I/O model — logical node
   /// accesses are counted identically with it on or off).
+  /// `leaf_format` selects the on-page leaf layout WriteNode emits (v2
+  /// columnar by default; v1 row-major for compatibility experiments —
+  /// either way old pages of both formats decode transparently).
   struct Options {
     size_t build_buffer_pages = 4096;
     size_t node_cache_nodes = 4096;
+    LeafPageFormat leaf_format = LeafPageFormat::kV2Soa;
   };
 
   virtual ~TrajectoryIndex();
@@ -61,6 +65,15 @@ class TrajectoryIndex {
     return {};
   }
 
+  /// First leaf page of `id`'s segment chain, or kInvalidPageId when the
+  /// index has no direct per-trajectory access path (or the id is unknown).
+  /// Callers follow next_leaf pointers and read segments straight from each
+  /// node's columnar LeafView — the zero-repack alternative to
+  /// FetchTrajectorySegments, which materializes an entry vector per call.
+  virtual PageId TrajectoryChainHead(TrajectoryId) const {
+    return kInvalidPageId;
+  }
+
   /// Inserts every segment of every trajectory in `store`, in temporal order
   /// per trajectory, trajectories interleaved round-robin as produced by
   /// concurrently moving objects (the realistic MOD arrival order, which the
@@ -81,6 +94,24 @@ class TrajectoryIndex {
   /// and published to the cache. The returned node is immutable and shared;
   /// callers needing to modify entries must copy them.
   NodeRef ReadNode(PageId id) const;
+
+  /// One leaf page read for column streaming. Exactly one of `node` /
+  /// `guard` backs `view`; keep the struct alive while the view is used.
+  struct LeafPageRead {
+    NodeRef node;     // decoded path (v1 page, or node cache enabled)
+    PageGuard guard;  // zero-copy path (v2 page, node cache disabled)
+    LeafView view;
+    PageId next_leaf = kInvalidPageId;
+  };
+
+  /// Reads a page the caller knows is a leaf. With the decoded-node cache
+  /// disabled and a v2 columnar page, the returned view aliases the pinned
+  /// buffer frame directly — no block copy, no IndexNode materialization
+  /// (the structural payoff of the SoA layout; v1 pages need the AoS→SoA
+  /// transform and fall back to a full decode). Accounting is identical to
+  /// ReadNode on every path: one logical node access, and the same single
+  /// buffer Pin, so node-access and I/O counters are unchanged.
+  LeafPageRead ReadLeafColumns(PageId id) const;
 
   /// Number of nodes (== allocated pages).
   int64_t NodeCount() const { return file_.PageCount(); }
@@ -128,6 +159,9 @@ class TrajectoryIndex {
   NodeCache& node_cache() const { return node_cache_; }
   PageFile& file() { return file_; }
 
+  /// On-page leaf layout this index writes (decoding accepts both).
+  LeafPageFormat leaf_format() const { return leaf_format_; }
+
   /// Structural invariant check (MBB containment, counts, parent links where
   /// maintained). Aborts on violation; O(nodes). For tests.
   void CheckInvariants() const;
@@ -169,6 +203,7 @@ class TrajectoryIndex {
   mutable PageFile file_;
   mutable BufferManager buffer_;
   mutable NodeCache node_cache_;
+  LeafPageFormat leaf_format_ = LeafPageFormat::kV2Soa;
   PageId root_ = kInvalidPageId;
   int height_ = 0;
   int64_t entry_count_ = 0;

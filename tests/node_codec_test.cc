@@ -1,0 +1,313 @@
+// Randomized round-trip tests of the node codec: the v1 (row-major) and v2
+// (columnar) leaf-page layouts, internal pages, the version-byte dispatch,
+// the fixed v2 column offsets, and the compatibility guarantee that a
+// v1-written index file answers queries identically under the current code.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/core/mst_search.h"
+#include "src/gen/gstd.h"
+#include "src/index/node.h"
+#include "src/index/pagefile.h"
+#include "src/index/tbtree.h"
+#include "src/io/index_io.h"
+#include "src/util/random.h"
+
+namespace mst {
+namespace {
+
+LeafEntry RandomLeafEntry(Rng* rng) {
+  LeafEntry e;
+  // Ids spanning the full positive int64 range, coordinates of both signs
+  // and wildly different magnitudes — the codec must be value-agnostic.
+  e.traj_id = rng->UniformInt(0, int64_t{1} << 62);
+  e.t0 = rng->Uniform(-1e6, 1e6);
+  e.t1 = e.t0 + rng->Uniform(1e-9, 1e4);
+  e.x0 = rng->Uniform(-1e8, 1e8);
+  e.y0 = rng->Uniform(-1e8, 1e8);
+  e.x1 = rng->Uniform(-1e8, 1e8);
+  e.y1 = rng->Uniform(-1e8, 1e8);
+  return e;
+}
+
+IndexNode RandomLeafNode(Rng* rng, int count, bool time_sorted) {
+  IndexNode node;
+  node.self = static_cast<PageId>(rng->UniformInt(0, 1 << 20));
+  node.level = 0;
+  node.parent = static_cast<PageId>(rng->UniformInt(-1, 1 << 20));
+  node.prev_leaf = static_cast<PageId>(rng->UniformInt(-1, 1 << 20));
+  node.next_leaf = static_cast<PageId>(rng->UniformInt(-1, 1 << 20));
+  std::vector<LeafEntry> entries;
+  entries.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) entries.push_back(RandomLeafEntry(rng));
+  if (time_sorted) {
+    std::sort(entries.begin(), entries.end(),
+              [](const LeafEntry& a, const LeafEntry& b) {
+                if (a.t0 != b.t0) return a.t0 < b.t0;
+                return a.traj_id < b.traj_id;
+              });
+  }
+  for (const LeafEntry& e : entries) node.leaves.push_back(e);
+  return node;
+}
+
+bool EntriesTimeSorted(const IndexNode& node) {
+  const std::vector<LeafEntry> v = node.leaves.ToVector();
+  return std::is_sorted(v.begin(), v.end(),
+                        [](const LeafEntry& a, const LeafEntry& b) {
+                          if (a.t0 != b.t0) return a.t0 < b.t0;
+                          return a.traj_id < b.traj_id;
+                        });
+}
+
+void ExpectNodesEqual(const IndexNode& got, const IndexNode& want) {
+  EXPECT_EQ(got.level, want.level);
+  EXPECT_EQ(got.parent, want.parent);
+  EXPECT_EQ(got.prev_leaf, want.prev_leaf);
+  EXPECT_EQ(got.next_leaf, want.next_leaf);
+  ASSERT_EQ(got.Count(), want.Count());
+  for (size_t i = 0; i < want.leaves.size(); ++i) {
+    EXPECT_EQ(got.leaves[i], want.leaves[i]) << "entry " << i;
+  }
+  // Derived metadata must round-trip too (v2 stores it in the header; the
+  // v1 shim recomputes it).
+  EXPECT_EQ(got.leaves.time_sorted(), EntriesTimeSorted(want));
+  const Mbb3 gb = got.Bounds();
+  const Mbb3 wb = want.Bounds();
+  EXPECT_EQ(gb.xlo, wb.xlo);
+  EXPECT_EQ(gb.ylo, wb.ylo);
+  EXPECT_EQ(gb.tlo, wb.tlo);
+  EXPECT_EQ(gb.xhi, wb.xhi);
+  EXPECT_EQ(gb.yhi, wb.yhi);
+  EXPECT_EQ(gb.thi, wb.thi);
+}
+
+TEST(NodeCodecRandomTest, LeafRoundTripBothFormats) {
+  Rng rng(20260805);
+  for (const LeafPageFormat format :
+       {LeafPageFormat::kV1Aos, LeafPageFormat::kV2Soa}) {
+    for (int trial = 0; trial < 100; ++trial) {
+      const int count =
+          static_cast<int>(rng.UniformInt(0, IndexNode::kCapacity));
+      const bool sorted = rng.Bernoulli(0.5);
+      const IndexNode node = RandomLeafNode(&rng, count, sorted);
+      Page page;
+      node.EncodeTo(&page, format);
+      const IndexNode decoded = IndexNode::Decode(page, node.self);
+      EXPECT_EQ(decoded.self, node.self);
+      ExpectNodesEqual(decoded, node);
+    }
+  }
+}
+
+TEST(NodeCodecRandomTest, InternalRoundTrip) {
+  Rng rng(77);
+  for (int trial = 0; trial < 50; ++trial) {
+    IndexNode node;
+    node.self = 3;
+    node.level = static_cast<int32_t>(rng.UniformInt(1, 5));
+    node.parent = static_cast<PageId>(rng.UniformInt(-1, 100));
+    const int count = static_cast<int>(rng.UniformInt(1, IndexNode::kCapacity));
+    for (int i = 0; i < count; ++i) {
+      InternalEntry e;
+      e.child = static_cast<PageId>(rng.UniformInt(0, 1 << 20));
+      e.mbb = RandomLeafEntry(&rng).Bounds();
+      node.internals.push_back(e);
+    }
+    Page page;
+    node.EncodeTo(&page);
+    const IndexNode decoded = IndexNode::Decode(page, node.self);
+    EXPECT_EQ(decoded.level, node.level);
+    EXPECT_EQ(decoded.parent, node.parent);
+    ASSERT_EQ(decoded.Count(), node.Count());
+    for (int i = 0; i < count; ++i) {
+      const size_t s = static_cast<size_t>(i);
+      EXPECT_EQ(decoded.internals[s].child, node.internals[s].child);
+      EXPECT_EQ(decoded.internals[s].mbb.xlo, node.internals[s].mbb.xlo);
+      EXPECT_EQ(decoded.internals[s].mbb.thi, node.internals[s].mbb.thi);
+    }
+  }
+}
+
+TEST(NodeCodecRandomTest, VersionByteDiscriminates) {
+  Rng rng(1);
+  const IndexNode node = RandomLeafNode(&rng, 10, /*time_sorted=*/true);
+  Page v1;
+  Page v2;
+  node.EncodeTo(&v1, LeafPageFormat::kV1Aos);
+  node.EncodeTo(&v2, LeafPageFormat::kV2Soa);
+  // Byte 1 is the discriminator: second byte of the little-endian level in
+  // v1 (always 0), the format version in v2.
+  EXPECT_EQ(v1.bytes[1], 0);
+  EXPECT_EQ(v2.bytes[1], static_cast<uint8_t>(LeafPageFormat::kV2Soa));
+  // Internal nodes always take the v1 path regardless of requested format.
+  IndexNode internal;
+  internal.level = 1;
+  internal.internals.push_back({node.Bounds(), 7, 0});
+  Page pi;
+  internal.EncodeTo(&pi, LeafPageFormat::kV2Soa);
+  EXPECT_EQ(pi.bytes[1], 0);
+  EXPECT_EQ(IndexNode::Decode(pi, 0).level, 1);
+}
+
+TEST(NodeCodecRandomTest, V2ColumnsAtFixedOffsets) {
+  // Locks the on-disk v2 layout: capacity-strided columns starting right
+  // after the 64-byte header, in t0 x0 y0 t1 x1 y1 id order.
+  Rng rng(9);
+  const IndexNode node = RandomLeafNode(&rng, 17, /*time_sorted=*/false);
+  Page page;
+  node.EncodeTo(&page, LeafPageFormat::kV2Soa);
+  const size_t stride = sizeof(double) * static_cast<size_t>(kNodeCapacity);
+  for (size_t i = 0; i < node.leaves.size(); ++i) {
+    const LeafEntry e = node.leaves[i];
+    double d = 0.0;
+    std::memcpy(&d, &page.bytes[kLeafHeaderV2Size + i * 8], 8);
+    EXPECT_EQ(d, e.t0);
+    std::memcpy(&d, &page.bytes[kLeafHeaderV2Size + stride + i * 8], 8);
+    EXPECT_EQ(d, e.x0);
+    std::memcpy(&d, &page.bytes[kLeafHeaderV2Size + 5 * stride + i * 8], 8);
+    EXPECT_EQ(d, e.y1);
+    TrajectoryId id = 0;
+    std::memcpy(&id, &page.bytes[kLeafHeaderV2Size + 6 * stride + i * 8], 8);
+    EXPECT_EQ(id, e.traj_id);
+  }
+  EXPECT_EQ(page.bytes[3], 17);  // count byte
+}
+
+TEST(NodeCodecRandomTest, ZeroCopyViewMatchesDecodedView) {
+  // The in-place page view (ViewOfV2LeafPage) must agree field-for-field
+  // with the view of a fully decoded node — they are interchangeable read
+  // paths over the same bytes.
+  Rng rng(31);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int count =
+        static_cast<int>(rng.UniformInt(0, IndexNode::kCapacity));
+    const IndexNode node = RandomLeafNode(&rng, count, rng.Bernoulli(0.5));
+    Page page;
+    node.EncodeTo(&page, LeafPageFormat::kV2Soa);
+    ASSERT_TRUE(IsV2LeafPage(page));
+    PageId next = kInvalidPageId;
+    const LeafView raw = ViewOfV2LeafPage(page, &next);
+    EXPECT_EQ(next, node.next_leaf);
+    const IndexNode decoded = IndexNode::Decode(page, node.self);
+    const LeafView ref = decoded.leaves.View();
+    ASSERT_EQ(raw.count, ref.count);
+    EXPECT_EQ(raw.time_sorted, ref.time_sorted);
+    EXPECT_EQ(raw.bounds.xlo, ref.bounds.xlo);
+    EXPECT_EQ(raw.bounds.thi, ref.bounds.thi);
+    for (int i = 0; i < raw.count; ++i) {
+      EXPECT_EQ(raw.Entry(i), ref.Entry(i)) << "entry " << i;
+    }
+  }
+  // v1 pages must be rejected by the version probe.
+  Page v1;
+  RandomLeafNode(&rng, 5, true).EncodeTo(&v1, LeafPageFormat::kV1Aos);
+  EXPECT_FALSE(IsV2LeafPage(v1));
+}
+
+TEST(NodeCodecRandomTest, EncodeDeterministicAndIdempotent) {
+  Rng rng(42);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int count =
+        static_cast<int>(rng.UniformInt(0, IndexNode::kCapacity));
+    const IndexNode node = RandomLeafNode(&rng, count, rng.Bernoulli(0.5));
+    Page a;
+    Page b;
+    node.EncodeTo(&a, LeafPageFormat::kV2Soa);
+    node.EncodeTo(&b, LeafPageFormat::kV2Soa);
+    EXPECT_EQ(a.bytes, b.bytes) << "same node must encode identically";
+    // decode(encode(n)) re-encodes to the same bytes (zero-tail invariant).
+    const IndexNode decoded = IndexNode::Decode(a, node.self);
+    Page c;
+    decoded.EncodeTo(&c, LeafPageFormat::kV2Soa);
+    EXPECT_EQ(a.bytes, c.bytes);
+  }
+}
+
+TEST(NodeCodecRandomTest, ClearedAndRefilledLeafEncodesLikeFresh) {
+  // clear() must restore the zero-tail invariant so reused nodes stay
+  // byte-deterministic (buffer frames are recycled the same way).
+  Rng rng(7);
+  IndexNode reused = RandomLeafNode(&rng, IndexNode::kCapacity, false);
+  Rng rng2(123);
+  IndexNode fresh = RandomLeafNode(&rng2, 5, true);
+  reused.leaves.clear();
+  for (size_t i = 0; i < fresh.leaves.size(); ++i) {
+    reused.leaves.push_back(fresh.leaves[i]);
+  }
+  reused.level = fresh.level;
+  reused.parent = fresh.parent;
+  reused.prev_leaf = fresh.prev_leaf;
+  reused.next_leaf = fresh.next_leaf;
+  Page a;
+  Page b;
+  reused.EncodeTo(&a, LeafPageFormat::kV2Soa);
+  fresh.EncodeTo(&b, LeafPageFormat::kV2Soa);
+  EXPECT_EQ(a.bytes, b.bytes);
+}
+
+// A v1-written index *file* must be query-identical when read by the
+// current (v2-default) code path.
+TEST(NodeCodecCompatTest, V1FileQueryIdenticalUnderV2Code) {
+  GstdOptions gopt;
+  gopt.num_objects = 40;
+  gopt.samples_per_object = 60;
+  gopt.timestamp_jitter = 0.4;
+  gopt.seed = 424242;
+  const TrajectoryStore store = GenerateGstd(gopt);
+
+  TBTree::Options v1opt;
+  v1opt.leaf_format = LeafPageFormat::kV1Aos;
+  TBTree v1tree(v1opt);
+  v1tree.BuildFrom(store);
+  TBTree v2tree;  // default options write v2 pages
+  v2tree.BuildFrom(store);
+  ASSERT_EQ(v2tree.leaf_format(), LeafPageFormat::kV2Soa);
+  ASSERT_EQ(v1tree.NodeCount(), v2tree.NodeCount());
+
+  const std::string path = ::testing::TempDir() + "/v1_index.bin";
+  ASSERT_TRUE(SaveIndex(v1tree, path));
+  std::string error;
+  const auto loaded = LoadIndex(path, &error);
+  ASSERT_NE(loaded, nullptr) << error;
+
+  v1tree.CheckInvariants();
+  loaded->CheckInvariants();
+
+  const BFMstSearch s_v1(&v1tree, &store);
+  const BFMstSearch s_v2(&v2tree, &store);
+  const BFMstSearch s_loaded(loaded.get(), &store);
+  MstOptions options;
+  options.k = 5;
+  for (size_t qi = 0; qi < store.size(); qi += 7) {
+    const Trajectory& query = store.trajectories()[qi];
+    options.exclude_id = query.id();
+    const TimeInterval period = query.Lifespan();
+    MstStats st_v1;
+    MstStats st_v2;
+    MstStats st_loaded;
+    const auto r_v1 = s_v1.Search(query, period, options, &st_v1);
+    const auto r_v2 = s_v2.Search(query, period, options, &st_v2);
+    const auto r_loaded = s_loaded.Search(query, period, options, &st_loaded);
+    ASSERT_EQ(r_v1.size(), r_v2.size());
+    ASSERT_EQ(r_v1.size(), r_loaded.size());
+    for (size_t i = 0; i < r_v1.size(); ++i) {
+      EXPECT_EQ(r_v1[i].id, r_v2[i].id);
+      EXPECT_EQ(r_v1[i].dissim, r_v2[i].dissim);
+      EXPECT_EQ(r_v1[i].id, r_loaded[i].id);
+      EXPECT_EQ(r_v1[i].dissim, r_loaded[i].dissim);
+    }
+    // Node accesses (the paper's I/O metric) are layout-independent.
+    EXPECT_EQ(st_v1.nodes_accessed, st_v2.nodes_accessed);
+    EXPECT_EQ(st_v1.nodes_accessed, st_loaded.nodes_accessed);
+    EXPECT_EQ(st_v1.leaf_entries_seen, st_v2.leaf_entries_seen);
+  }
+}
+
+}  // namespace
+}  // namespace mst

@@ -270,14 +270,19 @@ TEST(NodeCodecTest, BoundsUnionsEntries) {
   EXPECT_DOUBLE_EQ(b.thi, 6.0);
 }
 
-TEST(NodeCodecDeathTest, EncodeOverflowAborts) {
+TEST(NodeCodecDeathTest, LeafOverflowAborts) {
+  // The columnar leaf storage is a fixed 72-slot block, so overflow aborts
+  // at the overflowing push_back — before it could ever reach EncodeTo.
   IndexNode node;
   node.level = 0;
-  for (int i = 0; i <= IndexNode::kCapacity; ++i) {
+  for (int i = 0; i < IndexNode::kCapacity; ++i) {
     node.leaves.push_back(LeafEntry::Of(i, {0.0, {0, 0}}, {1.0, {1, 1}}));
   }
   Page page;
-  EXPECT_DEATH(node.EncodeTo(&page), "overflow");
+  node.EncodeTo(&page);  // a full node still encodes fine
+  EXPECT_DEATH(node.leaves.push_back(
+                   LeafEntry::Of(99, {0.0, {0, 0}}, {1.0, {1, 1}})),
+               "overflow");
 }
 
 }  // namespace
