@@ -15,10 +15,12 @@ namespace {
 int Main(int argc, char** argv) {
   int64_t queries = 40;
   int64_t objects = 250;
+  int64_t seed = 777;
   bool help = false;
   FlagParser flags;
   flags.AddInt("queries", &queries, "queries per buffer size");
   flags.AddInt("objects", &objects, "dataset cardinality");
+  flags.AddInt("seed", &seed, "workload seed of the measured query stream");
   flags.AddBool("help", &help, "print usage");
   if (!flags.Parse(argc, argv)) return 1;
   if (help) {
@@ -56,7 +58,7 @@ int Main(int argc, char** argv) {
       searcher.Search(q, q.Lifespan(), MstOptions());
     }
     index.buffer().ResetCounters();
-    Rng rng(777);
+    Rng rng(static_cast<uint64_t>(seed));
     for (int i = 0; i < queries; ++i) {
       const Trajectory q = bench::MakeQuery(store, &rng, 0.25);
       searcher.Search(q, q.Lifespan(), MstOptions());

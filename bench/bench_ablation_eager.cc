@@ -18,10 +18,13 @@ namespace {
 int Main(int argc, char** argv) {
   int64_t queries = 15;
   int64_t objects = 250;
+  int64_t seed = 4242;
   bool help = false;
   FlagParser flags;
   flags.AddInt("queries", &queries, "queries per cell");
   flags.AddInt("objects", &objects, "dataset cardinality");
+  flags.AddInt("seed", &seed,
+               "workload seed base (per-cell: seed + 100*length)");
   flags.AddBool("help", &help, "print usage");
   if (!flags.Parse(argc, argv)) return 1;
   if (help) {
@@ -48,7 +51,8 @@ int Main(int argc, char** argv) {
       base.use_eager_completion = eager;
       const auto r = bench::RunQuerySet(
           index, store, static_cast<int>(queries), frac, /*k=*/1,
-          /*seed=*/4242 + static_cast<uint64_t>(frac * 100), base);
+          static_cast<uint64_t>(seed) + static_cast<uint64_t>(frac * 100),
+          base);
       char lname[16];
       std::snprintf(lname, sizeof(lname), "%.0f%%", frac * 100.0);
       table.AddRow({lname, eager ? "eager" : "plain",

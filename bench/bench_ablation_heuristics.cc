@@ -17,10 +17,12 @@ namespace {
 int Main(int argc, char** argv) {
   int64_t queries = 20;
   int64_t objects = 250;
+  int64_t seed = 1234;
   bool help = false;
   FlagParser flags;
   flags.AddInt("queries", &queries, "queries per configuration");
   flags.AddInt("objects", &objects, "dataset cardinality");
+  flags.AddInt("seed", &seed, "workload seed (same stream for every cell)");
   flags.AddBool("help", &help, "print usage");
   if (!flags.Parse(argc, argv)) return 1;
   if (help) {
@@ -48,7 +50,7 @@ int Main(int argc, char** argv) {
         const auto r = bench::RunQuerySet(*index, built.store,
                                           static_cast<int>(queries),
                                           /*length_fraction=*/0.05, /*k=*/1,
-                                          /*seed=*/1234, base);
+                                          static_cast<uint64_t>(seed), base);
         table.AddRow({index->name(), h1 ? "on" : "off", h2 ? "on" : "off",
                       TextTable::Fmt(r.time_ms.mean(), 2),
                       TextTable::FmtPct(r.pruning_power.mean(), 1),

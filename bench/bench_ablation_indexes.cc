@@ -70,10 +70,12 @@ LeafStats ComputeLeafStats(const TrajectoryIndex& index) {
 int Main(int argc, char** argv) {
   int64_t objects = 250;
   int64_t queries = 20;
+  int64_t seed = 31415;
   bool help = false;
   FlagParser flags;
   flags.AddInt("objects", &objects, "dataset cardinality");
   flags.AddInt("queries", &queries, "k-MST queries per index");
+  flags.AddInt("seed", &seed, "workload seed (same stream for every index)");
   flags.AddBool("help", &help, "print usage");
   if (!flags.Parse(argc, argv)) return 1;
   if (help) {
@@ -118,7 +120,7 @@ int Main(int argc, char** argv) {
     const auto r = bench::RunQuerySet(*index, store,
                                       static_cast<int>(queries),
                                       /*length_fraction=*/0.05, /*k=*/1,
-                                      /*seed=*/31415);
+                                      static_cast<uint64_t>(seed));
     table.AddRow({engine.label, TextTable::Fmt(build_s, 2),
                   TextTable::Fmt(index->SizeBytes() / 1048576.0, 1),
                   TextTable::FmtPct(leaf.fill, 1),

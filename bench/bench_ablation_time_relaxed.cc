@@ -17,11 +17,13 @@ int Main(int argc, char** argv) {
   int64_t queries = 5;
   int64_t objects = 100;
   int64_t samples = 500;
+  int64_t seed = 2718;
   bool help = false;
   FlagParser flags;
   flags.AddInt("queries", &queries, "queries per cell");
   flags.AddInt("objects", &objects, "dataset cardinality");
   flags.AddInt("samples", &samples, "samples per object");
+  flags.AddInt("seed", &seed, "workload seed of the query stream");
   flags.AddBool("help", &help, "print usage");
   if (!flags.Parse(argc, argv)) return 1;
   if (help) {
@@ -44,7 +46,7 @@ int Main(int argc, char** argv) {
   table.SetHeader({"Query", "Scan(ms)", "Indexed(ms)", "Refined",
                    "OfTotal", "Agree"});
 
-  Rng rng(2718);
+  Rng rng(static_cast<uint64_t>(seed));
   RunningStats speedup;
   for (int i = 0; i < queries; ++i) {
     const Trajectory query = bench::MakeQuery(store, &rng, 0.10);

@@ -16,9 +16,11 @@ namespace {
 
 int Main(int argc, char** argv) {
   int64_t pairs = 200;
+  int64_t seed = 2024;
   bool help = false;
   FlagParser flags;
   flags.AddInt("pairs", &pairs, "random trajectory pairs to integrate");
+  flags.AddInt("seed", &seed, "workload seed of the pair stream");
   flags.AddBool("help", &help, "print usage");
   if (!flags.Parse(argc, argv)) return 1;
   if (help) {
@@ -27,7 +29,7 @@ int Main(int argc, char** argv) {
   }
 
   const TrajectoryStore store = bench::MakeSDataset(64, 2000);
-  Rng rng(2024);
+  Rng rng(static_cast<uint64_t>(seed));
 
   struct PolicyRow {
     IntegrationPolicy policy;

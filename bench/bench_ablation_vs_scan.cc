@@ -15,10 +15,12 @@ namespace {
 int Main(int argc, char** argv) {
   int64_t queries = 10;
   int64_t samples = 2000;
+  int64_t seed = 31337;
   bool help = false;
   FlagParser flags;
   flags.AddInt("queries", &queries, "queries per cardinality");
   flags.AddInt("samples", &samples, "samples per object");
+  flags.AddInt("seed", &seed, "workload seed base (per-cell: seed + objects)");
   flags.AddBool("help", &help, "print usage");
   if (!flags.Parse(argc, argv)) return 1;
   if (help) {
@@ -41,7 +43,7 @@ int Main(int argc, char** argv) {
     index.ConfigurePaperBuffer();
     const BFMstSearch searcher(&index, &store);
 
-    Rng rng(31337 + static_cast<uint64_t>(n));
+    Rng rng(static_cast<uint64_t>(seed + n));
     RunningStats bf_ms;
     RunningStats scan_ms;
     for (int i = 0; i < queries; ++i) {

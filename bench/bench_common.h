@@ -31,8 +31,9 @@ namespace bench {
 
 /// Version of the BENCH_*.json field conventions. Bump when a bench's field
 /// set changes shape so downstream perf-trend tooling can tell a schema
-/// change from a perf change. v2 added schema_version/git_rev themselves.
-inline constexpr int kBenchJsonSchemaVersion = 2;
+/// change from a perf change. v2 added schema_version/git_rev themselves;
+/// v3 added the workload "seed" to every JSON bench.
+inline constexpr int kBenchJsonSchemaVersion = 3;
 
 /// Writes the fields every BENCH_*.json must carry (call right after the
 /// opening "{\n"): the JSON schema version and the producing git revision,
@@ -44,10 +45,33 @@ inline void WriteJsonSchemaFields(std::FILE* f) {
                kBenchJsonSchemaVersion, MST_GIT_REV);
 }
 
+/// Opens `path` for writing and emits the opening brace plus the schema
+/// fields above — the one way every JSON bench starts its output file.
+/// Returns nullptr when the file cannot be created; the caller prints its
+/// own fields (no trailing comma on the last) and the closing "}\n".
+inline std::FILE* OpenBenchJson(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return nullptr;
+  std::fprintf(f, "{\n");
+  WriteJsonSchemaFields(f);
+  return f;
+}
+
+/// Default workload seed of the reproduction benches (the paper's
+/// publication date). Every bench exposes it as --seed so alternative
+/// reproducible workload streams are one flag away; each bench's default
+/// keeps the stream its committed BENCH_/EXPERIMENTS numbers were produced
+/// with.
+inline constexpr uint64_t kDefaultBenchSeed = 20070415;
+
 /// One of the paper's synthetic datasets (Table 2): S0100 … S1000, N objects
 /// sampled ~2000 times, lognormal(1, 0.6) speed, uniform initial placement.
+/// `seed` 0 (the default) keeps the canonical per-cardinality dataset seed
+/// all committed results use; any other value generates an alternative but
+/// equally reproducible dataset of the same shape.
 inline TrajectoryStore MakeSDataset(int num_objects,
-                                    int samples_per_object = 2000) {
+                                    int samples_per_object = 2000,
+                                    uint64_t seed = 0) {
   GstdOptions opt;
   opt.num_objects = num_objects;
   opt.samples_per_object = samples_per_object;
@@ -55,13 +79,17 @@ inline TrajectoryStore MakeSDataset(int num_objects,
   opt.speed_param1 = 1.0;
   opt.speed_param2 = 0.6;
   opt.timestamp_jitter = 0.4;  // realistic heterogeneous sampling instants
-  opt.seed = 20070415 + static_cast<uint64_t>(num_objects);
+  opt.seed = seed != 0 ? seed
+                       : kDefaultBenchSeed + static_cast<uint64_t>(num_objects);
   return GenerateGstd(opt);
 }
 
-/// The Trucks-like dataset (273 trajectories, ≈112 K segments).
-inline TrajectoryStore MakeTrucksDataset() {
-  return GenerateTrucks(TrucksOptions());
+/// The Trucks-like dataset (273 trajectories, ≈112 K segments). `seed` 0
+/// (the default) keeps the canonical fleet all committed results use.
+inline TrajectoryStore MakeTrucksDataset(uint64_t seed = 0) {
+  TrucksOptions opt;
+  if (seed != 0) opt.seed = seed;
+  return GenerateTrucks(opt);
 }
 
 /// Name for the S-series dataset of a given cardinality (e.g. "S0100").

@@ -20,6 +20,7 @@ namespace {
 int Main(int argc, char** argv) {
   int64_t queries = 25;
   int64_t samples = 2000;
+  int64_t seed = 555;
   bool full = false;
   bool help = false;
   std::string csv;
@@ -27,6 +28,7 @@ int Main(int argc, char** argv) {
   flags.AddString("csv", &csv, "also write the table to this CSV path");
   flags.AddInt("queries", &queries, "queries per (dataset, index) cell");
   flags.AddInt("samples", &samples, "samples per object (paper: 2000)");
+  flags.AddInt("seed", &seed, "workload seed base (per-cell: seed + objects)");
   flags.AddBool("full", &full,
                 "paper scale: 500 queries and all four cardinalities");
   flags.AddBool("help", &help, "print usage");
@@ -57,7 +59,7 @@ int Main(int argc, char** argv) {
       const auto r = bench::RunQuerySet(*index, built.store,
                                         static_cast<int>(queries),
                                         /*length_fraction=*/0.05, /*k=*/1,
-                                        /*seed=*/555 + n);
+                                        static_cast<uint64_t>(seed + n));
       table.AddRow({TextTable::FmtInt(n), index->name(),
                     TextTable::Fmt(r.time_ms.mean(), 2),
                     TextTable::FmtPct(r.pruning_power.mean(), 1),

@@ -21,6 +21,7 @@ int Main(int argc, char** argv) {
   int64_t queries = 20;
   int64_t objects = 500;
   int64_t samples = 2000;
+  int64_t seed = 777;
   bool full = false;
   bool help = false;
   std::string csv;
@@ -29,6 +30,8 @@ int Main(int argc, char** argv) {
   flags.AddInt("queries", &queries, "queries per (length, index) cell");
   flags.AddInt("objects", &objects, "dataset cardinality (paper: 500)");
   flags.AddInt("samples", &samples, "samples per object (paper: 2000)");
+  flags.AddInt("seed", &seed,
+               "workload seed base (per-cell: seed + 1000*length)");
   flags.AddBool("full", &full, "paper scale: 500 queries per cell");
   flags.AddBool("help", &help, "print usage");
   if (!flags.Parse(argc, argv)) return 1;
@@ -56,7 +59,7 @@ int Main(int argc, char** argv) {
     for (TrajectoryIndex* index : built.indexes()) {
       const auto r = bench::RunQuerySet(
           *index, built.store, static_cast<int>(queries), frac, /*k=*/1,
-          /*seed=*/777 + static_cast<uint64_t>(frac * 1000));
+          static_cast<uint64_t>(seed) + static_cast<uint64_t>(frac * 1000));
       char lname[16];
       std::snprintf(lname, sizeof(lname), "%.0f%%", frac * 100.0);
       table.AddRow({lname, index->name(), TextTable::Fmt(r.time_ms.mean(), 2),

@@ -19,6 +19,7 @@ int Main(int argc, char** argv) {
   int64_t queries = 25;
   int64_t objects = 500;
   int64_t samples = 2000;
+  int64_t seed = 999;
   bool full = false;
   bool help = false;
   std::string csv;
@@ -27,6 +28,7 @@ int Main(int argc, char** argv) {
   flags.AddInt("queries", &queries, "queries per (k, index) cell");
   flags.AddInt("objects", &objects, "dataset cardinality (paper: 500)");
   flags.AddInt("samples", &samples, "samples per object (paper: 2000)");
+  flags.AddInt("seed", &seed, "workload seed base (per-cell: seed + k)");
   flags.AddBool("full", &full, "paper scale: 500 queries per cell");
   flags.AddBool("help", &help, "print usage");
   if (!flags.Parse(argc, argv)) return 1;
@@ -55,7 +57,7 @@ int Main(int argc, char** argv) {
       const auto r = bench::RunQuerySet(*index, built.store,
                                         static_cast<int>(queries),
                                         /*length_fraction=*/0.05, k,
-                                        /*seed=*/999 + k);
+                                        static_cast<uint64_t>(seed + k));
       table.AddRow({TextTable::FmtInt(k), index->name(),
                     TextTable::Fmt(r.time_ms.mean(), 2),
                     TextTable::FmtPct(r.pruning_power.mean(), 1),

@@ -18,11 +18,13 @@ namespace {
 
 int Main(int argc, char** argv) {
   int64_t truck = 17;
+  int64_t seed = 7;
   bool help = false;
   std::string csv;
   FlagParser flags;
   flags.AddString("csv", &csv, "also write the table to this CSV path");
   flags.AddInt("truck", &truck, "which truck trajectory to compress");
+  flags.AddInt("seed", &seed, "Trucks fleet generation seed");
   flags.AddBool("help", &help, "print usage");
   if (!flags.Parse(argc, argv)) return 1;
   if (help) {
@@ -30,7 +32,8 @@ int Main(int argc, char** argv) {
     return 0;
   }
 
-  const TrajectoryStore store = bench::MakeTrucksDataset();
+  const TrajectoryStore store =
+      bench::MakeTrucksDataset(static_cast<uint64_t>(seed));
   const Trajectory& t = store.Get(truck);
   const double length = t.SpatialLength();
 

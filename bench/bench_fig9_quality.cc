@@ -58,6 +58,7 @@ TrajectoryId Top1(const TrajectoryStore& store, ScoreFn score) {
 
 int Main(int argc, char** argv) {
   int64_t num_queries = 40;
+  int64_t seed = 7;
   bool full = false;
   bool help = false;
   std::string csv;
@@ -65,6 +66,7 @@ int Main(int argc, char** argv) {
   flags.AddString("csv", &csv, "also write the table to this CSV path");
   flags.AddInt("queries", &num_queries,
                "trajectories used as (compressed) queries");
+  flags.AddInt("seed", &seed, "Trucks fleet generation seed");
   flags.AddBool("full", &full, "query with every trajectory (paper scale)");
   flags.AddBool("help", &help, "print usage");
   if (!flags.Parse(argc, argv)) return 1;
@@ -74,7 +76,8 @@ int Main(int argc, char** argv) {
   }
 
   std::fprintf(stderr, "[fig9] generating Trucks-like dataset...\n");
-  const TrajectoryStore store = bench::MakeTrucksDataset();
+  const TrajectoryStore store =
+      bench::MakeTrucksDataset(static_cast<uint64_t>(seed));
   const TrajectoryStore normalized = NormalizeStore(store);
   const double epsilon = 0.25 * MaxStdDev(normalized);
 

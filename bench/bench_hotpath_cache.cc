@@ -136,6 +136,7 @@ int Main(int argc, char** argv) {
   int64_t k = 50;
   int64_t repeats = 5;
   int64_t cache_nodes = 4096;
+  int64_t seed = static_cast<int64_t>(bench::kDefaultBenchSeed);
   double length = 0.05;
   double min_hit_rate = 0.5;
   bool eager = true;
@@ -149,6 +150,7 @@ int Main(int argc, char** argv) {
   flags.AddInt("k", &k, "k of the k-MST queries");
   flags.AddInt("repeats", &repeats, "measured repeats (fastest counts)");
   flags.AddInt("cache_nodes", &cache_nodes, "node-cache capacity (on-phase)");
+  flags.AddInt("seed", &seed, "workload RNG seed");
   flags.AddDouble("length", &length, "query length fraction of a lifespan");
   flags.AddDouble("min_hit_rate", &min_hit_rate,
                   "fail when the on-phase hit rate is below this");
@@ -179,7 +181,7 @@ int Main(int argc, char** argv) {
   index.BuildFrom(store);
   index.ConfigurePaperBuffer();
 
-  Rng rng(20070415);
+  Rng rng(static_cast<uint64_t>(seed));
   std::vector<Trajectory> query_set;
   query_set.reserve(static_cast<size_t>(queries));
   for (int i = 0; i < queries; ++i) {
@@ -231,9 +233,7 @@ int Main(int argc, char** argv) {
               qps_on, ns_per_segment(on), 100.0 * hit_rate);
   std::printf("speedup  : %.2fx\n", speedup);
 
-  if (std::FILE* f = std::fopen(out_path.c_str(), "w")) {
-    std::fprintf(f, "{\n");
-    bench::WriteJsonSchemaFields(f);
+  if (std::FILE* f = bench::OpenBenchJson(out_path)) {
     std::fprintf(f,
                  "  \"dataset\": \"%s\",\n"
                  "  \"samples_per_object\": %" PRId64 ",\n"
@@ -243,6 +243,7 @@ int Main(int argc, char** argv) {
                  "  \"eager_completion\": %s,\n"
                  "  \"repeats\": %" PRId64 ",\n"
                  "  \"cache_nodes\": %" PRId64 ",\n"
+                 "  \"seed\": %" PRId64 ",\n"
                  "  \"qps_cache_off\": %.2f,\n"
                  "  \"qps_cache_on\": %.2f,\n"
                  "  \"speedup\": %.4f,\n"
@@ -254,7 +255,7 @@ int Main(int argc, char** argv) {
                  "}\n",
                  bench::SDatasetName(static_cast<int>(objects)).c_str(),
                  samples, queries, k, length, eager ? "true" : "false",
-                 repeats, cache_nodes, qps_off, qps_on, speedup,
+                 repeats, cache_nodes, seed, qps_off, qps_on, speedup,
                  ns_per_segment(off), ns_per_segment(on), on.cache_hits,
                  on.cache_misses, hit_rate);
     std::fclose(f);

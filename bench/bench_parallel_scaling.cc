@@ -7,7 +7,9 @@
 // single-core host every configuration collapses to ~1×, which is itself a
 // useful sanity signal (no parallel slowdown from lock contention).
 
+#include <cinttypes>
 #include <cstdio>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -23,12 +25,16 @@ int Main(int argc, char** argv) {
   int64_t queries = 96;
   int64_t objects = 500;
   int64_t k = 4;
+  int64_t seed = static_cast<int64_t>(bench::kDefaultBenchSeed);
   bool help = false;
+  std::string out_path = "BENCH_parallel_scaling.json";
   FlagParser flags;
   flags.AddInt("queries", &queries, "batch size per worker configuration");
   flags.AddInt("objects", &objects, "dataset cardinality");
   flags.AddInt("k", &k, "results per query");
+  flags.AddInt("seed", &seed, "workload RNG seed");
   flags.AddBool("help", &help, "print usage");
+  flags.AddString("out", &out_path, "JSON output path");
   if (!flags.Parse(argc, argv)) return 1;
   if (help) {
     flags.PrintUsage("bench_parallel_scaling");
@@ -41,7 +47,7 @@ int Main(int argc, char** argv) {
   index.BulkLoad(store);
 
   // Fixed workload: the same requests for every worker count.
-  Rng rng(20070415);
+  Rng rng(static_cast<uint64_t>(seed));
   std::vector<QueryRequest> requests;
   requests.reserve(static_cast<size_t>(queries));
   for (int64_t i = 0; i < queries; ++i) {
@@ -79,9 +85,17 @@ int Main(int argc, char** argv) {
   table.SetHeader({"Workers", "BatchMs", "Queries/s", "SpeedupVs1",
                    "Matches"});
   double one_worker_qps = 0.0;
-  for (const int workers : {1, 2, 4, 8}) {
+  std::vector<double> qps_by_workers;
+  bool all_match = true;
+  const std::vector<int> worker_counts = {1, 2, 4, 8};
+  for (const int workers : worker_counts) {
     QueryExecutor::Options opt;
     opt.num_workers = workers;
+    // The result cache and batch bound sharing would turn the measured
+    // (warm) batch into pure cache hits — bench_result_cache's subject, not
+    // this one's. Keep the workers doing the full traversal + refinement.
+    opt.result_cache_entries = 0;
+    opt.share_batch_bounds = false;
     QueryExecutor executor(&index, &store, opt);
     executor.RunBatch(requests);  // warm-up: touches every query's pages
     WallTimer timer;
@@ -100,6 +114,8 @@ int Main(int argc, char** argv) {
 
     const double qps = 1000.0 * static_cast<double>(queries) / batch_ms;
     if (workers == 1) one_worker_qps = qps;
+    qps_by_workers.push_back(qps);
+    all_match = all_match && matches;
     table.AddRow({TextTable::FmtInt(workers), TextTable::Fmt(batch_ms, 1),
                   TextTable::Fmt(qps, 1),
                   TextTable::Fmt(qps / one_worker_qps, 2),
@@ -109,6 +125,35 @@ int Main(int argc, char** argv) {
   std::printf(
       "expected: near-linear speedup up to the core count; identical\n"
       "results at every worker count (the executor is deterministic).\n");
+
+  if (std::FILE* f = bench::OpenBenchJson(out_path)) {
+    std::fprintf(f,
+                 "  \"dataset\": \"%s\",\n"
+                 "  \"queries\": %" PRId64 ",\n"
+                 "  \"k\": %" PRId64 ",\n"
+                 "  \"seed\": %" PRId64 ",\n"
+                 "  \"hardware_threads\": %u,\n"
+                 "  \"qps_serial\": %.2f,\n",
+                 bench::SDatasetName(static_cast<int>(objects)).c_str(),
+                 queries, k, seed, std::thread::hardware_concurrency(),
+                 serial_qps);
+    for (size_t i = 0; i < worker_counts.size(); ++i) {
+      std::fprintf(f, "  \"qps_workers_%d\": %.2f,\n", worker_counts[i],
+                   qps_by_workers[i]);
+    }
+    std::fprintf(f, "  \"results_match_serial\": %s\n}\n",
+                 all_match ? "true" : "false");
+    std::fclose(f);
+    std::fprintf(stderr, "[scaling] wrote %s\n", out_path.c_str());
+  } else {
+    std::fprintf(stderr, "[scaling] cannot write %s\n", out_path.c_str());
+    return 3;
+  }
+  if (!all_match) {
+    std::fprintf(stderr,
+                 "[scaling] FAIL: parallel results diverged from serial\n");
+    return 2;
+  }
   return 0;
 }
 

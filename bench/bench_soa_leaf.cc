@@ -136,6 +136,7 @@ int Main(int argc, char** argv) {
   int64_t k = 50;
   int64_t repeats = 5;
   int64_t decode_reps = 50;
+  int64_t seed = static_cast<int64_t>(bench::kDefaultBenchSeed);
   double length = 0.05;
   bool eager = true;
   bool quick = false;
@@ -148,6 +149,7 @@ int Main(int argc, char** argv) {
   flags.AddInt("k", &k, "k of the k-MST queries");
   flags.AddInt("repeats", &repeats, "measured repeats (fastest counts)");
   flags.AddInt("decode_reps", &decode_reps, "sweeps of the decode microbench");
+  flags.AddInt("seed", &seed, "workload RNG seed");
   flags.AddDouble("length", &length, "query length fraction of a lifespan");
   flags.AddBool("eager", &eager, "use TB-tree eager completion");
   flags.AddBool("quick", &quick, "CI smoke mode: small dataset, few queries");
@@ -202,7 +204,7 @@ int Main(int argc, char** argv) {
     v2_index.buffer().SetCapacity(static_cast<size_t>(v2_index.NodeCount()));
   }
 
-  Rng rng(20070415);
+  Rng rng(static_cast<uint64_t>(seed));
   std::vector<Trajectory> query_set;
   query_set.reserve(static_cast<size_t>(queries));
   for (int i = 0; i < queries; ++i) {
@@ -271,9 +273,7 @@ int Main(int argc, char** argv) {
               "pages)\n",
               decode_ns_v1, decode_ns_v2, decode_speedup, v2_pages.size());
 
-  if (std::FILE* f = std::fopen(out_path.c_str(), "w")) {
-    std::fprintf(f, "{\n");
-    bench::WriteJsonSchemaFields(f);
+  if (std::FILE* f = bench::OpenBenchJson(out_path)) {
     std::fprintf(f,
                  "  \"dataset\": \"%s\",\n"
                  "  \"samples_per_object\": %" PRId64 ",\n"
@@ -282,6 +282,7 @@ int Main(int argc, char** argv) {
                  "  \"length_fraction\": %.4f,\n"
                  "  \"eager_completion\": %s,\n"
                  "  \"repeats\": %" PRId64 ",\n"
+                 "  \"seed\": %" PRId64 ",\n"
                  "  \"leaf_pages\": %zu,\n"
                  "  \"physical_reads_per_pass\": %" PRId64 ",\n"
                  "  \"qps_v1\": %.2f,\n"
@@ -295,7 +296,7 @@ int Main(int argc, char** argv) {
                  "}\n",
                  bench::SDatasetName(static_cast<int>(objects)).c_str(),
                  samples, queries, k, length, eager ? "true" : "false",
-                 repeats, v2_pages.size(), v2.physical_reads_pass, qps_v1,
+                 repeats, seed, v2_pages.size(), v2.physical_reads_pass, qps_v1,
                  qps_v2, speedup, ns_per_segment(v1), ns_per_segment(v2),
                  decode_ns_v1, decode_ns_v2, decode_speedup);
     std::fclose(f);

@@ -37,11 +37,13 @@ void AddDatasetRow(TextTable* table, const std::string& name,
 }
 
 int Main(int argc, char** argv) {
+  int64_t seed = 7;
   bool full = false;
   bool help = false;
   std::string csv;
   FlagParser flags;
   flags.AddString("csv", &csv, "also write the table to this CSV path");
+  flags.AddInt("seed", &seed, "Trucks fleet generation seed");
   flags.AddBool("full", &full,
                 "include the S0500 and S1000 datasets (slower build)");
   flags.AddBool("help", &help, "print usage");
@@ -57,7 +59,8 @@ int Main(int argc, char** argv) {
                    "3DR-tree(MB)", "TB-tree(MB)", "STR-tree(MB)",
                    "3DR-bulk(MB)"});
 
-  AddDatasetRow(&table, "Trucks", "fleet sim", bench::MakeTrucksDataset());
+  AddDatasetRow(&table, "Trucks", "fleet sim",
+                bench::MakeTrucksDataset(static_cast<uint64_t>(seed)));
   std::vector<int> sizes = {100, 250};
   if (full) {
     sizes.push_back(500);

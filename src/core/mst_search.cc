@@ -198,8 +198,9 @@ void ComputeLeafBatch(const LeafView& v, const TimeInterval& period,
 }  // namespace
 
 BFMstSearch::BFMstSearch(const TrajectoryIndex* index,
-                         const TrajectoryStore* store)
-    : index_(index), store_(store) {
+                         const TrajectoryStore* store,
+                         ResultCache* result_cache)
+    : index_(index), store_(store), result_cache_(result_cache) {
   MST_CHECK(index != nullptr && store != nullptr);
 }
 
@@ -220,6 +221,22 @@ std::vector<MstResult> BFMstSearch::Search(const Trajectory& query,
   const int64_t accesses_before = TrajectoryIndex::ThreadNodeAccesses();
   const int64_t cache_hits_before = NodeCache::ThreadHits();
   const int64_t cache_misses_before = NodeCache::ThreadMisses();
+  const int64_t rc_hits_before = ResultCache::ThreadHits();
+  const int64_t rc_misses_before = ResultCache::ThreadMisses();
+
+  // Externally seeded kth upper bound (see MstOptions). Every Heuristic 1/2
+  // comparison reads min(own kth bound, seed); with a sound seed the prune
+  // decisions only ever get strictly safer, so results are unchanged while
+  // node accesses drop. The seed is inflated by a hair of relative slack
+  // first: candidate bounds here are sums of per-piece integrals while a
+  // seed comes from full-period recomputation — the same integrals
+  // associated differently — so without the slack an ulp-level rounding
+  // difference can push a true top-k candidate's piece-sum bound past an
+  // exactly-equal seed and silently drop it. 1e-9 is ~1e4x the worst
+  // association error observed and far below any real pruning margin.
+  constexpr double kSeedAssociationSlack = 1e-9;
+  const double seed_bound =
+      options.initial_kth_upper_bound * (1.0 + kSeedAssociationSlack);
 
   std::vector<MstResult> results;
   if (index_->empty()) {
@@ -260,7 +277,7 @@ std::vector<MstResult> BFMstSearch::Search(const Trajectory& query,
     // (MINDIST · period length) avoids scanning the Valid set on most pops,
     // exactly as the paper describes at the end of §4.
     if (options.use_heuristic2) {
-      const double kth = uppers.KthValue();
+      const double kth = std::min(uppers.KthValue(), seed_bound);
       if (kth < kInf) {
         double mindissiminc = top.mindist * period.Duration();
         if (mindissiminc > kth) {
@@ -340,10 +357,10 @@ std::vector<MstResult> BFMstSearch::Search(const Trajectory& query,
         // refinement integral. Existing candidates keep accumulating pieces
         // so their OPTDISSIM/PESDISSIM bookkeeping is unchanged. Both sides
         // are squared (see ComputeLeafBatch).
+        const double kth_new = std::min(uppers.KthValue(), seed_bound);
         if (options.use_heuristic1 &&
             batch.lower[static_cast<size_t>(j)] > 0.0 &&
-            batch.lower[static_cast<size_t>(j)] >
-                uppers.KthValue() * uppers.KthValue()) {
+            batch.lower[static_cast<size_t>(j)] > kth_new * kth_new) {
           rejected.insert(id);
           skip_id = id;
           ++stats.leaf_entries_pruned;
@@ -375,7 +392,7 @@ std::vector<MstResult> BFMstSearch::Search(const Trajectory& query,
       }
       uppers.Update(id, list.PesDissim(vmax));
       if (options.use_heuristic1) {
-        const double kth = uppers.KthValue();
+        const double kth = std::min(uppers.KthValue(), seed_bound);
         if (list.OptDissim(vmax) > kth) {
           uppers.Remove(id);
           rejected.insert(id);
@@ -393,7 +410,7 @@ std::vector<MstResult> BFMstSearch::Search(const Trajectory& query,
       // physical I/O accounting is unchanged, but no entry vector is ever
       // materialized and out-of-period segments cost two column loads.
       if (options.use_eager_completion && index_->SupportsTrajectoryFetch()) {
-        const double kth = uppers.KthValue();
+        const double kth = std::min(uppers.KthValue(), seed_bound);
         if (static_cast<int>(uppers.size()) <= options.k ||
             list.OptDissim(vmax) <= kth) {
           PageId chain = index_->TrajectoryChainHead(id);
@@ -474,17 +491,50 @@ std::vector<MstResult> BFMstSearch::Search(const Trajectory& query,
     std::nth_element(ups.begin(), ups.begin() + (options.k - 1), ups.end());
     kth_upper = ups[static_cast<size_t>(options.k - 1)];
   }
+  // The survivor filter below is strict (>), so a seed equal to the true kth
+  // dissimilarity keeps every tie — same guarantee as the heuristics above.
+  kth_upper = std::min(kth_upper, seed_bound);
+
+  // Full-period refinement, memoized through the cross-query result cache
+  // when one is attached and enabled. The fingerprint is computed lazily —
+  // once, and only if a refinement actually happens.
+  ResultCache* const rcache =
+      (result_cache_ != nullptr && result_cache_->enabled()) ? result_cache_
+                                                             : nullptr;
+  QueryFingerprint fp;
+  bool fp_ready = false;
+  const auto refined_dissim = [&](TrajectoryId id,
+                                  IntegrationPolicy policy) -> DissimResult {
+    if (rcache == nullptr) {
+      return ComputeDissim(query, store_->Get(id), period, policy);
+    }
+    if (!fp_ready) {
+      fp = FingerprintQuery(query);
+      fp_ready = true;
+    }
+    // Read the trajectory's write version BEFORE looking up / computing
+    // (observe-then-publish, as in NodeCache): a concurrent insert for `id`
+    // bumps the version, so the value published below under the old version
+    // can never be served after the write.
+    const uint64_t version = index_->TrajectoryWriteVersion(id);
+    const ResultCacheKey key{fp, id, period, policy};
+    DissimResult d;
+    if (rcache->Lookup(key, version, &d)) return d;
+    d = ComputeDissim(query, store_->Get(id), period, policy);
+    rcache->Insert(key, d, version);
+    return d;
+  };
 
   for (const Survivor& s : pool) {
     if (s.lower > kth_upper) continue;
     MstResult r;
     r.id = s.id;
     if (options.exact_postprocess) {
-      r.dissim =
-          ComputeDissim(query, store_->Get(s.id), period,
-                        IntegrationPolicy::kExact)
-              .value;
+      r.dissim = refined_dissim(s.id, IntegrationPolicy::kExact).value;
       r.error_bound = 0.0;
+      // Counted whether the integral ran or a cache hit skipped it: this is
+      // the logical refinement count, byte-identical cache on or off (the
+      // physical split is result_cache_hits/misses).
       ++stats.exact_recomputations;
     } else if (s.complete) {
       const CandidateList& list = completed.at(s.id);
@@ -493,8 +543,7 @@ std::vector<MstResult> BFMstSearch::Search(const Trajectory& query,
     } else {
       // Complete the partial candidate from the trajectory table with the
       // search policy.
-      const DissimResult d =
-          ComputeDissim(query, store_->Get(s.id), period, options.policy);
+      const DissimResult d = refined_dissim(s.id, options.policy);
       r.dissim = d.value;
       r.error_bound = d.error_bound;
     }
@@ -514,6 +563,8 @@ std::vector<MstResult> BFMstSearch::Search(const Trajectory& query,
       TrajectoryIndex::ThreadNodeAccesses() - accesses_before;
   stats.node_cache_hits = NodeCache::ThreadHits() - cache_hits_before;
   stats.node_cache_misses = NodeCache::ThreadMisses() - cache_misses_before;
+  stats.result_cache_hits = ResultCache::ThreadHits() - rc_hits_before;
+  stats.result_cache_misses = ResultCache::ThreadMisses() - rc_misses_before;
   if (stats_out != nullptr) *stats_out = stats;
   return results;
 }

@@ -9,9 +9,11 @@
 #define MST_CORE_MST_SEARCH_H_
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "src/core/dissim.h"
+#include "src/core/result_cache.h"
 #include "src/geom/interval.h"
 #include "src/geom/trajectory.h"
 #include "src/index/trajectory_index.h"
@@ -44,6 +46,13 @@ struct MstStats {
   /// nodes_accessed while the cache is enabled; both 0 when disabled).
   int64_t node_cache_hits = 0;
   int64_t node_cache_misses = 0;
+  /// Cross-query result-cache traffic of this query (hits + misses ==
+  /// full-period refinements consulted while a cache is attached and
+  /// enabled; both 0 otherwise). A hit skipped one trapezoid/exact
+  /// integration entirely; `exact_recomputations` still counts the logical
+  /// refinement either way, so it stays byte-identical cache on or off.
+  int64_t result_cache_hits = 0;
+  int64_t result_cache_misses = 0;
   bool terminated_by_heuristic2 = false;
 
   /// Fraction of index nodes the query never touched ("pruned space").
@@ -87,6 +96,27 @@ struct MstOptions {
   /// Trajectory id to skip (useful when the query is itself stored in the
   /// index); kInvalidTrajectoryId skips nothing.
   TrajectoryId exclude_id = kInvalidTrajectoryId;
+  /// Externally supplied upper bound on the kth-best DISSIM, used to seed
+  /// the prune bound that Heuristics 1 and 2 compare against (the search
+  /// starts from min(this, its own kth bound) instead of +inf). The batch
+  /// executor seeds it from an already-completed sibling query with the
+  /// same geometry, period, k reach, and exclude id (see
+  /// QueryExecutor::Options::share_batch_bounds).
+  ///
+  /// Soundness contract: the value MUST be a true upper bound of the kth
+  /// smallest exact DISSIM of this query — then, with exact_postprocess on
+  /// AND an exact traversal policy (policy == kExact, so every candidate
+  /// bound is itself a lower bound of the exact value), the returned
+  /// results are byte-identical to the unseeded search (every true top-k
+  /// candidate survives all pruning: its OPTDISSIM never exceeds the
+  /// bound), only cheaper (node accesses drop). The search inflates the
+  /// seed internally by a relative slack before use, absorbing the
+  /// ulp-level difference between piece-sum bounds and a full-period
+  /// recomputation of the same integrals. A wrong (too small) bound
+  /// silently loses answers; under an approximate traversal policy the
+  /// trapezoid piece sums are not lower bounds of the exact values, so a
+  /// seed can change results. Default +inf = no seed.
+  double initial_kth_upper_bound = std::numeric_limits<double>::infinity();
 };
 
 /// k-MST search engine bound to one index + the trajectory table backing it.
@@ -95,8 +125,14 @@ struct MstOptions {
 /// index, as in the paper.
 class BFMstSearch {
  public:
-  /// Neither pointer is owned; both must outlive the searcher.
-  BFMstSearch(const TrajectoryIndex* index, const TrajectoryStore* store);
+  /// None of the pointers is owned; index and store must outlive the
+  /// searcher. `result_cache` (optional) memoizes the full-period DISSIM
+  /// refinements of §4.4 post-processing across queries: a hit skips the
+  /// whole integration for that candidate while leaving the traversal — and
+  /// with it every result and node-access metric — byte-identical to the
+  /// uncached search. The cache may be shared by concurrent searchers.
+  BFMstSearch(const TrajectoryIndex* index, const TrajectoryStore* store,
+              ResultCache* result_cache = nullptr);
 
   /// Runs a k-MST query for `query` over `period`. Requirements (checked):
   /// the query trajectory covers the period, the period has positive
@@ -109,9 +145,13 @@ class BFMstSearch {
                                 const MstOptions& options = MstOptions(),
                                 MstStats* stats = nullptr) const;
 
+  /// The attached cross-query result cache, or nullptr.
+  ResultCache* result_cache() const { return result_cache_; }
+
  private:
   const TrajectoryIndex* index_;
   const TrajectoryStore* store_;
+  ResultCache* result_cache_;
 };
 
 }  // namespace mst

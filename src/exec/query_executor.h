@@ -16,18 +16,24 @@
 #include <atomic>
 #include <cstdint>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "src/core/mst_search.h"
+#include "src/core/result_cache.h"
 #include "src/exec/bounded_queue.h"
 #include "src/geom/interval.h"
 #include "src/geom/trajectory.h"
 #include "src/index/trajectory_index.h"
 
 namespace mst {
+
+namespace internal {
+struct BatchBoundBoard;
+}  // namespace internal
 
 /// One unit of work: a k-MST query. Must satisfy BFMstSearch::Search's
 /// checked preconditions (k >= 1, positive-duration period covered by the
@@ -63,6 +69,21 @@ class QueryExecutor {
     int num_workers = 0;
     /// Bound of the submission queue; full-queue submits block (backpressure).
     size_t queue_capacity = 128;
+    /// Entries of the cross-query DISSIM result cache the workers share
+    /// (src/core/result_cache.h); 0 disables it. Results and node-access
+    /// stats are byte-identical either way — the cache only skips repeated
+    /// post-processing integrals.
+    size_t result_cache_entries = 1 << 14;
+    /// Batch-level kth-bound sharing: when queued queries of one RunBatch
+    /// call share a query fingerprint, period, and exclude id, later ones
+    /// seed MstOptions::initial_kth_upper_bound from an already-completed
+    /// sibling's exact kth result value — a true bound, so results are
+    /// unchanged while node accesses drop. Applied only under
+    /// exact_postprocess with an exact traversal policy (approximate piece
+    /// integrals are not lower bounds of the exact values, so a seed could
+    /// change results there); the board is fresh per RunBatch and plain
+    /// Submit() is never seeded, so repeated batches stay deterministic.
+    bool share_batch_bounds = true;
   };
 
   /// What happens to queued-but-unstarted requests on shutdown.
@@ -116,19 +137,31 @@ class QueryExecutor {
     return cancelled_.load(std::memory_order_relaxed);
   }
 
+  /// The workers' shared cross-query result cache (capacity 0 = disabled).
+  ResultCache& result_cache() { return result_cache_; }
+  const ResultCache& result_cache() const { return result_cache_; }
+
  private:
   struct Task {
     explicit Task(QueryRequest request_in) : request(std::move(request_in)) {}
 
     QueryRequest request;
     std::promise<QueryOutcome> promise;
+    /// Non-null for RunBatch tasks with bound sharing on: the batch's
+    /// blackboard of completed siblings' exact result values.
+    std::shared_ptr<internal::BatchBoundBoard> board;
   };
 
   void WorkerLoop();
 
+  std::future<QueryOutcome> SubmitTask(
+      QueryRequest request, std::shared_ptr<internal::BatchBoundBoard> board);
+
   const TrajectoryIndex* index_;
   const TrajectoryStore* store_;
+  ResultCache result_cache_;  // declared before searcher_, which points at it
   BFMstSearch searcher_;
+  bool share_batch_bounds_;
   BoundedQueue<Task> queue_;
   std::vector<std::thread> workers_;
   std::atomic<bool> shutdown_{false};

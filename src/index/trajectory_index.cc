@@ -136,9 +136,27 @@ void TrajectoryIndex::ExpandAncestorsViaParents(PageId node_id,
   }
 }
 
+TrajectoryIndex::TrajectoryVersionShard& TrajectoryIndex::VersionShardFor(
+    TrajectoryId id) const {
+  return traj_versions_[static_cast<uint64_t>(id) % kTrajectoryVersionShards];
+}
+
+uint64_t TrajectoryIndex::TrajectoryWriteVersion(TrajectoryId id) const {
+  TrajectoryVersionShard& shard = VersionShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.versions.find(id);
+  return it == shard.versions.end() ? 0 : it->second;
+}
+
 void TrajectoryIndex::NoteInsert(const LeafEntry& entry) {
   ++entry_count_;
   max_speed_ = std::max(max_speed_, entry.Speed());
+  // Bump the trajectory's write version so cross-query cached DISSIM values
+  // for it can never be served again (cf. WriteNode → NodeCache::Invalidate
+  // for pages).
+  TrajectoryVersionShard& shard = VersionShardFor(entry.traj_id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  ++shard.versions[entry.traj_id];
 }
 
 void TrajectoryIndex::ConfigurePaperBuffer() {

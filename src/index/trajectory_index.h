@@ -5,10 +5,13 @@
 #ifndef MST_INDEX_TRAJECTORY_INDEX_H_
 #define MST_INDEX_TRAJECTORY_INDEX_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/geom/trajectory.h"
@@ -144,6 +147,14 @@ class TrajectoryIndex {
     node_cache_.ResetCounters();
   }
 
+  /// Current write version of trajectory `id`'s indexed segments, bumped on
+  /// every segment insert for that trajectory (the same write hook that
+  /// invalidates the node cache) — the version authority behind the
+  /// cross-query result cache's invalidation (src/core/result_cache.h).
+  /// A DISSIM value refined against `id` is valid exactly as long as this
+  /// version is unchanged. Never-written ids report 0. Thread-safe.
+  uint64_t TrajectoryWriteVersion(TrajectoryId id) const;
+
   /// Monotonic count of node accesses performed *by the calling thread*
   /// across all indexes. Query code records the value before/after a
   /// traversal to get per-query access counts that stay exact when many
@@ -200,6 +211,18 @@ class TrajectoryIndex {
   void CheckSubtree(PageId id, int expected_level, const Mbb3* parent_box,
                     PageId parent_id) const;
 
+  // Per-trajectory write versions (see TrajectoryWriteVersion). Sharded by
+  // id so build-time bumps and query-time reads stay contention-free; a
+  // mutex per shard suffices — reads happen once per surviving candidate,
+  // not per node access.
+  struct TrajectoryVersionShard {
+    mutable std::mutex mu;
+    std::unordered_map<TrajectoryId, uint64_t> versions;
+  };
+  static constexpr size_t kTrajectoryVersionShards = 16;
+
+  TrajectoryVersionShard& VersionShardFor(TrajectoryId id) const;
+
   mutable PageFile file_;
   mutable BufferManager buffer_;
   mutable NodeCache node_cache_;
@@ -209,6 +232,8 @@ class TrajectoryIndex {
   int64_t entry_count_ = 0;
   double max_speed_ = 0.0;
   mutable std::atomic<int64_t> node_accesses_{0};
+  mutable std::array<TrajectoryVersionShard, kTrajectoryVersionShards>
+      traj_versions_;
 };
 
 }  // namespace mst

@@ -159,6 +159,101 @@ TEST_P(ExecutorTest, RepeatedBatchesAreStable) {
   }
 }
 
+TEST_P(ExecutorTest, DuplicateQueriesShareBoundsWithoutChangingResults) {
+  // A workload with repeats: four distinct queries, each submitted three
+  // times. One worker makes the schedule deterministic — every repeat runs
+  // after its first occurrence completed, so it must consume both the
+  // batch's seeded kth bound and the executor's result cache. The exact
+  // traversal policy is what arms bound sharing (it is gated off under
+  // approximate policies, whose piece sums are not lower bounds of the
+  // exact values).
+  std::vector<QueryRequest> requests;
+  for (QueryRequest request : MakeRequests(4, 3, 2121)) {
+    request.options.policy = IntegrationPolicy::kExact;
+    for (int copy = 0; copy < 3; ++copy) requests.push_back(request);
+  }
+
+  const BFMstSearch searcher(&index(), store_);  // uncached, unseeded oracle
+  std::vector<std::vector<MstResult>> serial_results;
+  std::vector<MstStats> serial_stats;
+  for (const QueryRequest& request : requests) {
+    MstStats stats;
+    serial_results.push_back(
+        searcher.Search(request.query, request.period, request.options,
+                        &stats));
+    serial_stats.push_back(stats);
+  }
+
+  QueryExecutor::Options opt;
+  opt.num_workers = 1;
+  QueryExecutor executor(&index(), store_, opt);
+  const std::vector<QueryOutcome> outcomes = executor.RunBatch(requests);
+  ASSERT_EQ(outcomes.size(), requests.size());
+
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    const QueryOutcome& out = outcomes[i];
+    // Results are byte-identical to the uncached, unseeded serial loop —
+    // sharing only ever changes the work, not the answer.
+    ASSERT_EQ(out.results.size(), serial_results[i].size()) << "query " << i;
+    for (size_t r = 0; r < out.results.size(); ++r) {
+      EXPECT_EQ(out.results[r].id, serial_results[i][r].id);
+      EXPECT_EQ(out.results[r].dissim, serial_results[i][r].dissim);
+      EXPECT_EQ(out.results[r].error_bound,
+                serial_results[i][r].error_bound);
+    }
+    const bool is_repeat = i % 3 != 0;
+    if (!is_repeat) {
+      // First occurrence: no sibling has published, traversal matches the
+      // serial loop exactly.
+      EXPECT_EQ(out.stats.nodes_accessed, serial_stats[i].nodes_accessed);
+      EXPECT_EQ(out.stats.result_cache_hits, 0) << "query " << i;
+    } else {
+      // Repeats run with a sound seeded bound: never more traversal work,
+      // and refinements already published by the first occurrence are served
+      // from the result cache. (A seeded repeat may terminate earlier and
+      // refine a partial survivor its sibling never did, so misses stay
+      // possible — only hits are guaranteed.)
+      EXPECT_LE(out.stats.nodes_accessed, serial_stats[i].nodes_accessed);
+      EXPECT_GT(out.stats.result_cache_hits, 0) << "query " << i;
+    }
+  }
+  EXPECT_GT(executor.result_cache().hits(), 0);
+}
+
+TEST_P(ExecutorTest, SharingAndCachingOffReproducesSerialStatsExactly) {
+  std::vector<QueryRequest> requests;
+  for (const QueryRequest& request : MakeRequests(3, 3, 2323)) {
+    requests.push_back(request);
+    requests.push_back(request);  // duplicates, but nothing may be shared
+  }
+
+  QueryExecutor::Options opt;
+  opt.num_workers = 2;
+  opt.result_cache_entries = 0;
+  opt.share_batch_bounds = false;
+  QueryExecutor executor(&index(), store_, opt);
+  ASSERT_FALSE(executor.result_cache().enabled());
+
+  const BFMstSearch searcher(&index(), store_);
+  const std::vector<QueryOutcome> outcomes = executor.RunBatch(requests);
+  ASSERT_EQ(outcomes.size(), requests.size());
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    MstStats stats;
+    const std::vector<MstResult> expected =
+        searcher.Search(requests[i].query, requests[i].period,
+                        requests[i].options, &stats);
+    ASSERT_EQ(outcomes[i].results.size(), expected.size());
+    for (size_t r = 0; r < expected.size(); ++r) {
+      EXPECT_EQ(outcomes[i].results[r].id, expected[r].id);
+      EXPECT_EQ(outcomes[i].results[r].dissim, expected[r].dissim);
+    }
+    // With both mechanisms off, even duplicates traverse identically.
+    EXPECT_EQ(outcomes[i].stats.nodes_accessed, stats.nodes_accessed);
+    EXPECT_EQ(outcomes[i].stats.result_cache_hits, 0);
+    EXPECT_EQ(outcomes[i].stats.result_cache_misses, 0);
+  }
+}
+
 TEST_P(ExecutorTest, ShutdownWhileQueuedResolvesEveryFuture) {
   QueryExecutor::Options opt;
   opt.num_workers = 1;  // one worker so a backlog actually builds up
