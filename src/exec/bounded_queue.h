@@ -1,8 +1,30 @@
 // Bounded multi-producer/multi-consumer task queue used by the
-// QueryExecutor's submission path. Push blocks while the queue is full
-// (backpressure toward submitters), Pop blocks while it is empty, and
-// Close() wakes everyone: further pushes fail, pops drain the remaining
-// items and then report exhaustion.
+// QueryExecutor's submission path and the shard front-end's per-shard
+// queues. Push blocks while the queue is full (backpressure toward
+// submitters), Pop blocks while it is empty, and Close() wakes everyone:
+// further pushes fail, pops drain the remaining items and then report
+// exhaustion.
+//
+// Multi-consumer shutdown discipline (audited for the shard front-end,
+// which runs one queue per shard — a stranded consumer would deadlock a
+// whole shard): every path that can change what a waiting consumer would
+// observe re-signals not_empty_ itself, instead of relying on Close()'s
+// one-time notify_all having already reached every waiter.
+//
+//   * Close()/CloseAndDrain() broadcast both conditions under the mutex —
+//     a consumer either observes closed_ at wait entry (predicate true, no
+//     block) or is blocked and receives the broadcast; no third state.
+//   * A Pop that observes closed-and-drained re-broadcasts not_empty_
+//     before returning, so consumers exit in a self-sustaining cascade:
+//     M consumers observing closed+drained needs M wakeups, not one.
+//   * A Push that fails because the queue closed re-broadcasts not_empty_
+//     too: its caller may have been the producer a consumer was waiting
+//     on, and the failed push must not swallow that consumer's wakeup
+//     (it was woken by a Pop's not_full_ signal meant to admit an item
+//     that now never arrives).
+//
+// The cascade makes consumer exit independent of signal/wakeup pairing —
+// regression-locked by BoundedQueueTest.EightPoppersRacingClose.
 
 #ifndef MST_EXEC_BOUNDED_QUEUE_H_
 #define MST_EXEC_BOUNDED_QUEUE_H_
@@ -32,7 +54,13 @@ class BoundedQueue {
     std::unique_lock<std::mutex> lock(mu_);
     not_full_.wait(lock,
                    [this] { return closed_ || items_.size() < capacity_; });
-    if (closed_) return false;
+    if (closed_) {
+      // This push may have consumed a not_full_ signal issued by a Pop that
+      // expected a replacement item; re-broadcast so no consumer waits for
+      // an item that will never arrive (see header).
+      not_empty_.notify_all();
+      return false;
+    }
     items_.push_back(std::move(item));
     not_empty_.notify_one();
     return true;
@@ -43,14 +71,26 @@ class BoundedQueue {
   std::optional<T> Pop() {
     std::unique_lock<std::mutex> lock(mu_);
     not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
-    if (items_.empty()) return std::nullopt;
+    if (items_.empty()) {
+      // Closed and drained. Cascade the exit signal to sibling consumers
+      // so that M waiting consumers all observe closed+drained without
+      // depending on Close()'s single notify_all (see header).
+      not_empty_.notify_all();
+      return std::nullopt;
+    }
     T item = std::move(items_.front());
     items_.pop_front();
+    if (closed_ && items_.empty()) {
+      // This pop drained the closed queue: flip sibling consumers from
+      // "waiting for an item" to "exit" immediately.
+      not_empty_.notify_all();
+    }
     not_full_.notify_one();
     return item;
   }
 
   /// Rejects future pushes; queued items stay poppable until drained.
+  /// Idempotent and safe to race with Push/Pop from any number of threads.
   void Close() {
     std::lock_guard<std::mutex> lock(mu_);
     closed_ = true;
@@ -70,6 +110,11 @@ class BoundedQueue {
     not_empty_.notify_all();
     not_full_.notify_all();
     return drained;
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
   }
 
   size_t size() const {

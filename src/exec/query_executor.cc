@@ -14,21 +14,36 @@ namespace internal {
 
 // Per-RunBatch blackboard for kth-bound sharing. Completed queries publish
 // their ascending exact result values keyed by (query fingerprint, period,
-// exclude id); queued siblings under the same key seed their search's kth
-// upper bound with the published kth value — by construction the true kth
-// smallest exact DISSIM of that key's eligible set, so the seed meets
+// exclude id, integration policy, exact-postprocess flag); queued siblings
+// under the same key seed their search's kth upper bound with the published
+// kth value — by construction the true kth smallest exact DISSIM of that
+// key's eligible set, so the seed meets
 // MstOptions::initial_kth_upper_bound's soundness contract exactly. A fresh
 // board per batch means bounds never leak across batches.
+//
+// The policy and postprocess fields are in the key even though WorkerLoop
+// already gates both publish and consume on (exact_postprocess && policy ==
+// kExact): with the fingerprint alone, a mixed batch that duplicates one
+// query geometry under kExact *and* kTrapezoid would depend on that distant
+// gate to keep the trapezoid sibling's values away from the exact one — a
+// trapezoid-traversal value is not a sound bound for an exact search, so a
+// future gate relaxation would silently change results. Keying on the full
+// result-determining option set makes cross-policy seeding structurally
+// impossible (regression-locked by
+// ExecutorTest.MixedPolicyDuplicatesNeverShareBounds).
 struct BatchBoundBoard {
   struct Key {
     QueryFingerprint fp;
     double period_begin = 0.0;
     double period_end = 0.0;
     TrajectoryId exclude = kInvalidTrajectoryId;
+    IntegrationPolicy policy = IntegrationPolicy::kExact;
+    bool exact_postprocess = true;
 
     bool operator==(const Key& o) const {
       return fp == o.fp && period_begin == o.period_begin &&
-             period_end == o.period_end && exclude == o.exclude;
+             period_end == o.period_end && exclude == o.exclude &&
+             policy == o.policy && exact_postprocess == o.exact_postprocess;
     }
   };
 
@@ -38,6 +53,9 @@ struct BatchBoundBoard {
       h = (h ^ std::bit_cast<uint64_t>(k.period_begin)) * 1099511628211ull;
       h = (h ^ std::bit_cast<uint64_t>(k.period_end)) * 1099511628211ull;
       h ^= static_cast<uint64_t>(k.exclude) + (h >> 29);
+      h = (h ^ (static_cast<uint64_t>(k.policy) * 2u +
+                (k.exact_postprocess ? 1u : 0u))) *
+          1099511628211ull;
       return static_cast<size_t>(h);
     }
   };
@@ -114,18 +132,36 @@ void QueryExecutor::WorkerLoop() {
     // bounds can overestimate the exact value by the quadrature error, so
     // an exact-valued seed could prune a true top-k candidate — see
     // MstOptions::initial_kth_upper_bound.
-    const bool share = task->board != nullptr && opts.exact_postprocess &&
-                       opts.policy == IntegrationPolicy::kExact;
+    const bool exact_query = opts.exact_postprocess &&
+                             opts.policy == IntegrationPolicy::kExact;
+    const bool share = task->board != nullptr && exact_query;
     internal::BatchBoundBoard::Key key;
     if (share) {
       key = {FingerprintQuery(task->request.query),
              task->request.period.begin, task->request.period.end,
-             opts.exclude_id};
+             opts.exclude_id, opts.policy, opts.exact_postprocess};
       opts.initial_kth_upper_bound = std::min(
           opts.initial_kth_upper_bound, task->board->SeedBound(key, opts.k));
     }
+    // Cross-executor board (scatter-gather legs of one logical query):
+    // seeded at dequeue time under the same exact gate, so a leg queued
+    // behind earlier work starts with every bound its siblings published
+    // while it waited. The search inflates the seed by its relative slack
+    // internally (see MstOptions::initial_kth_upper_bound).
+    KthBoundBoard* const shard_board = task->request.kth_bound_board.get();
+    if (shard_board != nullptr && exact_query) {
+      opts.initial_kth_upper_bound =
+          std::min(opts.initial_kth_upper_bound, shard_board->Current());
+    }
     out.results = searcher_.Search(task->request.query, task->request.period,
                                    opts, &out.stats);
+    if (shard_board != nullptr && exact_query &&
+        out.results.size() == static_cast<size_t>(opts.k)) {
+      // Full reach only: with fewer than k results the kth value of this
+      // leg's partition does not exist, and the largest returned value
+      // bounds nothing (see KthBoundBoard's soundness contract).
+      shard_board->PublishCounted(out.results.back().dissim);
+    }
     if (share && !out.results.empty()) {
       std::vector<double> dissims;
       dissims.reserve(out.results.size());

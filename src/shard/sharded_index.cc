@@ -1,0 +1,101 @@
+#include "src/shard/sharded_index.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/index/tbtree.h"
+#include "src/util/check.h"
+
+namespace mst {
+
+namespace {
+
+// splitmix64 finalizer: full-avalanche mix so sequential ids (the common
+// case — generators hand out 0..N-1) spread uniformly over the shards.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+ShardedIndex::ShardedIndex(const Options& options, IndexFactory factory)
+    : options_(options), factory_(std::move(factory)) {
+  MST_CHECK_MSG(options.num_shards >= 1, "num_shards must be at least 1");
+  if (!factory_) {
+    factory_ = [](const TrajectoryIndex::Options& opt) {
+      return std::make_unique<TBTree>(opt);
+    };
+  }
+  shards_.resize(static_cast<size_t>(options.num_shards));
+  for (Shard& shard : shards_) {
+    shard.index = factory_(options_.index_options);
+    MST_CHECK(shard.index != nullptr);
+    shard.result_cache =
+        std::make_unique<ResultCache>(options_.result_cache_entries);
+  }
+}
+
+int ShardedIndex::ShardOf(TrajectoryId id, int num_shards) {
+  MST_CHECK(num_shards >= 1);
+  if (num_shards == 1) return 0;
+  return static_cast<int>(Mix64(static_cast<uint64_t>(id)) %
+                          static_cast<uint64_t>(num_shards));
+}
+
+void ShardedIndex::BuildFrom(const TrajectoryStore& store) {
+  MST_CHECK_MSG(!built_, "BuildFrom may be called once");
+  built_ = true;
+  // Slice in store order so each shard's insertion sequence is the original
+  // round-robin order restricted to its trajectories — with one shard this
+  // reproduces the unsharded build exactly.
+  for (const Trajectory& trajectory : store.trajectories()) {
+    const int s = ShardOf(trajectory.id(), num_shards());
+    shards_[static_cast<size_t>(s)].store.Add(trajectory);
+  }
+  for (Shard& shard : shards_) {
+    if (!shard.store.empty()) shard.index->BuildFrom(shard.store);
+  }
+}
+
+void ShardedIndex::ConfigurePaperBuffer() {
+  for (Shard& shard : shards_) shard.index->ConfigurePaperBuffer();
+}
+
+int64_t ShardedIndex::NodeCount() const {
+  int64_t total = 0;
+  for (const Shard& shard : shards_) total += shard.index->NodeCount();
+  return total;
+}
+
+int64_t ShardedIndex::SizeBytes() const {
+  int64_t total = 0;
+  for (const Shard& shard : shards_) total += shard.index->SizeBytes();
+  return total;
+}
+
+int64_t ShardedIndex::EntryCount() const {
+  int64_t total = 0;
+  for (const Shard& shard : shards_) total += shard.index->EntryCount();
+  return total;
+}
+
+int64_t ShardedIndex::TotalTrajectories() const {
+  int64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += static_cast<int64_t>(shard.store.size());
+  }
+  return total;
+}
+
+double ShardedIndex::max_speed() const {
+  double speed = 0.0;
+  for (const Shard& shard : shards_) {
+    speed = std::max(speed, shard.index->max_speed());
+  }
+  return speed;
+}
+
+}  // namespace mst

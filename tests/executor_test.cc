@@ -5,11 +5,14 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <future>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "src/core/mst_search.h"
+#include "src/exec/bounded_queue.h"
 #include "src/exec/query_executor.h"
 #include "src/gen/gstd.h"
 #include "src/index/rtree3d.h"
@@ -343,6 +346,72 @@ TEST_P(ExecutorTest, TrajectoryBatchConvenienceOverload) {
   }
 }
 
+TEST_P(ExecutorTest, MixedPolicyDuplicatesNeverShareBounds) {
+  // One batch that duplicates each query geometry under BOTH the exact and
+  // the trapezoid policy (all with exact post-processing, so final values
+  // agree to the eye — exactly the mix where a fingerprint-keyed bound
+  // board could leak a bound across policies). Sharing must be a no-op
+  // across the policy boundary: a trapezoid traversal's piece-sum bounds
+  // are not lower bounds of exact values, so an exact-valued seed could
+  // silently drop a true top-k candidate. The board keys on the policy
+  // (and the postprocess flag) in addition to the gate, making the leak
+  // structurally impossible; this test locks both results and traversal
+  // stats bitwise against a sharing-off executor.
+  std::vector<QueryRequest> requests;
+  for (QueryRequest request : MakeRequests(4, 3, 3434)) {
+    request.options.policy = IntegrationPolicy::kExact;
+    requests.push_back(request);
+    request.options.policy = IntegrationPolicy::kTrapezoid;
+    requests.push_back(request);
+    // Repeat the pair so both policies also have a same-policy sibling —
+    // exact/exact sharing stays live while exact/trapezoid must not.
+    request.options.policy = IntegrationPolicy::kExact;
+    requests.push_back(request);
+    request.options.policy = IntegrationPolicy::kTrapezoid;
+    requests.push_back(request);
+  }
+
+  QueryExecutor::Options off_opt;
+  off_opt.num_workers = 1;
+  off_opt.share_batch_bounds = false;
+  off_opt.result_cache_entries = 0;
+  QueryExecutor off_executor(&index(), store_, off_opt);
+  const std::vector<QueryOutcome> expected = off_executor.RunBatch(requests);
+
+  QueryExecutor::Options on_opt;
+  on_opt.num_workers = 1;  // deterministic schedule: repeats see the board
+  on_opt.share_batch_bounds = true;
+  on_opt.result_cache_entries = 0;  // isolate the bound board's effect
+  QueryExecutor on_executor(&index(), store_, on_opt);
+  const std::vector<QueryOutcome> outcomes = on_executor.RunBatch(requests);
+
+  ASSERT_EQ(outcomes.size(), expected.size());
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    ASSERT_EQ(outcomes[i].results.size(), expected[i].results.size())
+        << "query " << i;
+    for (size_t r = 0; r < expected[i].results.size(); ++r) {
+      EXPECT_EQ(outcomes[i].results[r].id, expected[i].results[r].id)
+          << "query " << i << " rank " << r;
+      EXPECT_EQ(outcomes[i].results[r].dissim, expected[i].results[r].dissim);
+      EXPECT_EQ(outcomes[i].results[r].error_bound,
+                expected[i].results[r].error_bound);
+    }
+    const bool trapezoid = (i % 2) == 1;
+    if (trapezoid) {
+      // Trapezoid queries neither publish nor consume: their traversal is
+      // bitwise the sharing-off one even with exact duplicates around.
+      EXPECT_EQ(outcomes[i].stats.nodes_accessed,
+                expected[i].stats.nodes_accessed)
+          << "trapezoid query " << i << " was seeded across the policy gate";
+    } else {
+      // Exact repeats may be seeded by their exact sibling — never more
+      // work than unshared.
+      EXPECT_LE(outcomes[i].stats.nodes_accessed,
+                expected[i].stats.nodes_accessed);
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(AllIndexes, ExecutorTest,
                          ::testing::Values(IndexKind::kRTree3DBulk,
                                            IndexKind::kTBTree),
@@ -351,6 +420,97 @@ INSTANTIATE_TEST_SUITE_P(AllIndexes, ExecutorTest,
                                       ? "RTree3DBulk"
                                       : "TBTree";
                          });
+
+// BoundedQueue multi-consumer shutdown discipline (the shard front-end
+// runs one queue per shard, so one stranded consumer deadlocks a whole
+// shard). These are the regression locks for the cascading-wakeup audit in
+// bounded_queue.h.
+
+TEST(BoundedQueueTest, EightPoppersRacingClose) {
+  // 8 consumers race Close() against a producer burst, repeatedly: every
+  // consumer must observe closed+drained (Pop -> nullopt) and exit, and
+  // every item must be popped exactly once — no wakeup pairing may strand
+  // a consumer regardless of where Close lands in the interleaving.
+  for (int round = 0; round < 50; ++round) {
+    BoundedQueue<int> queue(4);  // small bound: pushers block mid-burst
+    std::atomic<int> popped{0};
+    std::atomic<int> exited{0};
+    std::vector<std::thread> poppers;
+    poppers.reserve(8);
+    for (int i = 0; i < 8; ++i) {
+      poppers.emplace_back([&queue, &popped, &exited] {
+        while (queue.Pop().has_value()) {
+          popped.fetch_add(1, std::memory_order_relaxed);
+        }
+        exited.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    std::atomic<int> pushed{0};
+    std::thread pusher([&queue, &pushed] {
+      for (int i = 0; i < 64; ++i) {
+        if (!queue.Push(i)) break;  // closed mid-burst
+        pushed.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+    if (round % 2 == 0) std::this_thread::yield();
+    queue.Close();
+    pusher.join();
+    for (std::thread& t : poppers) t.join();  // the regression: must return
+    EXPECT_EQ(exited.load(), 8) << "round " << round;
+    EXPECT_EQ(popped.load(), pushed.load()) << "round " << round;
+  }
+}
+
+TEST(BoundedQueueTest, ConsumersDrainEverythingQueuedBeforeClose) {
+  // Close with items still queued: consumers must drain all of them before
+  // reporting exhaustion (kDrain shutdown depends on this).
+  BoundedQueue<int> queue(64);
+  for (int i = 0; i < 32; ++i) ASSERT_TRUE(queue.Push(i));
+  queue.Close();
+  EXPECT_FALSE(queue.Push(99));  // closed: rejected, not queued
+  std::atomic<int> popped{0};
+  std::vector<std::thread> poppers;
+  for (int i = 0; i < 6; ++i) {
+    poppers.emplace_back([&queue, &popped] {
+      while (queue.Pop().has_value()) {
+        popped.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& t : poppers) t.join();
+  EXPECT_EQ(popped.load(), 32);
+  EXPECT_EQ(queue.size(), 0u);
+  EXPECT_TRUE(queue.closed());
+}
+
+TEST(BoundedQueueTest, BlockedPushersAllObserveClose) {
+  // Producers blocked on a full queue must all fail out of Push when the
+  // queue closes while consumers keep popping — the mirror image of the
+  // consumer cascade (a failed push must also not swallow a consumer
+  // wakeup; see bounded_queue.h).
+  BoundedQueue<int> queue(1);
+  ASSERT_TRUE(queue.Push(0));  // full: every pusher below blocks
+  std::atomic<int> push_ok{0};
+  std::atomic<int> push_fail{0};
+  std::vector<std::thread> pushers;
+  for (int i = 0; i < 4; ++i) {
+    pushers.emplace_back([&queue, &push_ok, &push_fail, i] {
+      if (queue.Push(1 + i)) {
+        push_ok.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        push_fail.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  std::thread popper([&queue] {
+    while (queue.Pop().has_value()) std::this_thread::yield();
+  });
+  std::this_thread::yield();
+  queue.Close();
+  for (std::thread& t : pushers) t.join();  // must not hang
+  popper.join();
+  EXPECT_EQ(push_ok.load() + push_fail.load(), 4);
+}
 
 }  // namespace
 }  // namespace mst

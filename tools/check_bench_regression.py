@@ -18,9 +18,12 @@ Metrics are compared in two tiers:
   (a function of how often the workload repeats) — are compared only when
   every workload-describing field matches.
 
-The guard never fails the build: shared-runner noise would make a hard gate
-flap. Exit code is 0 unless a file is missing or unparsable (exit 2), so a
-broken bench or a forgotten baseline still surfaces.
+Perf comparisons never fail the build: shared-runner noise would make a
+hard gate flap. Structural problems DO fail it (exit 2): a missing or
+unparsable JSON on either side (a broken bench or a forgotten baseline) and
+a schema_version mismatch (the field conventions changed without
+re-committing the baseline — every subsequent comparison would be
+silently meaningless).
 
 Usage: check_bench_regression.py --fresh NEW.json --baseline OLD.json \
            [--threshold 0.20]
@@ -66,12 +69,21 @@ def is_workload_shaped_metric(name):
     return name.startswith("qps_") or name.endswith("hit_rate")
 
 
-def load(path):
+def load(path, role):
+    """Loads one side of the comparison; any failure is a hard error.
+
+    `role` names the side ("fresh"/"baseline") so the annotation says
+    whether the bench broke or the baseline was never committed.
+    """
     try:
         with open(path, "r", encoding="utf-8") as f:
             return json.load(f)
+    except FileNotFoundError:
+        print(f"::error file={path}::{role} bench JSON is missing — "
+              "run the bench and commit its full-scale baseline")
+        sys.exit(2)
     except (OSError, ValueError) as err:
-        print(f"::error file={path}::cannot read bench JSON: {err}")
+        print(f"::error file={path}::cannot read {role} bench JSON: {err}")
         sys.exit(2)
 
 
@@ -85,9 +97,18 @@ def main():
                         help="relative drop that triggers a warning")
     args = parser.parse_args()
 
-    fresh = load(args.fresh)
-    baseline = load(args.baseline)
+    fresh = load(args.fresh, "fresh")
+    baseline = load(args.baseline, "baseline")
     name = args.baseline
+
+    schema_old = baseline.get("schema_version")
+    schema_new = fresh.get("schema_version")
+    if schema_old != schema_new:
+        print(f"::error file={name}::schema_version mismatch "
+              f"(baseline {schema_old}, fresh {schema_new}); the bench's "
+              "field conventions changed — re-commit the baseline from a "
+              "full-scale run before comparisons mean anything")
+        sys.exit(2)
 
     mismatched = [
         f for f in WORKLOAD_FIELDS
@@ -105,13 +126,6 @@ def main():
         print(f"::notice file={name}::replay count differs "
               f"({', '.join(ratio_mismatched)}); hit-rate-driven ratio "
               "metrics not compared")
-
-    schema_old = baseline.get("schema_version")
-    schema_new = fresh.get("schema_version")
-    if schema_old != schema_new:
-        print(f"::notice file={name}::schema_version changed "
-              f"{schema_old} -> {schema_new}; re-commit the baseline from a "
-              "full-scale run when convenient")
 
     warnings = 0
     checked = 0
