@@ -19,17 +19,22 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-// Best-first queue element; min-ordered by (mindist, page) — the page id
-// tiebreak makes traversal deterministic.
+// Best-first queue element; min-ordered by (mindist, tree, page) — the
+// tree/page tiebreak makes forest traversal deterministic (page ids of the
+// main and delta trees live in separate pagefiles, so they collide freely).
 struct QueueEntry {
   double mindist;
   PageId page;
+  // Which tree `page` belongs to: 0 = main index, 1 = delta. Ties on
+  // mindist visit the main tree first.
+  uint8_t tree;
   // Whether `page` is a leaf (known from the parent's level when pushed).
   // Leaf pops take the column-streaming read path; not part of the order.
   bool leaf;
 
   bool operator>(const QueueEntry& o) const {
     if (mindist != o.mindist) return mindist > o.mindist;
+    if (tree != o.tree) return tree > o.tree;
     return page > o.page;
   }
 };
@@ -198,9 +203,11 @@ void ComputeLeafBatch(const LeafView& v, const TimeInterval& period,
 }  // namespace
 
 BFMstSearch::BFMstSearch(const TrajectoryIndex* index,
-                         const TrajectoryStore* store,
-                         ResultCache* result_cache)
-    : index_(index), store_(store), result_cache_(result_cache) {
+                         const TrajectorySource* store,
+                         ResultCache* result_cache,
+                         const TrajectoryIndex* delta)
+    : index_(index), store_(store), result_cache_(result_cache),
+      delta_(delta) {
   MST_CHECK(index != nullptr && store != nullptr);
 }
 
@@ -213,8 +220,14 @@ std::vector<MstResult> BFMstSearch::Search(const Trajectory& query,
   MST_CHECK_MSG(query.Covers(period),
                 "query trajectory must cover the query period");
 
+  // An empty delta is the same as no delta (saves a root push per query
+  // between merges with a drained delta).
+  const TrajectoryIndex* const delta =
+      (delta_ != nullptr && !delta_->empty()) ? delta_ : nullptr;
+
   MstStats stats;
-  stats.total_nodes = index_->NodeCount();
+  stats.total_nodes =
+      index_->NodeCount() + (delta != nullptr ? delta->NodeCount() : 0);
   // Thread-local before/after deltas rather than resetting the index's
   // shared counters: concurrent queries on one index each get exact
   // per-query stats.
@@ -239,20 +252,31 @@ std::vector<MstResult> BFMstSearch::Search(const Trajectory& query,
       options.initial_kth_upper_bound * (1.0 + kSeedAssociationSlack);
 
   std::vector<MstResult> results;
-  if (index_->empty()) {
+  if (index_->empty() && delta == nullptr) {
     if (stats_out != nullptr) *stats_out = stats;
     return results;
   }
 
-  const double vmax = options.vmax_override >= 0.0
-                          ? options.vmax_override
-                          : index_->max_speed() + query.MaxSpeed();
+  // V_max spans both trees: a delta-resident trajectory's speed caps the
+  // same OPTDISSIM bounds as a main-resident one.
+  const double vmax =
+      options.vmax_override >= 0.0
+          ? options.vmax_override
+          : std::max(index_->max_speed(),
+                     delta != nullptr ? delta->max_speed() : 0.0) +
+                query.MaxSpeed();
 
   std::priority_queue<QueueEntry, std::vector<QueueEntry>,
                       std::greater<QueueEntry>>
       queue;
-  queue.push({0.0, index_->root(), index_->height() == 1});
-  ++stats.heap_pushes;
+  if (!index_->empty()) {
+    queue.push({0.0, index_->root(), 0, index_->height() == 1});
+    ++stats.heap_pushes;
+  }
+  if (delta != nullptr) {
+    queue.push({0.0, delta->root(), 1, delta->height() == 1});
+    ++stats.heap_pushes;
+  }
 
   std::unordered_map<TrajectoryId, CandidateList> valid;
   std::unordered_map<TrajectoryId, CandidateList> completed;
@@ -294,12 +318,15 @@ std::vector<MstResult> BFMstSearch::Search(const Trajectory& query,
       }
     }
 
+    // All page reads of this pop go to the tree the entry was pushed from.
+    const TrajectoryIndex* const tree = top.tree == 0 ? index_ : delta;
+
     if (!top.leaf) {
-      const NodeRef node = index_->ReadNode(top.page);
+      const NodeRef node = tree->ReadNode(top.page);
       for (const InternalEntry& e : node->internals) {
         const double d = MinDist(query, e.mbb, period);
         if (std::isinf(d)) continue;  // no temporal overlap with the period
-        queue.push({d, e.child, node->level == 1});
+        queue.push({d, e.child, top.tree, node->level == 1});
         ++stats.heap_pushes;
       }
       continue;
@@ -314,7 +341,7 @@ std::vector<MstResult> BFMstSearch::Search(const Trajectory& query,
     // columns directly; only the 3D R-tree's unsorted leaves argsort an
     // index permutation (no entry copies either way).
     const TrajectoryIndex::LeafPageRead leaf =
-        index_->ReadLeafColumns(top.page);
+        tree->ReadLeafColumns(top.page);
     const LeafView& view = leaf.view;
     ComputeLeafBatch(view, period, query_box, &batch);
     const int* order = nullptr;
@@ -409,15 +436,18 @@ std::vector<MstResult> BFMstSearch::Search(const Trajectory& query,
       // FetchTrajectorySegments would read them, so the logical and
       // physical I/O accounting is unchanged, but no entry vector is ever
       // materialized and out-of-period segments cost two column loads.
-      if (options.use_eager_completion && index_->SupportsTrajectoryFetch()) {
+      // In forest mode the chain covers only this tree's segments of the
+      // trajectory; coverage-based completion stays correct (the candidate
+      // completes only once pieces from both trees close the period).
+      if (options.use_eager_completion && tree->SupportsTrajectoryFetch()) {
         const double kth = std::min(uppers.KthValue(), seed_bound);
         if (static_cast<int>(uppers.size()) <= options.k ||
             list.OptDissim(vmax) <= kth) {
-          PageId chain = index_->TrajectoryChainHead(id);
+          PageId chain = tree->TrajectoryChainHead(id);
           if (chain == kInvalidPageId) {
             // Direct-path index without a chain-head hook: fall back to the
             // materializing fetch.
-            for (const LeafEntry& seg : index_->FetchTrajectorySegments(id)) {
+            for (const LeafEntry& seg : tree->FetchTrajectorySegments(id)) {
               const TimeInterval w = period.Intersect(seg.TimeSpan());
               if (w.Duration() <= 0.0 || list.CoversInterval(w)) continue;
               const SegmentDissim sd =
@@ -428,7 +458,7 @@ std::vector<MstResult> BFMstSearch::Search(const Trajectory& query,
           }
           while (chain != kInvalidPageId) {
             const TrajectoryIndex::LeafPageRead link =
-                index_->ReadLeafColumns(chain);
+                tree->ReadLeafColumns(chain);
             chain = link.next_leaf;
             const LeafView& cv = link.view;
             // A page whose time range misses the period contributes no
@@ -515,8 +545,13 @@ std::vector<MstResult> BFMstSearch::Search(const Trajectory& query,
     // Read the trajectory's write version BEFORE looking up / computing
     // (observe-then-publish, as in NodeCache): a concurrent insert for `id`
     // bumps the version, so the value published below under the old version
-    // can never be served after the write.
-    const uint64_t version = index_->TrajectoryWriteVersion(id);
+    // can never be served after the write. A version-owning source (live
+    // ingest snapshot) is the authority; otherwise the index is — never the
+    // delta tree, whose instances are rebuilt (and their version counters
+    // reset) on every append.
+    const uint64_t version = store_->OwnsWriteVersions()
+                                 ? store_->SourceWriteVersion(id)
+                                 : index_->TrajectoryWriteVersion(id);
     const ResultCacheKey key{fp, id, period, policy};
     DissimResult d;
     if (rcache->Lookup(key, version, &d)) return d;

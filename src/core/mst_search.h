@@ -131,8 +131,21 @@ class BFMstSearch {
   /// whole integration for that candidate while leaving the traversal — and
   /// with it every result and node-access metric — byte-identical to the
   /// uncached search. The cache may be shared by concurrent searchers.
-  BFMstSearch(const TrajectoryIndex* index, const TrajectoryStore* store,
-              ResultCache* result_cache = nullptr);
+  ///
+  /// `delta` (optional) is a second index searched as a two-tree forest with
+  /// `index`: one best-first queue ordered by (mindist, tree, page) holds
+  /// nodes of both, so the traversal interleaves them by pure MINDIST order.
+  /// The ingest engine hands the packed main tree as `index` and the
+  /// in-memory tree over not-yet-merged segments as `delta`; correctness
+  /// needs only that the two segment sets are disjoint (CandidateList merges
+  /// pieces from either tree into one coverage). When the store is a live
+  /// snapshot that owns write versions (TrajectorySource::OwnsWriteVersions)
+  /// the result cache keys off the snapshot's versions instead of the
+  /// index's — rebuilt delta/main instances restart their index-local
+  /// versions at 0, which would alias stale cache entries.
+  BFMstSearch(const TrajectoryIndex* index, const TrajectorySource* store,
+              ResultCache* result_cache = nullptr,
+              const TrajectoryIndex* delta = nullptr);
 
   /// Runs a k-MST query for `query` over `period`. Requirements (checked):
   /// the query trajectory covers the period, the period has positive
@@ -150,8 +163,9 @@ class BFMstSearch {
 
  private:
   const TrajectoryIndex* index_;
-  const TrajectoryStore* store_;
+  const TrajectorySource* store_;
   ResultCache* result_cache_;
+  const TrajectoryIndex* delta_;
 };
 
 }  // namespace mst

@@ -97,16 +97,33 @@ QueryOutcome CancelledOutcome() {
 
 }  // namespace
 
+IndexView MakeStaticIndexView(const TrajectoryIndex* index,
+                              const TrajectorySource* store) {
+  MST_CHECK(index != nullptr && store != nullptr);
+  IndexView view;
+  // Aliasing shared_ptrs with an empty owner: no lifetime management, the
+  // caller's objects are simply addressed through the view type.
+  view.main = std::shared_ptr<const TrajectoryIndex>(
+      std::shared_ptr<const void>(), index);
+  view.source = std::shared_ptr<const TrajectorySource>(
+      std::shared_ptr<const void>(), store);
+  return view;
+}
+
 QueryExecutor::QueryExecutor(const TrajectoryIndex* index,
-                             const TrajectoryStore* store,
+                             const TrajectorySource* store,
                              const Options& options)
-    : index_(index),
-      store_(store),
+    : QueryExecutor(
+          [view = MakeStaticIndexView(index, store)] { return view; },
+          options) {}
+
+QueryExecutor::QueryExecutor(IndexViewProvider provider,
+                             const Options& options)
+    : provider_(std::move(provider)),
       result_cache_(options.result_cache_entries),
-      searcher_(index, store, &result_cache_),
       share_batch_bounds_(options.share_batch_bounds),
       queue_(options.queue_capacity) {
-  MST_CHECK(index != nullptr && store != nullptr);
+  MST_CHECK(provider_ != nullptr);
   int workers = options.num_workers;
   if (workers <= 0) {
     workers = static_cast<int>(
@@ -153,8 +170,14 @@ void QueryExecutor::WorkerLoop() {
       opts.initial_kth_upper_bound =
           std::min(opts.initial_kth_upper_bound, shard_board->Current());
     }
-    out.results = searcher_.Search(task->request.query, task->request.period,
-                                   opts, &out.stats);
+    // Resolve the view at dequeue time and pin it for this one search: a
+    // concurrent append/merge publishes a new snapshot, never mutates this
+    // one, so the query observes either all of a batch or none of it.
+    const IndexView view = provider_();
+    const BFMstSearch searcher(view.main.get(), view.source.get(),
+                               &result_cache_, view.delta.get());
+    out.results = searcher.Search(task->request.query, task->request.period,
+                                  opts, &out.stats);
     if (shard_board != nullptr && exact_query &&
         out.results.size() == static_cast<size_t>(opts.k)) {
       // Full reach only: with fewer than k results the kth value of this

@@ -15,6 +15,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -35,6 +36,31 @@ namespace mst {
 namespace internal {
 struct BatchBoundBoard;
 }  // namespace internal
+
+/// A point-in-time read view of one index stack: the packed main tree, an
+/// optional delta tree over not-yet-merged segments (searched as a forest,
+/// see BFMstSearch), and the trajectory source backing both. The shared_ptrs
+/// pin the snapshot for the duration of one search while a live engine
+/// publishes newer views concurrently; for a static stack they are
+/// non-owning aliases of caller-owned objects.
+struct IndexView {
+  std::shared_ptr<const TrajectoryIndex> main;
+  std::shared_ptr<const TrajectoryIndex> delta;  // null = no delta tree
+  std::shared_ptr<const TrajectorySource> source;
+};
+
+/// Supplier of the current IndexView. Called by a worker once per dequeued
+/// query (dequeue time, not submit time — a queued query runs against the
+/// freshest published snapshot); must be thread-safe and never return a view
+/// with null `main` or `source`. The ingest engine's ViewProvider() is the
+/// live implementation (src/ingest/ingest_engine.h).
+using IndexViewProvider = std::function<IndexView()>;
+
+/// Non-owning IndexView over a static (index, store) pair — the adapter the
+/// pointer-based QueryExecutor constructors use. Caller keeps ownership;
+/// both must outlive every search run against the view.
+IndexView MakeStaticIndexView(const TrajectoryIndex* index,
+                              const TrajectorySource* store);
 
 /// One unit of work: a k-MST query. Must satisfy BFMstSearch::Search's
 /// checked preconditions (k >= 1, positive-duration period covered by the
@@ -109,11 +135,18 @@ class QueryExecutor {
     kCancelPending,  // queued requests complete immediately as `cancelled`
   };
 
-  /// Neither pointer is owned; both must outlive the executor.
-  QueryExecutor(const TrajectoryIndex* index, const TrajectoryStore* store,
+  /// Neither pointer is owned; both must outlive the executor. Queries run
+  /// against exactly this (index, store) pair for the executor's lifetime.
+  QueryExecutor(const TrajectoryIndex* index, const TrajectorySource* store,
                 const Options& options);
-  QueryExecutor(const TrajectoryIndex* index, const TrajectoryStore* store)
+  QueryExecutor(const TrajectoryIndex* index, const TrajectorySource* store)
       : QueryExecutor(index, store, Options()) {}
+
+  /// Live-view form: each dequeued query re-resolves the provider and
+  /// searches the returned snapshot (main + optional delta forest). This is
+  /// the ingest seam — appends and merges swap the published view between
+  /// queries, never under one.
+  QueryExecutor(IndexViewProvider provider, const Options& options);
 
   QueryExecutor(const QueryExecutor&) = delete;
   QueryExecutor& operator=(const QueryExecutor&) = delete;
@@ -174,10 +207,8 @@ class QueryExecutor {
   std::future<QueryOutcome> SubmitTask(
       QueryRequest request, std::shared_ptr<internal::BatchBoundBoard> board);
 
-  const TrajectoryIndex* index_;
-  const TrajectoryStore* store_;
-  ResultCache result_cache_;  // declared before searcher_, which points at it
-  BFMstSearch searcher_;
+  IndexViewProvider provider_;
+  ResultCache result_cache_;  // shared by the per-task searchers
   bool share_batch_bounds_;
   BoundedQueue<Task> queue_;
   std::vector<std::thread> workers_;

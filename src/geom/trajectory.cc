@@ -87,20 +87,14 @@ Mbb3 Trajectory::Bounds() const {
 void TrajectoryStore::Add(Trajectory trajectory) {
   MST_CHECK_MSG(Find(trajectory.id()) == nullptr,
                 "duplicate trajectory id in store");
-  by_id_.emplace_back(trajectory.id(), trajectories_.size());
+  const auto at = std::lower_bound(
+      by_id_.begin(), by_id_.end(),
+      std::make_pair(trajectory.id(), size_t{0}));
+  by_id_.insert(at, {trajectory.id(), trajectories_.size()});
   trajectories_.push_back(std::move(trajectory));
-  sorted_ = false;
-}
-
-void TrajectoryStore::EnsureSorted() const {
-  if (sorted_) return;
-  auto* self = const_cast<TrajectoryStore*>(this);
-  std::sort(self->by_id_.begin(), self->by_id_.end());
-  self->sorted_ = true;
 }
 
 const Trajectory* TrajectoryStore::Find(TrajectoryId id) const {
-  EnsureSorted();
   const auto it = std::lower_bound(
       by_id_.begin(), by_id_.end(), id,
       [](const std::pair<TrajectoryId, size_t>& e, TrajectoryId v) {
@@ -110,7 +104,7 @@ const Trajectory* TrajectoryStore::Find(TrajectoryId id) const {
   return &trajectories_[it->second];
 }
 
-const Trajectory& TrajectoryStore::Get(TrajectoryId id) const {
+const Trajectory& TrajectorySource::Get(TrajectoryId id) const {
   const Trajectory* t = Find(id);
   MST_CHECK_MSG(t != nullptr, "trajectory id not in store");
   return *t;

@@ -93,10 +93,39 @@ class Trajectory {
   std::vector<TPoint> samples_;
 };
 
+/// Read-side lookup interface of a trajectory table. BFMSTSearch needs only
+/// this from its "store": each candidate's lifespan for the eligibility
+/// check and its samples for the §4.4 refinement integrals. The build-once
+/// TrajectoryStore below is the canonical implementation; the streaming
+/// ingest engine serves immutable point-in-time snapshots through the same
+/// interface (src/ingest/ingest_engine.h), so the search never knows whether
+/// it reads a static table or a live one.
+class TrajectorySource {
+ public:
+  virtual ~TrajectorySource() = default;
+
+  /// Lookup by id; nullptr if absent.
+  virtual const Trajectory* Find(TrajectoryId id) const = 0;
+
+  /// Lookup by id; aborts if absent.
+  const Trajectory& Get(TrajectoryId id) const;
+
+  /// True when this source is the write-version authority for its
+  /// trajectories (live snapshots are; static stores are not — there the
+  /// index's per-trajectory versions rule, see
+  /// TrajectoryIndex::TrajectoryWriteVersion). The result cache keys off
+  /// whichever authority the search is handed.
+  virtual bool OwnsWriteVersions() const { return false; }
+
+  /// Monotonic write version of `id` as of this source's snapshot point;
+  /// only meaningful when OwnsWriteVersions(). Never-written ids report 0.
+  virtual uint64_t SourceWriteVersion(TrajectoryId) const { return 0; }
+};
+
 /// An owning collection of trajectories with id lookup — the "trajectory
 /// table" of the MOD. BFMST uses it to (a) know each object's lifespan and
 /// (b) fetch remaining segments during exact post-processing (§4.4).
-class TrajectoryStore {
+class TrajectoryStore : public TrajectorySource {
  public:
   TrajectoryStore() = default;
 
@@ -108,10 +137,7 @@ class TrajectoryStore {
   bool empty() const { return trajectories_.empty(); }
 
   /// Lookup by id; nullptr if absent.
-  const Trajectory* Find(TrajectoryId id) const;
-
-  /// Lookup by id; aborts if absent.
-  const Trajectory& Get(TrajectoryId id) const;
+  const Trajectory* Find(TrajectoryId id) const override;
 
   /// All trajectories, in insertion order.
   const std::vector<Trajectory>& trajectories() const { return trajectories_; }
@@ -125,11 +151,12 @@ class TrajectoryStore {
 
  private:
   std::vector<Trajectory> trajectories_;
-  // id -> index into trajectories_. Kept as a sorted vector: ids are dense in
-  // practice and the store is build-once/read-many.
+  // id -> index into trajectories_. Kept sorted at Add() time (ids arrive
+  // mostly in increasing order, so the insert is an O(1) append in
+  // practice), so Find() is a pure const read — concurrent readers never
+  // mutate the store. A lazily-sorted variant raced when the first Find
+  // landed on an executor worker thread.
   std::vector<std::pair<TrajectoryId, size_t>> by_id_;
-  mutable bool sorted_ = true;
-  void EnsureSorted() const;
 };
 
 }  // namespace mst

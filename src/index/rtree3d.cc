@@ -165,7 +165,6 @@ std::array<double, 3> CenterOf(const Mbb3& m) {
 }  // namespace
 
 void RTree3D::BulkLoad(const TrajectoryStore& store) {
-  MST_CHECK_MSG(empty(), "BulkLoad requires an empty tree");
   std::vector<LeafEntry> entries;
   entries.reserve(static_cast<size_t>(store.TotalSegments()));
   for (const Trajectory& t : store.trajectories()) {
@@ -173,6 +172,11 @@ void RTree3D::BulkLoad(const TrajectoryStore& store) {
       entries.push_back(LeafEntry::Of(t.id(), t.sample(i), t.sample(i + 1)));
     }
   }
+  BulkLoad(std::move(entries));
+}
+
+void RTree3D::BulkLoad(std::vector<LeafEntry> entries) {
+  MST_CHECK_MSG(empty(), "BulkLoad requires an empty tree");
   if (entries.empty()) return;
   for (const LeafEntry& e : entries) NoteInsert(e);
 

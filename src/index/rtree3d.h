@@ -38,6 +38,12 @@ class RTree3D : public TrajectoryIndex {
   /// Must be called on an empty tree (checked).
   void BulkLoad(const TrajectoryStore& store);
 
+  /// Entry-level form of the same STR packing, for callers that already hold
+  /// a segment stream rather than a store (the ingest merger bulk-loads both
+  /// delta snapshots and merged mains from entry vectors). The vector is
+  /// consumed (reordered in place by the tiling sorts).
+  void BulkLoad(std::vector<LeafEntry> entries);
+
  private:
   struct Step {
     PageId node;

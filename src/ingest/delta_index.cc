@@ -1,0 +1,17 @@
+#include "src/ingest/delta_index.h"
+
+#include "src/index/rtree3d.h"
+
+namespace mst {
+
+std::shared_ptr<const TrajectoryIndex> DeltaIndex::Snapshot() {
+  if (entries_.empty()) return nullptr;
+  if (snapshot_ == nullptr) {
+    auto tree = std::make_shared<RTree3D>(options_);
+    tree->BulkLoad(entries_);  // copies: the merge prefix must stay intact
+    snapshot_ = std::move(tree);
+  }
+  return snapshot_;
+}
+
+}  // namespace mst

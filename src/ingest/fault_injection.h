@@ -1,0 +1,232 @@
+// Deterministic fault injection for the WAL's storage layer: a
+// FaultInjectingFile wraps any WalStorage and fires one seeded fault when
+// the cumulative number of appended bytes crosses a chosen trip point —
+// fail-stop, short write, torn write (prefix intact, remainder garbled), or
+// a silent corrupt byte. After the trip the file behaves like a crashed
+// process's file descriptor: appends accept nothing, syncs fail. Recovery
+// tests sweep the trip point across a recorded valid log and check that
+// Wal::Open always lands on a consistent committed prefix.
+
+#ifndef MST_INGEST_FAULT_INJECTION_H_
+#define MST_INGEST_FAULT_INJECTION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/ingest/wal_storage.h"
+#include "src/util/check.h"
+
+namespace mst {
+
+/// What happens when the cumulative appended-byte count reaches `at_byte`.
+struct FaultPlan {
+  enum class Mode {
+    kNone,         // never trips
+    kFailStop,     // the crossing append accepts only the bytes before the
+                   // trip point, then the file is dead (clean crash)
+    kShortWrite,   // like kFailStop, but the crossing append REPORTS full
+                   // acceptance while persisting only the prefix (lost tail)
+    kTornWrite,    // the crossing append persists the prefix plus a garbled
+                   // version of the remaining bytes (sector tear)
+    kCorruptByte,  // the byte AT the trip point is silently flipped; the
+                   // file stays alive (latent media corruption)
+  };
+
+  Mode mode = Mode::kNone;
+  /// Cumulative append-byte offset at which the fault fires. 0 trips on the
+  /// first appended byte.
+  uint64_t at_byte = 0;
+  /// Seeds the garble pattern of kTornWrite / the flip of kCorruptByte, so
+  /// every schedule is replayable.
+  uint64_t seed = 1;
+};
+
+/// WalStorage decorator implementing FaultPlan. Reads and truncation pass
+/// through untouched — recovery must be able to examine the damage.
+class FaultInjectingFile : public WalStorage {
+ public:
+  /// `base` is borrowed, not owned, and must outlive this wrapper.
+  /// `appended_before` biases the cumulative counter (segments created
+  /// after rotation continue the log-wide byte count, so one FaultPlan
+  /// addresses a byte of the whole multi-segment log).
+  FaultInjectingFile(WalStorage* base, const FaultPlan& plan,
+                     uint64_t appended_before = 0)
+      : base_(base), plan_(plan), appended_(appended_before) {
+    MST_CHECK(base != nullptr);
+  }
+
+  size_t Append(const void* data, size_t size) override {
+    if (dead_) return 0;
+    if (plan_.mode == FaultPlan::Mode::kNone || size == 0) {
+      appended_ += size;
+      return base_->Append(data, size);
+    }
+    const uint64_t end = appended_ + size;
+    if (end <= plan_.at_byte || tripped_) {
+      // kCorruptByte trips exactly once; every other mode kills the file at
+      // the trip, so `tripped_ && !dead_` only happens for kCorruptByte.
+      appended_ = end;
+      return base_->Append(data, size);
+    }
+    tripped_ = true;
+    const size_t keep = plan_.at_byte > appended_
+                            ? static_cast<size_t>(plan_.at_byte - appended_)
+                            : 0;
+    const auto* bytes = static_cast<const uint8_t*>(data);
+    switch (plan_.mode) {
+      case FaultPlan::Mode::kFailStop: {
+        dead_ = true;
+        const size_t accepted = base_->Append(bytes, keep);
+        appended_ += accepted;
+        return accepted;
+      }
+      case FaultPlan::Mode::kShortWrite: {
+        dead_ = true;
+        base_->Append(bytes, keep);
+        appended_ += keep;
+        return size;  // lies: caller believes the write completed
+      }
+      case FaultPlan::Mode::kTornWrite: {
+        dead_ = true;
+        std::vector<uint8_t> torn(bytes, bytes + size);
+        uint64_t x = plan_.seed | 1;
+        for (size_t i = keep; i < torn.size(); ++i) {
+          // splitmix64-style garble, deterministic in (seed, position).
+          x += 0x9e3779b97f4a7c15ull;
+          uint64_t z = x;
+          z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+          z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+          torn[i] ^= static_cast<uint8_t>((z ^ (z >> 31)) | 1);  // != 0: flip
+        }
+        base_->Append(torn.data(), torn.size());
+        appended_ += size;
+        return size;
+      }
+      case FaultPlan::Mode::kCorruptByte: {
+        std::vector<uint8_t> flipped(bytes, bytes + size);
+        uint64_t z = (plan_.seed | 1) * 0xbf58476d1ce4e5b9ull;
+        flipped[keep] ^= static_cast<uint8_t>(1u << (z % 8));
+        appended_ = end;
+        return base_->Append(flipped.data(), flipped.size());
+      }
+      case FaultPlan::Mode::kNone:
+        break;
+    }
+    MST_CHECK(false);
+    return 0;
+  }
+
+  bool Sync() override { return dead_ ? false : base_->Sync(); }
+
+  size_t Size() const override { return base_->Size(); }
+
+  size_t ReadAt(size_t offset, void* out, size_t size) const override {
+    return base_->ReadAt(offset, out, size);
+  }
+
+  void Truncate(size_t offset) override { base_->Truncate(offset); }
+
+  /// True once the fault fired.
+  bool tripped() const { return tripped_; }
+
+  /// Cumulative append-byte counter (including the `appended_before` bias).
+  uint64_t cumulative_bytes() const { return appended_; }
+
+ private:
+  WalStorage* base_;
+  FaultPlan plan_;
+  uint64_t appended_;
+  bool tripped_ = false;
+  bool dead_ = false;
+};
+
+/// Segment set whose files share one log-wide FaultPlan: the cumulative
+/// append counter spans rotations, so `at_byte` addresses the Nth byte ever
+/// appended to the log regardless of segment boundaries.
+class FaultInjectingStorageSet : public WalStorageSet {
+ public:
+  /// `base` is borrowed and must outlive this wrapper.
+  FaultInjectingStorageSet(WalStorageSet* base, const FaultPlan& plan)
+      : base_(base), plan_(plan) {
+    MST_CHECK(base != nullptr);
+  }
+
+  size_t SegmentCount() const override { return base_->SegmentCount(); }
+
+  WalStorage* OpenSegment(size_t i) override {
+    if (i < wrappers_.size() && wrappers_[i] != nullptr) {
+      return wrappers_[i].get();
+    }
+    // Segments opened later inherit the bytes already pushed through
+    // earlier ones, keeping the trip offset log-wide. Any one wrapper
+    // tripping kills the whole set (a process crashes, not a file).
+    WalStorage* raw = base_->OpenSegment(i);
+    auto wrapper = std::make_unique<SharedCounterFile>(this, raw);
+    if (i >= wrappers_.size()) wrappers_.resize(i + 1);
+    wrappers_[i] = std::move(wrapper);
+    return wrappers_[i].get();
+  }
+
+  void RemoveSegmentsFrom(size_t first) override {
+    if (first < wrappers_.size()) wrappers_.resize(first);
+    base_->RemoveSegmentsFrom(first);
+  }
+
+  bool tripped() const { return tripped_; }
+
+  /// Total bytes ever pushed through Append across all segments (a
+  /// convenient way for tests to learn valid trip offsets).
+  uint64_t bytes_appended() const { return appended_; }
+
+ private:
+  // Thin per-segment file sharing the set-wide counter and plan state.
+  class SharedCounterFile : public WalStorage {
+   public:
+    SharedCounterFile(FaultInjectingStorageSet* set, WalStorage* base)
+        : set_(set), base_(base) {}
+
+    size_t Append(const void* data, size_t size) override {
+      return set_->AppendVia(base_, data, size);
+    }
+    bool Sync() override { return set_->tripped_dead_ ? false : base_->Sync(); }
+    size_t Size() const override { return base_->Size(); }
+    size_t ReadAt(size_t offset, void* out, size_t size) const override {
+      return base_->ReadAt(offset, out, size);
+    }
+    void Truncate(size_t offset) override { base_->Truncate(offset); }
+
+   private:
+    FaultInjectingStorageSet* set_;
+    WalStorage* base_;
+  };
+
+  size_t AppendVia(WalStorage* base, const void* data, size_t size) {
+    // Replays FaultInjectingFile's logic against the shared counter by
+    // wrapping the target file with the current cumulative offset, then
+    // mirrors the state transitions (counter, tripped/dead) back.
+    if (tripped_dead_) return 0;
+    FaultPlan plan = plan_;
+    if (tripped_) plan.mode = FaultPlan::Mode::kNone;  // kCorruptByte: once
+    FaultInjectingFile file(base, plan, appended_);
+    const size_t accepted = file.Append(data, size);
+    appended_ = file.cumulative_bytes();
+    if (file.tripped()) {
+      tripped_ = true;
+      if (plan_.mode != FaultPlan::Mode::kCorruptByte) tripped_dead_ = true;
+    }
+    return accepted;
+  }
+
+  WalStorageSet* base_;
+  FaultPlan plan_;
+  std::vector<std::unique_ptr<SharedCounterFile>> wrappers_;
+  uint64_t appended_ = 0;
+  bool tripped_ = false;
+  bool tripped_dead_ = false;
+};
+
+}  // namespace mst
+
+#endif  // MST_INGEST_FAULT_INJECTION_H_

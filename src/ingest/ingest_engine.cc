@@ -1,0 +1,215 @@
+#include "src/ingest/ingest_engine.h"
+
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "src/index/rtree3d.h"
+#include "src/util/check.h"
+
+namespace mst {
+
+IngestEngine::IngestEngine(WalStorageSet* wal_storage)
+    : IngestEngine(wal_storage, Options()) {}
+
+IngestEngine::IngestEngine(WalStorageSet* wal_storage, const Options& options,
+                           WalRecoveryInfo* recovery)
+    : options_(options), delta_(options.index) {
+  // Recovery replay: committed batches re-apply in sequence order into the
+  // (already constructed) state maps. No locks needed — nothing else can
+  // see the engine yet; no view is published until the merge below.
+  wal_ = std::make_unique<Wal>(
+      wal_storage, options.wal,
+      [this](uint64_t seq, const std::vector<WalRecord>& batch) {
+        ApplyLocked(batch);
+        applied_seq_ = seq;
+      },
+      recovery);
+  // Replay validated nothing (the log only ever holds validated batches,
+  // and truncation keeps prefixes, which stay valid); seed the reservation
+  // table from the recovered timelines.
+  for (const auto& [id, samples] : samples_) {
+    reserved_last_t_[id] = samples.back().t;
+  }
+  // Pack everything recovered into the main tree and publish view #1.
+  Merge();
+  if (options_.background_merge) {
+    merger_ = std::thread([this] { MergerLoop(); });
+  }
+}
+
+IngestEngine::~IngestEngine() {
+  {
+    std::lock_guard<std::mutex> lock(merger_mu_);
+    stop_merger_ = true;
+  }
+  merger_cv_.notify_all();
+  if (merger_.joinable()) merger_.join();
+}
+
+bool IngestEngine::Append(const std::vector<WalRecord>& batch) {
+  if (batch.empty()) return true;
+  uint64_t seq = 0;
+  {
+    std::lock_guard<std::mutex> lock(reserve_mu_);
+    // Validate the whole batch against the reserved timelines (which
+    // include batches still in flight): reject-before-log keeps the WAL
+    // free of frames recovery would have to second-guess.
+    std::unordered_map<TrajectoryId, double> batch_last;
+    for (const WalRecord& r : batch) {
+      if (!std::isfinite(r.t) || !std::isfinite(r.x) || !std::isfinite(r.y)) {
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+      double last = -std::numeric_limits<double>::infinity();
+      if (const auto bit = batch_last.find(r.traj_id);
+          bit != batch_last.end()) {
+        last = bit->second;
+      } else if (const auto rit = reserved_last_t_.find(r.traj_id);
+                 rit != reserved_last_t_.end()) {
+        last = rit->second;
+      }
+      if (r.t <= last) {
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+      batch_last[r.traj_id] = r.t;
+    }
+    seq = wal_->Stage(batch);
+    if (seq == 0) return false;
+    for (const auto& [id, t] : batch_last) reserved_last_t_[id] = t;
+  }
+
+  // Durability first (group commit happens in here), application second —
+  // in WAL-sequence ticket order, so the applied state is always exactly
+  // the durable prefix.
+  const bool durable = wal_->WaitDurable(seq);
+  bool applied = false;
+  {
+    std::unique_lock<std::mutex> lock(state_mu_);
+    apply_cv_.wait(lock, [&] { return applied_seq_ + 1 == seq; });
+    if (durable && !poisoned_) {
+      ApplyLocked(batch);
+      PublishLocked();
+      applied = true;
+    } else {
+      // A durability failure poisons the engine: later sequences may
+      // already be staged behind the failed one, and applying around a
+      // hole would diverge from the durable log.
+      poisoned_ = true;
+    }
+    applied_seq_ = seq;
+    apply_cv_.notify_all();
+  }
+  if (applied && options_.background_merge &&
+      delta_count_.load(std::memory_order_relaxed) >=
+          options_.merge_threshold_entries) {
+    merger_cv_.notify_one();
+  }
+  return applied;
+}
+
+void IngestEngine::ApplyLocked(const std::vector<WalRecord>& batch) {
+  std::vector<LeafEntry> fresh;
+  fresh.reserve(batch.size());
+  for (const WalRecord& r : batch) {
+    std::vector<TPoint>& samples = samples_[r.traj_id];
+    const TPoint point{r.t, {r.x, r.y}};
+    if (!samples.empty()) {
+      fresh.push_back(LeafEntry::Of(r.traj_id, samples.back(), point));
+    } else {
+      first_seen_.push_back(r.traj_id);
+    }
+    samples.push_back(point);
+    IngestSnapshot::Entry& entry = table_[r.traj_id];
+    entry.trajectory = std::make_shared<Trajectory>(r.traj_id, samples);
+    ++entry.version;
+  }
+  delta_.Append(fresh);
+  delta_count_.store(delta_.entry_count(), std::memory_order_relaxed);
+}
+
+void IngestEngine::PublishLocked() {
+  auto view = std::make_shared<IndexView>();
+  view->main = main_tree_;
+  view->delta = delta_.Snapshot();
+  view->source = std::make_shared<IngestSnapshot>(table_);
+  view_ = std::move(view);
+}
+
+void IngestEngine::Merge() {
+  std::lock_guard<std::mutex> merge_lock(merge_mu_);
+  std::vector<LeafEntry> all;
+  size_t cut = 0;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    cut = delta_.entry_count();
+    if (cut == 0 && main_tree_ != nullptr) return;  // nothing new
+    all = main_entries_;
+    const std::vector<LeafEntry>& pending = delta_.entries();
+    all.insert(all.end(), pending.begin(),
+               pending.begin() + static_cast<ptrdiff_t>(cut));
+  }
+  // The expensive part — STR packing — runs off the state lock; appends
+  // keep landing in the delta behind `cut` meanwhile.
+  auto tree = std::make_shared<RTree3D>(options_.index);
+  tree->BulkLoad(all);  // copies `all`; the vector becomes main_entries_
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    main_tree_ = std::move(tree);
+    main_entries_ = std::move(all);
+    delta_.DropPrefix(cut);
+    delta_count_.store(delta_.entry_count(), std::memory_order_relaxed);
+    PublishLocked();
+  }
+}
+
+IndexView IngestEngine::View() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return *view_;
+}
+
+IndexViewProvider IngestEngine::ViewProvider() const {
+  return [this] { return View(); };
+}
+
+std::vector<MstResult> IngestEngine::Search(const Trajectory& query,
+                                            const TimeInterval& period,
+                                            const MstOptions& options,
+                                            MstStats* stats) const {
+  const IndexView view = View();
+  const BFMstSearch searcher(view.main.get(), view.source.get(), nullptr,
+                             view.delta.get());
+  return searcher.Search(query, period, options, stats);
+}
+
+TrajectoryStore IngestEngine::MaterializeStore() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  TrajectoryStore store;
+  for (const TrajectoryId id : first_seen_) {
+    store.Add(*table_.at(id).trajectory);
+  }
+  return store;
+}
+
+uint64_t IngestEngine::applied_seq() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return applied_seq_;
+}
+
+void IngestEngine::MergerLoop() {
+  std::unique_lock<std::mutex> lock(merger_mu_);
+  while (true) {
+    merger_cv_.wait(lock, [this] {
+      return stop_merger_ ||
+             delta_count_.load(std::memory_order_relaxed) >=
+                 options_.merge_threshold_entries;
+    });
+    if (stop_merger_) return;
+    lock.unlock();
+    Merge();
+    lock.lock();
+  }
+}
+
+}  // namespace mst

@@ -1,0 +1,277 @@
+#include "src/ingest/wal.h"
+
+#include <array>
+#include <cstring>
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace mst {
+
+namespace {
+
+constexpr uint8_t kSampleType = 1;
+constexpr uint8_t kCommitType = 2;
+
+constexpr size_t kFrameHeaderBytes = 8;           // u32 len + u32 crc
+constexpr size_t kSamplePayloadBytes = 1 + 8 + 24; // type + id + t,x,y
+constexpr size_t kCommitPayloadBytes = 1 + 8 + 4;  // type + seq + count
+// Anything longer than the longest known payload is structurally corrupt;
+// rejecting it early keeps a garbled length field from swallowing the rest
+// of the segment as one giant "frame".
+constexpr size_t kMaxPayloadBytes = kSamplePayloadBytes;
+
+static_assert(sizeof(double) == 8);
+
+template <typename T>
+void PutRaw(std::string* out, T value) {
+  char bytes[sizeof(T)];
+  std::memcpy(bytes, &value, sizeof(T));
+  out->append(bytes, sizeof(T));
+}
+
+template <typename T>
+T GetRaw(const uint8_t* in) {
+  T value;
+  std::memcpy(&value, in, sizeof(T));
+  return value;
+}
+
+void AppendFrame(std::string* out, const std::string& payload) {
+  PutRaw<uint32_t>(out, static_cast<uint32_t>(payload.size()));
+  PutRaw<uint32_t>(out, Crc32(payload.data(), payload.size()));
+  out->append(payload);
+}
+
+std::string EncodeSample(const WalRecord& r) {
+  std::string payload;
+  payload.reserve(kSamplePayloadBytes);
+  payload.push_back(static_cast<char>(kSampleType));
+  PutRaw<int64_t>(&payload, r.traj_id);
+  PutRaw<double>(&payload, r.t);
+  PutRaw<double>(&payload, r.x);
+  PutRaw<double>(&payload, r.y);
+  return payload;
+}
+
+std::string EncodeCommit(uint64_t seq, uint32_t count) {
+  std::string payload;
+  payload.reserve(kCommitPayloadBytes);
+  payload.push_back(static_cast<char>(kCommitType));
+  PutRaw<uint64_t>(&payload, seq);
+  PutRaw<uint32_t>(&payload, count);
+  return payload;
+}
+
+const std::array<uint32_t, 256>& Crc32Table() {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1u) ? (0xedb88320u ^ (c >> 1)) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t size) {
+  const auto& table = Crc32Table();
+  const auto* bytes = static_cast<const uint8_t*>(data);
+  uint32_t crc = 0xffffffffu;
+  for (size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ bytes[i]) & 0xffu] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+Wal::Wal(WalStorageSet* storage, const Options& options,
+         const ReplayFn& replay, WalRecoveryInfo* info)
+    : storage_(storage), options_(options) {
+  MST_CHECK(storage != nullptr);
+  MST_CHECK(options.segment_bytes > 0);
+  Recover(replay, info);
+}
+
+void Wal::Recover(const ReplayFn& replay, WalRecoveryInfo* info) {
+  WalRecoveryInfo local;
+  const size_t segments = storage_->SegmentCount();
+  uint64_t last_seq = 0;
+  size_t last_surviving = 0;  // segment index the append head lands in
+
+  for (size_t si = 0; si < segments; ++si) {
+    WalStorage* seg = storage_->OpenSegment(si);
+    const size_t size = seg->Size();
+    size_t offset = 0;
+    size_t committed_end = 0;  // end of the last commit frame in this segment
+    std::vector<WalRecord> pending;
+    bool damaged = false;
+
+    while (offset < size) {
+      uint8_t header[kFrameHeaderBytes];
+      if (seg->ReadAt(offset, header, sizeof(header)) != sizeof(header)) {
+        damaged = true;
+        break;
+      }
+      const uint32_t len = GetRaw<uint32_t>(header);
+      const uint32_t crc = GetRaw<uint32_t>(header + 4);
+      if (len == 0 || len > kMaxPayloadBytes) {
+        damaged = true;
+        break;
+      }
+      uint8_t payload[kMaxPayloadBytes];
+      if (seg->ReadAt(offset + kFrameHeaderBytes, payload, len) != len) {
+        damaged = true;  // torn mid-payload
+        break;
+      }
+      if (Crc32(payload, len) != crc) {
+        damaged = true;
+        break;
+      }
+      const uint8_t type = payload[0];
+      if (type == kSampleType && len == kSamplePayloadBytes) {
+        WalRecord r;
+        r.traj_id = GetRaw<int64_t>(payload + 1);
+        r.t = GetRaw<double>(payload + 9);
+        r.x = GetRaw<double>(payload + 17);
+        r.y = GetRaw<double>(payload + 25);
+        pending.push_back(r);
+      } else if (type == kCommitType && len == kCommitPayloadBytes) {
+        const uint64_t seq = GetRaw<uint64_t>(payload + 1);
+        const uint32_t count = GetRaw<uint32_t>(payload + 9);
+        if (seq != last_seq + 1 || count != pending.size()) {
+          // CRC-valid but semantically impossible (a garble that slipped
+          // past the checksum, or interleaved history): stop trusting the
+          // log here, like any other corruption.
+          damaged = true;
+          break;
+        }
+        last_seq = seq;
+        ++local.committed_batches;
+        local.records_recovered += pending.size();
+        if (replay != nullptr) replay(seq, pending);
+        pending.clear();
+        committed_end = offset + kFrameHeaderBytes + len;
+      } else {
+        damaged = true;  // unknown type or type/length mismatch
+        break;
+      }
+      offset += kFrameHeaderBytes + len;
+    }
+
+    // A batch never straddles segments (rotation happens at flush-group
+    // boundaries), so records pending at a clean segment end are an
+    // uncommitted crashed tail exactly like a torn frame's.
+    local.records_discarded += pending.size();
+    const bool drop_tail = damaged || !pending.empty();
+    last_surviving = si;
+    if (drop_tail) {
+      local.truncated_tail = true;
+      seg->Truncate(committed_end);
+      if (si + 1 < segments) {
+        local.segments_dropped += segments - (si + 1);
+        storage_->RemoveSegmentsFrom(si + 1);
+      }
+      break;
+    }
+  }
+
+  if (storage_->SegmentCount() == 0) {
+    storage_->OpenSegment(0);
+    last_surviving = 0;
+  }
+  tail_segment_ = last_surviving;
+  next_seq_ = last_seq + 1;
+  durable_seq_ = last_seq;
+  if (info != nullptr) *info = local;
+}
+
+uint64_t Wal::AppendBatch(const std::vector<WalRecord>& records) {
+  const uint64_t seq = Stage(records);
+  if (seq == 0) return 0;
+  return WaitDurable(seq) ? seq : 0;
+}
+
+uint64_t Wal::Stage(const std::vector<WalRecord>& records) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!healthy_) return 0;
+  const uint64_t seq = next_seq_++;
+  for (const WalRecord& r : records) {
+    AppendFrame(&staged_, EncodeSample(r));
+  }
+  AppendFrame(&staged_,
+              EncodeCommit(seq, static_cast<uint32_t>(records.size())));
+  staged_max_seq_ = seq;
+  return seq;
+}
+
+bool Wal::WaitDurable(uint64_t seq) {
+  std::unique_lock<std::mutex> lock(mu_);
+  // Group commit: whoever finds no flush in progress drains the staged
+  // buffer — their own batch plus everything concurrent appenders staged
+  // behind it — with a single write+sync; the rest wait on the condition
+  // variable until a leader's sync covers their sequence.
+  while (healthy_ && durable_seq_ < seq) {
+    if (!flushing_ && !staged_.empty()) {
+      flushing_ = true;
+      std::string group = std::move(staged_);
+      staged_.clear();
+      const uint64_t group_max = staged_max_seq_;
+      lock.unlock();
+      const bool ok = WriteAndSync(group);
+      lock.lock();
+      flushing_ = false;
+      if (ok) {
+        durable_seq_ = group_max;
+      } else {
+        healthy_ = false;
+      }
+      cv_.notify_all();
+    } else {
+      cv_.wait(lock);
+    }
+  }
+  return healthy_ || durable_seq_ >= seq;
+}
+
+bool Wal::WriteAndSync(const std::string& bytes) {
+  WalStorage* seg = storage_->OpenSegment(tail_segment_);
+  if (seg->Size() >= options_.segment_bytes) {
+    ++tail_segment_;
+    seg = storage_->OpenSegment(tail_segment_);
+  }
+  if (seg->Append(bytes.data(), bytes.size()) != bytes.size()) return false;
+  const bool ok = seg->Sync();
+  if (ok) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++sync_count_;
+  }
+  return ok;
+}
+
+bool Wal::healthy() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return healthy_;
+}
+
+uint64_t Wal::durable_seq() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return durable_seq_;
+}
+
+uint64_t Wal::sync_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sync_count_;
+}
+
+size_t Wal::segment_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return storage_->SegmentCount();
+}
+
+}  // namespace mst

@@ -1,0 +1,151 @@
+// Group-commit write-ahead log for trajectory sample appends.
+//
+// Frame format (little-endian):
+//   [u32 payload_len][u32 crc32(payload)][payload]
+// payload[0] is the record type:
+//   kSample (1): i64 trajectory id, f64 t, f64 x, f64 y       (33 bytes)
+//   kCommit (2): u64 batch sequence, u32 record count          (13 bytes)
+//
+// A batch of samples is staged as its record frames followed by one commit
+// frame, all contiguous. Concurrent AppendBatch calls share flushes
+// (group commit): the first staged batch's thread becomes the flush leader,
+// writes every batch staged so far in one storage append, issues ONE Sync
+// for all of them, and wakes the followers. Segment rotation happens only
+// between flush groups, so frames — and whole batches — never straddle a
+// segment boundary.
+//
+// Recovery (Wal::Open time) replays each segment front to back, validating
+// frame lengths and CRCs, and requires each commit frame to carry the next
+// expected sequence number and the exact count of records staged since the
+// previous commit. The first invalid frame truncates its segment back to
+// the end of the last committed batch and drops every later segment —
+// uncommitted tail records vanish with it, which is exactly the
+// all-or-nothing contract: a batch is durable iff its commit frame is.
+
+#ifndef MST_INGEST_WAL_H_
+#define MST_INGEST_WAL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/geom/trajectory.h"
+#include "src/ingest/wal_storage.h"
+
+namespace mst {
+
+/// One logged trajectory sample append.
+struct WalRecord {
+  TrajectoryId traj_id = kInvalidTrajectoryId;
+  double t = 0.0;
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const WalRecord&, const WalRecord&) = default;
+};
+
+/// What recovery found and did.
+struct WalRecoveryInfo {
+  /// Committed batches replayed.
+  uint64_t committed_batches = 0;
+  /// Sample records inside those batches.
+  uint64_t records_recovered = 0;
+  /// Valid-CRC sample records discarded because no commit frame covered
+  /// them (uncommitted tail of a crashed group commit).
+  uint64_t records_discarded = 0;
+  /// True when a torn/short/corrupt frame forced a truncation.
+  bool truncated_tail = false;
+  /// Segments dropped wholesale behind a truncation point.
+  uint64_t segments_dropped = 0;
+};
+
+/// CRC-32 (IEEE 802.3, reflected) over `size` bytes. Exposed for tests.
+uint32_t Crc32(const void* data, size_t size);
+
+class Wal {
+ public:
+  struct Options {
+    /// Rotate to a new segment once the tail exceeds this many bytes
+    /// (checked between flush groups, so segments overshoot by at most one
+    /// group).
+    size_t segment_bytes = 1 << 20;
+  };
+
+  /// Replay sink for recovered committed batches, called in commit order.
+  using ReplayFn =
+      std::function<void(uint64_t seq, const std::vector<WalRecord>& batch)>;
+
+  /// Opens the log over `storage` (borrowed; must outlive the Wal),
+  /// recovering whatever is durable: committed batches are replayed through
+  /// `replay` (may be null), damaged tails are truncated in storage, and
+  /// the append head is positioned after the last committed frame.
+  Wal(WalStorageSet* storage, const Options& options,
+      const ReplayFn& replay = nullptr, WalRecoveryInfo* info = nullptr);
+
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  /// Durably appends `records` as one atomic batch (frames + commit frame,
+  /// group-committed). Returns the batch's sequence number (> 0), or 0 if
+  /// the append could not be made durable — the log is then poisoned and
+  /// every later append fails too (a real WAL would fail over; this one
+  /// models the crash the recovery tests then exercise). Thread-safe.
+  /// Equivalent to Stage + WaitDurable.
+  uint64_t AppendBatch(const std::vector<WalRecord>& records);
+
+  /// First half of AppendBatch: assigns the batch its sequence number and
+  /// stages its frames, without waiting for durability. Returns 0 when the
+  /// log is poisoned. Callers needing staging order to match an external
+  /// order (the ingest engine's validation order) hold their own lock
+  /// across the ordering decision and this call.
+  uint64_t Stage(const std::vector<WalRecord>& records);
+
+  /// Second half: blocks until `seq` is durable (participating in — or
+  /// leading — group flushes). False when the log failed before covering
+  /// `seq`.
+  bool WaitDurable(uint64_t seq);
+
+  /// False once any write or sync failed.
+  bool healthy() const;
+
+  /// Sequence number of the newest durable batch (0 = none).
+  uint64_t durable_seq() const;
+
+  /// Storage Sync calls issued so far — with concurrent appenders this is
+  /// strictly less than the number of batches when group commit coalesces.
+  uint64_t sync_count() const;
+
+  /// Segments currently in the set (grows with rotation).
+  size_t segment_count() const;
+
+ private:
+  // Appends `bytes` to the tail segment (rotating first if the tail is
+  // full) and syncs. Returns false on any storage failure. Runs outside
+  // `mu_` — only the flush leader calls it, serialized by flushing_.
+  bool WriteAndSync(const std::string& bytes);
+
+  void Recover(const ReplayFn& replay, WalRecoveryInfo* info);
+
+  WalStorageSet* const storage_;
+  const Options options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::string staged_;           // frames staged but not yet flushed
+  uint64_t staged_max_seq_ = 0;  // newest seq inside staged_
+  bool flushing_ = false;        // a leader is inside WriteAndSync
+  bool healthy_ = true;
+  uint64_t next_seq_ = 1;    // sequence the next AppendBatch will take
+  uint64_t durable_seq_ = 0; // newest seq proven durable by a Sync
+  uint64_t sync_count_ = 0;
+  size_t tail_segment_ = 0;  // index of the segment appends go to
+};
+
+}  // namespace mst
+
+#endif  // MST_INGEST_WAL_H_

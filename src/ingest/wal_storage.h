@@ -1,0 +1,132 @@
+// Byte-level storage behind the write-ahead log: an append-only segment
+// file abstraction narrow enough to wrap with deterministic fault injection
+// (tests/wal_fault_test.cc) and simple enough to keep in memory — the repo
+// simulates its disk (src/index/pagefile.h), and the WAL follows suit.
+
+#ifndef MST_INGEST_WAL_STORAGE_H_
+#define MST_INGEST_WAL_STORAGE_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/util/check.h"
+
+namespace mst {
+
+/// One append-only WAL segment file. Implementations must tolerate being
+/// read while appended to (single appender, any readers); Append may accept
+/// a PREFIX of the bytes (short write) or corrupt what it accepted (torn
+/// write) — exactly the crash surface recovery has to survive. A failed or
+/// partial Append/Sync poisons the WAL above, never the storage itself.
+class WalStorage {
+ public:
+  virtual ~WalStorage() = default;
+
+  /// Appends up to `size` bytes at the end; returns how many bytes the file
+  /// actually grew by (< size models a crash mid-write). Accepted bytes may
+  /// differ from the input (torn write) — only Sync'ed, CRC-checked frames
+  /// are trusted by recovery.
+  virtual size_t Append(const void* data, size_t size) = 0;
+
+  /// Makes every previously accepted byte durable. False models a crash
+  /// before the flush completed (durability of those bytes is unknown).
+  virtual bool Sync() = 0;
+
+  /// Current file size in bytes.
+  virtual size_t Size() const = 0;
+
+  /// Reads up to `size` bytes from `offset`; returns bytes read (short at
+  /// end of file).
+  virtual size_t ReadAt(size_t offset, void* out, size_t size) const = 0;
+
+  /// Drops every byte at or after `offset` (recovery truncates torn tails).
+  virtual void Truncate(size_t offset) = 0;
+};
+
+/// A set of WAL segments addressed by index 0..SegmentCount()-1; rotation
+/// opens segment N+1, recovery replays 0..N in order and may drop a suffix
+/// of the set.
+class WalStorageSet {
+ public:
+  virtual ~WalStorageSet() = default;
+
+  virtual size_t SegmentCount() const = 0;
+
+  /// Opens (creating if absent) segment `i`; i <= SegmentCount() (checked by
+  /// implementations — segments are created densely, in order). The pointer
+  /// stays valid for the set's lifetime.
+  virtual WalStorage* OpenSegment(size_t i) = 0;
+
+  /// Deletes segments `first..SegmentCount()-1` (recovery drops everything
+  /// after a corrupt segment; a fresh tail segment is then re-created).
+  virtual void RemoveSegmentsFrom(size_t first) = 0;
+};
+
+/// In-memory WalStorage. Thread-safe (the WAL appends under its own lock,
+/// but recovery scans may race late reader threads in tests).
+class MemWalStorage : public WalStorage {
+ public:
+  size_t Append(const void* data, size_t size) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto* bytes = static_cast<const uint8_t*>(data);
+    bytes_.insert(bytes_.end(), bytes, bytes + size);
+    return size;
+  }
+
+  bool Sync() override { return true; }
+
+  size_t Size() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return bytes_.size();
+  }
+
+  size_t ReadAt(size_t offset, void* out, size_t size) const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (offset >= bytes_.size()) return 0;
+    const size_t n = std::min(size, bytes_.size() - offset);
+    std::memcpy(out, bytes_.data() + offset, n);
+    return n;
+  }
+
+  void Truncate(size_t offset) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (offset < bytes_.size()) bytes_.resize(offset);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<uint8_t> bytes_;
+};
+
+/// In-memory segment set over MemWalStorage files.
+class MemWalStorageSet : public WalStorageSet {
+ public:
+  size_t SegmentCount() const override { return segments_.size(); }
+
+  WalStorage* OpenSegment(size_t i) override {
+    MST_CHECK_MSG(i <= segments_.size(), "segments are created in order");
+    if (i == segments_.size()) {
+      segments_.push_back(std::make_unique<MemWalStorage>());
+    }
+    return segments_[i].get();
+  }
+
+  void RemoveSegmentsFrom(size_t first) override {
+    if (first < segments_.size()) {
+      segments_.resize(first);
+    }
+  }
+
+ private:
+  std::vector<std::unique_ptr<MemWalStorage>> segments_;
+};
+
+}  // namespace mst
+
+#endif  // MST_INGEST_WAL_STORAGE_H_

@@ -1,9 +1,11 @@
 #include "src/io/index_io.h"
 
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <vector>
 
+#include "src/index/node.h"
 #include "src/util/check.h"
 
 namespace mst {
@@ -99,6 +101,18 @@ bool SaveIndex(const TrajectoryIndex& index, const std::string& path) {
 
 std::unique_ptr<TrajectoryIndex> LoadIndex(const std::string& path,
                                            std::string* error) {
+  return LoadIndex(path, IndexOpenOptions(), error);
+}
+
+std::unique_ptr<TrajectoryIndex> LoadIndex(const std::string& path,
+                                           const IndexOpenOptions& options,
+                                           std::string* error) {
+  if (options.index.build_buffer_pages == 0) {
+    SetError(error, path +
+                        ": invalid open options: build_buffer_pages must be "
+                        "at least 1");
+    return nullptr;
+  }
   FilePtr file(std::fopen(path.c_str(), "rb"));
   if (file == nullptr) {
     SetError(error, "cannot open " + path);
@@ -121,6 +135,11 @@ std::unique_ptr<TrajectoryIndex> LoadIndex(const std::string& path,
     SetError(error, path + ": corrupt header");
     return nullptr;
   }
+  if (header.entry_count < 0 || !std::isfinite(header.max_speed) ||
+      header.max_speed < 0.0) {
+    SetError(error, path + ": corrupt header (entry count / max speed)");
+    return nullptr;
+  }
   std::vector<Page> pages(static_cast<size_t>(header.page_count));
   for (Page& page : pages) {
     if (std::fread(page.bytes.data(), 1, kPageSize, file.get()) !=
@@ -129,9 +148,50 @@ std::unique_ptr<TrajectoryIndex> LoadIndex(const std::string& path,
       return nullptr;
     }
   }
+  char extra;
+  if (std::fread(&extra, 1, 1, file.get()) == 1) {
+    SetError(error, path + ": trailing bytes after page payload");
+    return nullptr;
+  }
+  if (options.read_write) {
+    // Read-write can never be honored (insertion state is not persisted);
+    // diagnose the most actionable mismatch first. A v2 (SoA) write format
+    // against a file whose leaves are v1 — or vice versa — would corrupt
+    // the page-format invariants long before the missing chains mattered,
+    // so that case gets its own message.
+    bool file_has_v2_leaf = false;
+    for (const Page& page : pages) {
+      if (IsV2LeafPage(page)) {
+        file_has_v2_leaf = true;
+        break;
+      }
+    }
+    const bool want_v2 =
+        options.index.leaf_format == LeafPageFormat::kV2Soa;
+    if (header.page_count > 0 && want_v2 != file_has_v2_leaf) {
+      SetError(error,
+               path + (want_v2
+                           ? ": cannot open read-write: requested v2 (SoA) "
+                             "leaf writes, but the file stores v1 (AoS) leaf "
+                             "pages; open read-only or rebuild the index in "
+                             "the v2 format"
+                           : ": cannot open read-write: requested v1 (AoS) "
+                             "leaf writes, but the file stores v2 (SoA) leaf "
+                             "pages; open read-only or rebuild the index in "
+                             "the v1 format"));
+      return nullptr;
+    }
+    SetError(error,
+             path +
+                 ": cannot open read-write: a saved index holds no "
+                 "insertion state (trajectory chains, rightmost paths); "
+                 "open read-only, or rebuild from the trajectory store to "
+                 "mutate");
+    return nullptr;
+  }
   header.name[sizeof(header.name) - 1] = '\0';
   auto index = std::make_unique<LoadedIndex>(
-      TrajectoryIndex::Options(), std::string(header.name) + " (loaded)");
+      options.index, std::string(header.name) + " (loaded)");
   index->Restore(header, pages);
   return index;
 }

@@ -25,8 +25,35 @@ std::future<QueryOutcome> ReadyFuture(bool cancelled, bool rejected) {
 
 }  // namespace
 
+namespace {
+
+// The per-shard static views of a built ShardedIndex, for delegation to the
+// provider-based constructor.
+std::vector<IndexViewProvider> StaticShardViews(const ShardedIndex* index) {
+  MST_CHECK(index != nullptr);
+  MST_CHECK(index->num_shards() >= 1);
+  std::vector<IndexViewProvider> views;
+  views.reserve(static_cast<size_t>(index->num_shards()));
+  for (int s = 0; s < index->num_shards(); ++s) {
+    const ShardedIndex::Shard& shard = index->shard(s);
+    views.push_back(
+        [view = MakeStaticIndexView(shard.index.get(), &shard.store)] {
+          return view;
+        });
+  }
+  return views;
+}
+
+}  // namespace
+
 ShardFrontEnd::ShardFrontEnd(const ShardedIndex* index, const Options& options)
-    : index_(index),
+    : ShardFrontEnd(StaticShardViews(index), options) {
+  index_ = index;
+}
+
+ShardFrontEnd::ShardFrontEnd(std::vector<IndexViewProvider> shard_views,
+                             const Options& options)
+    : index_(nullptr),
       options_(options),
       // The gather queue needs no extra backpressure of its own: admission
       // control plus the per-shard queues already bound the number of
@@ -34,11 +61,9 @@ ShardFrontEnd::ShardFrontEnd(const ShardedIndex* index, const Options& options)
       gather_queue_(options.max_in_flight_queries > 0
                         ? static_cast<size_t>(options.max_in_flight_queries)
                         : 1024) {
-  MST_CHECK(index != nullptr);
-  MST_CHECK(index->num_shards() >= 1);
-  executors_.reserve(static_cast<size_t>(index->num_shards()));
-  for (int s = 0; s < index->num_shards(); ++s) {
-    const ShardedIndex::Shard& shard = index->shard(s);
+  MST_CHECK(!shard_views.empty());
+  executors_.reserve(shard_views.size());
+  for (IndexViewProvider& provider : shard_views) {
     QueryExecutor::Options exec_opt;
     exec_opt.num_workers = 1;  // single-threaded shard stack
     exec_opt.queue_capacity = options.per_shard_queue_capacity;
@@ -46,8 +71,8 @@ ShardFrontEnd::ShardFrontEnd(const ShardedIndex* index, const Options& options)
     // Batch-level bound sharing is the executor's RunBatch feature; the
     // front-end only uses Submit, and cross-shard sharing replaces it here.
     exec_opt.share_batch_bounds = false;
-    executors_.push_back(std::make_unique<QueryExecutor>(
-        shard.index.get(), &shard.store, exec_opt));
+    executors_.push_back(
+        std::make_unique<QueryExecutor>(std::move(provider), exec_opt));
   }
   gather_thread_ = std::thread([this] { GatherLoop(); });
 }

@@ -72,6 +72,13 @@ class ShardFrontEnd {
   explicit ShardFrontEnd(const ShardedIndex* index)
       : ShardFrontEnd(index, Options()) {}
 
+  /// Live-view form: one provider per shard (resolved by that shard's
+  /// worker at dequeue time), the front door of a sharded ingest service —
+  /// each shard's IngestEngine keeps publishing fresh snapshots while
+  /// queries stream through. The providers must outlive the front-end.
+  ShardFrontEnd(std::vector<IndexViewProvider> shard_views,
+                const Options& options);
+
   ShardFrontEnd(const ShardFrontEnd&) = delete;
   ShardFrontEnd& operator=(const ShardFrontEnd&) = delete;
 

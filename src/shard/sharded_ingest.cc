@@ -1,0 +1,75 @@
+#include "src/shard/sharded_ingest.h"
+
+#include <utility>
+
+#include "src/shard/sharded_index.h"
+#include "src/util/check.h"
+
+namespace mst {
+
+ShardedIngest::ShardedIngest(const Options& options) {
+  MST_CHECK(options.num_shards >= 1);
+  owned_storage_.reserve(static_cast<size_t>(options.num_shards));
+  std::vector<WalStorageSet*> storage;
+  for (int s = 0; s < options.num_shards; ++s) {
+    owned_storage_.push_back(std::make_unique<MemWalStorageSet>());
+    storage.push_back(owned_storage_.back().get());
+  }
+  engines_.reserve(storage.size());
+  for (WalStorageSet* set : storage) {
+    engines_.push_back(std::make_unique<IngestEngine>(set, options.engine));
+  }
+}
+
+ShardedIngest::ShardedIngest(const std::vector<WalStorageSet*>& storage,
+                             const Options& options,
+                             std::vector<WalRecoveryInfo>* recovery) {
+  MST_CHECK(!storage.empty());
+  MST_CHECK(options.num_shards == static_cast<int>(storage.size()));
+  if (recovery != nullptr) recovery->resize(storage.size());
+  engines_.reserve(storage.size());
+  for (size_t s = 0; s < storage.size(); ++s) {
+    engines_.push_back(std::make_unique<IngestEngine>(
+        storage[s], options.engine,
+        recovery != nullptr ? &(*recovery)[s] : nullptr));
+  }
+}
+
+bool ShardedIngest::Append(const std::vector<WalRecord>& batch) {
+  const int n = num_shards();
+  std::vector<std::vector<WalRecord>> slices(static_cast<size_t>(n));
+  for (const WalRecord& r : batch) {
+    slices[static_cast<size_t>(ShardedIndex::ShardOf(r.traj_id, n))]
+        .push_back(r);
+  }
+  bool ok = true;
+  for (int s = 0; s < n; ++s) {
+    const std::vector<WalRecord>& slice = slices[static_cast<size_t>(s)];
+    if (!slice.empty()) ok &= engines_[static_cast<size_t>(s)]->Append(slice);
+  }
+  return ok;
+}
+
+void ShardedIngest::MergeAll() {
+  for (std::unique_ptr<IngestEngine>& engine : engines_) engine->Merge();
+}
+
+std::vector<IndexViewProvider> ShardedIngest::ViewProviders() const {
+  std::vector<IndexViewProvider> providers;
+  providers.reserve(engines_.size());
+  for (const std::unique_ptr<IngestEngine>& engine : engines_) {
+    providers.push_back(engine->ViewProvider());
+  }
+  return providers;
+}
+
+TrajectoryStore ShardedIngest::MaterializeStore() const {
+  TrajectoryStore store;
+  for (const std::unique_ptr<IngestEngine>& engine : engines_) {
+    const TrajectoryStore shard = engine->MaterializeStore();
+    for (const Trajectory& t : shard.trajectories()) store.Add(t);
+  }
+  return store;
+}
+
+}  // namespace mst

@@ -1,0 +1,81 @@
+// ShardedIngest: the write path of the sharded service — one IngestEngine
+// (own WAL, delta tree, packed main tree) per shard, with records routed by
+// the same splitmix64 id hash ShardedIndex partitions by, so a sharded
+// ingest's shard s always holds exactly the trajectories a ShardedIndex
+// build would have given it. ViewProviders() plugs straight into
+// ShardFrontEnd's live constructor, completing the loop: fleets append
+// through ShardedIngest while k-MST queries scatter-gather over the same
+// engines' snapshots.
+//
+// Durability is per shard: each shard's slice of an Append batch commits
+// atomically in that shard's WAL, but a crash can surface some shards'
+// slices without others' (cross-shard atomic commit needs a transaction
+// coordinator this repo doesn't have; recovery is still consistent — every
+// shard recovers a committed prefix of its own timeline).
+
+#ifndef MST_SHARD_SHARDED_INGEST_H_
+#define MST_SHARD_SHARDED_INGEST_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/exec/query_executor.h"
+#include "src/ingest/ingest_engine.h"
+#include "src/ingest/wal_storage.h"
+
+namespace mst {
+
+class ShardedIngest {
+ public:
+  struct Options {
+    /// Number of shards (>= 1, checked).
+    int num_shards = 4;
+    /// Configuration every shard's engine gets.
+    IngestEngine::Options engine;
+  };
+
+  /// Fresh service: owns one empty in-memory WAL storage set per shard.
+  explicit ShardedIngest(const Options& options);
+
+  /// Recovery form: external per-shard storage sets (borrowed; must
+  /// outlive the service), one per shard — size fixes the shard count, and
+  /// options.num_shards must match it. `recovery`, when non-null, receives
+  /// one WalRecoveryInfo per shard.
+  ShardedIngest(const std::vector<WalStorageSet*>& storage,
+                const Options& options,
+                std::vector<WalRecoveryInfo>* recovery = nullptr);
+
+  ShardedIngest(const ShardedIngest&) = delete;
+  ShardedIngest& operator=(const ShardedIngest&) = delete;
+
+  /// Routes each record to its shard and appends the per-shard slices.
+  /// True iff every touched shard accepted its slice (per-shard atomic;
+  /// see the header comment for the cross-shard caveat).
+  bool Append(const std::vector<WalRecord>& batch);
+
+  /// Merges every shard's delta into its main tree.
+  void MergeAll();
+
+  /// One live view provider per shard, in shard order — ShardFrontEnd's
+  /// live-constructor input.
+  std::vector<IndexViewProvider> ViewProviders() const;
+
+  /// Union of every shard's trajectory table (shard-major, each shard in
+  /// first-append order) — the quiesced-oracle input.
+  TrajectoryStore MaterializeStore() const;
+
+  int num_shards() const { return static_cast<int>(engines_.size()); }
+
+  IngestEngine& engine(int s) { return *engines_[static_cast<size_t>(s)]; }
+  const IngestEngine& engine(int s) const {
+    return *engines_[static_cast<size_t>(s)];
+  }
+
+ private:
+  std::vector<std::unique_ptr<MemWalStorageSet>> owned_storage_;
+  std::vector<std::unique_ptr<IngestEngine>> engines_;
+};
+
+}  // namespace mst
+
+#endif  // MST_SHARD_SHARDED_INGEST_H_

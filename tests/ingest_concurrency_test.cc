@@ -1,0 +1,253 @@
+// Concurrency hammers for the streaming write path, sized to run under
+// ThreadSanitizer (tests/ci): concurrent appenders exercising group commit,
+// queries racing appends and merges through live snapshot views, and the
+// sharded front door over live engines. Every hammer ends with a quiesced
+// identity check against a fresh bulk-load oracle — racing never changes
+// what the final state answers.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/core/mst_search.h"
+#include "src/exec/query_executor.h"
+#include "src/index/rtree3d.h"
+#include "src/ingest/ingest_engine.h"
+#include "src/ingest/wal_storage.h"
+#include "src/shard/shard_frontend.h"
+#include "src/shard/sharded_ingest.h"
+#include "src/util/random.h"
+
+namespace mst {
+namespace {
+
+/// Appends `num_batches` batches of samples for ids in
+/// [first_id, first_id + num_ids) — each writer owns a disjoint id range,
+/// so every interleaving of writers is valid.
+template <typename AppendFn>
+void WriterLoop(uint64_t seed, TrajectoryId first_id, int num_ids,
+                int num_batches, const AppendFn& append) {
+  Rng rng(seed);
+  std::vector<double> last_t(static_cast<size_t>(num_ids), 0.0);
+  std::vector<Vec2> pos(static_cast<size_t>(num_ids));
+  for (int i = 0; i < num_ids; ++i) {
+    pos[static_cast<size_t>(i)] = {rng.Uniform(0.0, 10.0),
+                                   rng.Uniform(0.0, 10.0)};
+  }
+  for (int b = 0; b < num_batches; ++b) {
+    std::vector<WalRecord> batch;
+    const int n = 1 + static_cast<int>(rng.UniformIndex(3));
+    for (int r = 0; r < n; ++r) {
+      const size_t slot = rng.UniformIndex(static_cast<uint64_t>(num_ids));
+      last_t[slot] += rng.Uniform(0.1, 1.0);
+      pos[slot].x += rng.Uniform(-0.4, 0.4);
+      pos[slot].y += rng.Uniform(-0.4, 0.4);
+      batch.push_back({first_id + static_cast<TrajectoryId>(slot),
+                       last_t[slot], pos[slot].x, pos[slot].y});
+    }
+    EXPECT_TRUE(append(batch));
+  }
+}
+
+/// A fixed query every hammer can run at any time: its own synthetic
+/// trajectory, independent of what has been ingested so far.
+Trajectory FixedQuery() {
+  std::vector<TPoint> samples;
+  for (int i = 0; i <= 12; ++i) {
+    samples.push_back({3.0 + 0.25 * i, {0.5 * i, 5.0 + 0.25 * i}});
+  }
+  return Trajectory(990001, std::move(samples));
+}
+
+MstOptions ExactOptions(int k = 5) {
+  MstOptions options;
+  options.k = k;
+  options.policy = IntegrationPolicy::kExact;
+  options.exact_postprocess = true;
+  return options;
+}
+
+void ExpectSortedUnique(const std::vector<MstResult>& results) {
+  for (size_t i = 1; i < results.size(); ++i) {
+    EXPECT_LE(results[i - 1].dissim, results[i].dissim);
+    for (size_t j = 0; j < i; ++j) EXPECT_NE(results[i].id, results[j].id);
+  }
+}
+
+/// Quiesced identity: the engine's answers equal a fresh STR bulk-load of
+/// its materialized store.
+void ExpectQuiescedIdentity(const IngestEngine& engine) {
+  const TrajectoryStore store = engine.MaterializeStore();
+  ASSERT_FALSE(store.empty());
+  RTree3D oracle_tree{TrajectoryIndex::Options()};
+  oracle_tree.BulkLoad(store);
+  const BFMstSearch oracle(&oracle_tree, &store);
+  const Trajectory query = FixedQuery();
+  const auto want = oracle.Search(query, query.Lifespan(), ExactOptions());
+  const auto got = engine.Search(query, query.Lifespan(), ExactOptions());
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].id, want[i].id);
+    EXPECT_EQ(got[i].dissim, want[i].dissim);
+  }
+}
+
+TEST(IngestConcurrencyTest, WritersVsExecutorQueriesHammer) {
+  MemWalStorageSet storage;
+  IngestEngine engine(&storage);
+
+  QueryExecutor::Options exec_options;
+  exec_options.num_workers = 2;
+  QueryExecutor executor(engine.ViewProvider(), exec_options);
+
+  constexpr int kWriters = 3;
+  constexpr int kBatchesPerWriter = 40;
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&engine, w] {
+      WriterLoop(100 + static_cast<uint64_t>(w), 1000 * (w + 1), 6,
+                 kBatchesPerWriter, [&engine](const auto& batch) {
+                   return engine.Append(batch);
+                 });
+    });
+  }
+
+  // Stream queries while the writers run: every outcome is internally
+  // consistent (a snapshot is never half a batch), whatever it raced with.
+  const Trajectory query = FixedQuery();
+  for (int round = 0; round < 30; ++round) {
+    std::vector<QueryRequest> requests;
+    requests.emplace_back(query, query.Lifespan(), ExactOptions());
+    const auto outcomes = executor.RunBatch(requests);
+    ASSERT_EQ(outcomes.size(), 1u);
+    EXPECT_FALSE(outcomes[0].cancelled);
+    ExpectSortedUnique(outcomes[0].results);
+    for (const MstResult& r : outcomes[0].results) {
+      EXPECT_EQ(r.error_bound, 0.0);
+    }
+  }
+  for (std::thread& t : writers) t.join();
+
+  EXPECT_EQ(engine.applied_seq(),
+            static_cast<uint64_t>(kWriters * kBatchesPerWriter));
+  EXPECT_EQ(engine.rejected_batches(), 0u);
+  ExpectQuiescedIdentity(engine);
+  // The executor sees the final state too (fresh view at dequeue time).
+  std::vector<QueryRequest> final_requests;
+  final_requests.emplace_back(query, query.Lifespan(), ExactOptions());
+  const auto final_outcomes = executor.RunBatch(final_requests);
+  const auto direct = engine.Search(query, query.Lifespan(), ExactOptions());
+  ASSERT_EQ(final_outcomes[0].results.size(), direct.size());
+  for (size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_EQ(final_outcomes[0].results[i].dissim, direct[i].dissim);
+  }
+}
+
+TEST(IngestConcurrencyTest, MergesRacingWritesAndQueries) {
+  MemWalStorageSet storage;
+  IngestEngine engine(&storage);
+
+  std::atomic<bool> writers_done{false};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < 2; ++w) {
+    threads.emplace_back([&engine, w] {
+      WriterLoop(200 + static_cast<uint64_t>(w), 500 * (w + 1), 5, 50,
+                 [&engine](const auto& batch) {
+                   return engine.Append(batch);
+                 });
+    });
+  }
+  threads.emplace_back([&engine, &writers_done] {
+    while (!writers_done.load(std::memory_order_acquire)) {
+      engine.Merge();
+      std::this_thread::yield();
+    }
+  });
+  threads.emplace_back([&engine] {
+    const Trajectory query = FixedQuery();
+    for (int i = 0; i < 40; ++i) {
+      const auto results =
+          engine.Search(query, query.Lifespan(), ExactOptions());
+      ExpectSortedUnique(results);
+    }
+  });
+  threads[0].join();
+  threads[1].join();
+  writers_done.store(true, std::memory_order_release);
+  threads[2].join();
+  threads[3].join();
+
+  engine.Merge();
+  EXPECT_EQ(engine.delta_entries(), 0u);
+  ExpectQuiescedIdentity(engine);
+}
+
+TEST(IngestConcurrencyTest, BackgroundMergerUnderConcurrentLoad) {
+  MemWalStorageSet storage;
+  IngestEngine::Options options;
+  options.background_merge = true;
+  options.merge_threshold_entries = 16;
+  {
+    IngestEngine engine(&storage, options);
+    std::thread writer([&engine] {
+      WriterLoop(300, 100, 8, 60, [&engine](const auto& batch) {
+        return engine.Append(batch);
+      });
+    });
+    const Trajectory query = FixedQuery();
+    for (int i = 0; i < 25; ++i) {
+      ExpectSortedUnique(engine.Search(query, query.Lifespan(),
+                                       ExactOptions()));
+    }
+    writer.join();
+    ExpectQuiescedIdentity(engine);
+  }  // destructor joins the merger thread cleanly mid-activity
+}
+
+TEST(IngestConcurrencyTest, ShardedFrontDoorHammer) {
+  ShardedIngest::Options options;
+  options.num_shards = 3;
+  ShardedIngest ingest(options);
+  ShardFrontEnd frontend(ingest.ViewProviders(), ShardFrontEnd::Options());
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 2; ++w) {
+    writers.emplace_back([&ingest, w] {
+      WriterLoop(400 + static_cast<uint64_t>(w), 2000 * (w + 1), 10, 40,
+                 [&ingest](const auto& batch) {
+                   return ingest.Append(batch);
+                 });
+    });
+  }
+
+  const Trajectory query = FixedQuery();
+  for (int round = 0; round < 20; ++round) {
+    std::vector<QueryRequest> requests;
+    requests.emplace_back(query, query.Lifespan(), ExactOptions());
+    const auto outcomes = frontend.RunBatch(requests);
+    ASSERT_EQ(outcomes.size(), 1u);
+    ExpectSortedUnique(outcomes[0].results);
+  }
+  for (std::thread& t : writers) t.join();
+
+  // Quiesced: the sharded service answers like one global bulk-load.
+  const TrajectoryStore store = ingest.MaterializeStore();
+  RTree3D oracle_tree{TrajectoryIndex::Options()};
+  oracle_tree.BulkLoad(store);
+  const BFMstSearch oracle(&oracle_tree, &store);
+  const auto want = oracle.Search(query, query.Lifespan(), ExactOptions());
+  std::vector<QueryRequest> requests;
+  requests.emplace_back(query, query.Lifespan(), ExactOptions());
+  const auto outcomes = frontend.RunBatch(requests);
+  ASSERT_EQ(outcomes[0].results.size(), want.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(outcomes[0].results[i].id, want[i].id);
+    EXPECT_EQ(outcomes[0].results[i].dissim, want[i].dissim);
+  }
+}
+
+}  // namespace
+}  // namespace mst

@@ -1,11 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <string>
 
 #include "src/core/linear_scan.h"
 #include "src/core/mst_search.h"
 #include "src/gen/gstd.h"
+#include "src/index/rtree3d.h"
 #include "src/index/tbtree.h"
 #include "src/io/csv.h"
 #include "src/io/index_io.h"
@@ -178,6 +181,152 @@ TEST(IndexIoTest, RejectsGarbageFile) {
   std::string error;
   EXPECT_EQ(LoadIndex(path, &error), nullptr);
   EXPECT_NE(error.find("not an index"), std::string::npos);
+}
+
+/// Overwrites `size` bytes of `path` at `offset` (for header corruption).
+void PatchFile(const std::string& path, long offset, const void* bytes,
+               size_t size) {
+  FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, offset, SEEK_SET), 0);
+  ASSERT_EQ(std::fwrite(bytes, 1, size, f), size);
+  std::fclose(f);
+}
+
+// Byte offsets into the saved file: 8 bytes of magic, then the header
+// (page_count i64, root i32, height i32, entry_count i64, max_speed f64,
+// name[32]).
+constexpr long kEntryCountOffset = 8 + 16;
+constexpr long kMaxSpeedOffset = 8 + 24;
+
+TEST(IndexIoTest, OpenRejectsZeroBufferPagesBeforeAnyIo) {
+  IndexOpenOptions options;
+  options.index.build_buffer_pages = 0;
+  std::string error;
+  // The path does not even exist — invalid options fail first, explicitly.
+  EXPECT_EQ(LoadIndex("/nonexistent/opts.mst", options, &error), nullptr);
+  EXPECT_NE(error.find("build_buffer_pages"), std::string::npos);
+}
+
+TEST(IndexIoTest, OpenRejectsReadWriteExplicitly) {
+  const TrajectoryStore store = SampleStore();
+  RTree3D tree;  // default options: v2 (SoA) leaves
+  tree.BulkLoad(store);
+  const std::string path = TempPath("rw.mst");
+  ASSERT_TRUE(SaveIndex(tree, path));
+
+  IndexOpenOptions options;
+  options.read_write = true;  // leaf format matches the file — generic error
+  std::string error;
+  EXPECT_EQ(LoadIndex(path, options, &error), nullptr);
+  EXPECT_NE(error.find("cannot open read-write"), std::string::npos);
+  EXPECT_NE(error.find("insertion state"), std::string::npos);
+  // The same file opens fine read-only with the same index options.
+  options.read_write = false;
+  EXPECT_NE(LoadIndex(path, options, &error), nullptr) << error;
+}
+
+TEST(IndexIoTest, OpenDiagnosesLeafFormatMismatchOnReadWrite) {
+  const TrajectoryStore store = SampleStore();
+
+  // A v1 (AoS) file opened for v2 (SoA) writes — and the mirror case. The
+  // mismatch must be named, not silently fallen back from.
+  RTree3D v1_tree{[] {
+    TrajectoryIndex::Options o;
+    o.leaf_format = LeafPageFormat::kV1Aos;
+    return o;
+  }()};
+  v1_tree.BulkLoad(store);
+  const std::string v1_path = TempPath("v1_leaves.mst");
+  ASSERT_TRUE(SaveIndex(v1_tree, v1_path));
+
+  IndexOpenOptions want_v2;
+  want_v2.read_write = true;
+  want_v2.index.leaf_format = LeafPageFormat::kV2Soa;
+  std::string error;
+  EXPECT_EQ(LoadIndex(v1_path, want_v2, &error), nullptr);
+  EXPECT_NE(error.find("stores v1 (AoS)"), std::string::npos) << error;
+
+  RTree3D v2_tree;  // default: v2 leaves
+  v2_tree.BulkLoad(store);
+  const std::string v2_path = TempPath("v2_leaves.mst");
+  ASSERT_TRUE(SaveIndex(v2_tree, v2_path));
+
+  IndexOpenOptions want_v1;
+  want_v1.read_write = true;
+  want_v1.index.leaf_format = LeafPageFormat::kV1Aos;
+  EXPECT_EQ(LoadIndex(v2_path, want_v1, &error), nullptr);
+  EXPECT_NE(error.find("stores v2 (SoA)"), std::string::npos) << error;
+
+  // Read-only never cares: either file loads under either leaf format.
+  want_v2.read_write = false;
+  want_v1.read_write = false;
+  EXPECT_NE(LoadIndex(v1_path, want_v2, &error), nullptr) << error;
+  EXPECT_NE(LoadIndex(v2_path, want_v1, &error), nullptr) << error;
+}
+
+TEST(IndexIoTest, RejectsTrailingBytesAfterPagePayload) {
+  const TrajectoryStore store = SampleStore();
+  TBTree tree;
+  tree.BuildFrom(store);
+  const std::string path = TempPath("trailing.mst");
+  ASSERT_TRUE(SaveIndex(tree, path));
+  FILE* f = std::fopen(path.c_str(), "ab");
+  ASSERT_NE(f, nullptr);
+  std::fputc('x', f);
+  std::fclose(f);
+  std::string error;
+  EXPECT_EQ(LoadIndex(path, &error), nullptr);
+  EXPECT_NE(error.find("trailing bytes"), std::string::npos);
+}
+
+TEST(IndexIoTest, RejectsCorruptEntryCountAndMaxSpeed) {
+  const TrajectoryStore store = SampleStore();
+  TBTree tree;
+  tree.BuildFrom(store);
+  const std::string path = TempPath("corrupt_stats.mst");
+
+  ASSERT_TRUE(SaveIndex(tree, path));
+  const int64_t negative_count = -1;
+  PatchFile(path, kEntryCountOffset, &negative_count, sizeof(negative_count));
+  std::string error;
+  EXPECT_EQ(LoadIndex(path, &error), nullptr);
+  EXPECT_NE(error.find("corrupt header"), std::string::npos);
+
+  ASSERT_TRUE(SaveIndex(tree, path));
+  const double nan_speed = std::nan("");
+  PatchFile(path, kMaxSpeedOffset, &nan_speed, sizeof(nan_speed));
+  EXPECT_EQ(LoadIndex(path, &error), nullptr);
+  EXPECT_NE(error.find("corrupt header"), std::string::npos);
+
+  ASSERT_TRUE(SaveIndex(tree, path));
+  const double negative_speed = -2.5;
+  PatchFile(path, kMaxSpeedOffset, &negative_speed, sizeof(negative_speed));
+  EXPECT_EQ(LoadIndex(path, &error), nullptr);
+  EXPECT_NE(error.find("corrupt header"), std::string::npos);
+}
+
+TEST(IndexIoTest, OpenOptionsConfigureTheLoadedIndex) {
+  const TrajectoryStore store = SampleStore();
+  TBTree tree;
+  tree.BuildFrom(store);
+  const std::string path = TempPath("opts_honored.mst");
+  ASSERT_TRUE(SaveIndex(tree, path));
+
+  IndexOpenOptions options;
+  options.index.node_cache_nodes = 0;  // disable the decoded-node cache
+  std::string error;
+  const auto loaded = LoadIndex(path, options, &error);
+  ASSERT_NE(loaded, nullptr) << error;
+  EXPECT_EQ(loaded->EntryCount(), tree.EntryCount());
+  const BFMstSearch searcher(loaded.get(), &store);
+  const Trajectory query(999, store.Get(3).Slice({0.2, 0.6})->samples());
+  MstStats stats;
+  const auto got =
+      searcher.Search(query, query.Lifespan(), MstOptions(), &stats);
+  ASSERT_FALSE(got.empty());
+  // With the cache disabled, no hit/miss traffic is recorded at all.
+  EXPECT_EQ(stats.node_cache_hits + stats.node_cache_misses, 0);
 }
 
 TEST(IndexIoTest, RejectsTruncatedFile) {

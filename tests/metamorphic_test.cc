@@ -20,10 +20,13 @@
 
 #include "src/core/linear_scan.h"
 #include "src/core/mst_search.h"
+#include "src/exec/query_executor.h"
 #include "src/gen/gstd.h"
 #include "src/index/rtree3d.h"
 #include "src/index/strtree.h"
 #include "src/index/tbtree.h"
+#include "src/ingest/ingest_engine.h"
+#include "src/ingest/wal_storage.h"
 #include "src/util/random.h"
 
 namespace mst {
@@ -227,6 +230,111 @@ TEST_P(MetamorphicTest, ResultsSortedUniqueAndExclusionRespected) {
   for (const MstResult& r : without) EXPECT_NE(r.id, winner);
   EXPECT_EQ(without[0].id, got[1].id);
 }
+
+// Ingest metamorphic property: however appends and merges interleave, the
+// engine's answers equal a fresh STR bulk-load of the final trajectory set
+// — under every traversal policy, with the result cache on or off, and with
+// node-access counts identical cache on vs cache off.
+class IngestMetamorphicTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IngestMetamorphicTest, InterleavedAppendsAndMergesMatchFreshBulkLoad) {
+  Rng rng(GetParam());
+
+  // Random schedule: interleaved sample appends for 16 random-walk
+  // trajectories, with merges sprinkled between batches.
+  MemWalStorageSet storage;
+  IngestEngine engine(&storage);
+  constexpr int kIds = 16;
+  double last_t[kIds] = {};
+  Vec2 pos[kIds];
+  for (int i = 0; i < kIds; ++i) {
+    pos[i] = {rng.Uniform(0.0, 10.0), rng.Uniform(0.0, 10.0)};
+  }
+  int merges = 0;
+  for (int b = 0; b < 120; ++b) {
+    std::vector<WalRecord> batch;
+    const int n = 1 + static_cast<int>(rng.UniformIndex(3));
+    for (int r = 0; r < n; ++r) {
+      const int id = static_cast<int>(rng.UniformIndex(kIds));
+      last_t[id] += rng.Uniform(0.1, 0.8);
+      pos[id].x += rng.Uniform(-0.4, 0.4);
+      pos[id].y += rng.Uniform(-0.4, 0.4);
+      batch.push_back({id + 1, last_t[id], pos[id].x, pos[id].y});
+    }
+    ASSERT_TRUE(engine.Append(batch));
+    if (rng.Uniform(0.0, 1.0) < 0.15) {
+      engine.Merge();
+      ++merges;
+    }
+  }
+  ASSERT_GT(merges, 0) << "schedule never merged; weaken the dice?";
+
+  // Fresh-bulk-load oracle over the final set.
+  const TrajectoryStore store = engine.MaterializeStore();
+  RTree3D oracle_tree{TrajectoryIndex::Options()};
+  oracle_tree.BulkLoad(store);
+  const BFMstSearch oracle(&oracle_tree, &store);
+
+  std::vector<Trajectory> queries;
+  for (int q = 0; q < 3; ++q) {
+    size_t at = rng.UniformIndex(store.size());
+    while (store.trajectories()[at].size() < 4) at = (at + 1) % store.size();
+    const Trajectory& base = store.trajectories()[at];
+    const double span = base.end_time() - base.start_time();
+    const TimeInterval window{base.start_time() + 0.2 * span,
+                              base.start_time() + 0.7 * span};
+    queries.emplace_back(660000 + q, base.Slice(window)->samples());
+  }
+
+  for (const IntegrationPolicy policy :
+       {IntegrationPolicy::kTrapezoid, IntegrationPolicy::kExact,
+        IntegrationPolicy::kAdaptive}) {
+    std::vector<QueryRequest> requests;
+    for (const Trajectory& query : queries) {
+      MstOptions options;
+      options.k = 5;
+      options.policy = policy;
+      options.exact_postprocess = true;
+      requests.emplace_back(query, query.Lifespan(), options);
+    }
+    std::vector<std::vector<QueryOutcome>> runs;
+    for (const size_t cache_entries : {size_t{0}, size_t{1} << 12}) {
+      QueryExecutor::Options exec_options;
+      exec_options.num_workers = 2;
+      exec_options.result_cache_entries = cache_entries;
+      exec_options.share_batch_bounds = false;  // stats compared bitwise
+      QueryExecutor executor(engine.ViewProvider(), exec_options);
+      runs.push_back(executor.RunBatch(requests));
+      const auto& outcomes = runs.back();
+      ASSERT_EQ(outcomes.size(), requests.size());
+      for (size_t q = 0; q < requests.size(); ++q) {
+        const auto want = oracle.Search(requests[q].query, requests[q].period,
+                                        requests[q].options);
+        ASSERT_EQ(outcomes[q].results.size(), want.size())
+            << "policy=" << static_cast<int>(policy) << " q=" << q
+            << " cache=" << cache_entries;
+        for (size_t i = 0; i < want.size(); ++i) {
+          EXPECT_EQ(outcomes[q].results[i].id, want[i].id);
+          EXPECT_EQ(outcomes[q].results[i].dissim, want[i].dissim);
+          EXPECT_EQ(outcomes[q].results[i].error_bound, 0.0);
+        }
+      }
+    }
+    // Cache on/off must not change what the traversal reads.
+    for (size_t q = 0; q < requests.size(); ++q) {
+      EXPECT_EQ(runs[0][q].stats.nodes_accessed, runs[1][q].stats.nodes_accessed)
+          << "policy=" << static_cast<int>(policy) << " q=" << q;
+      EXPECT_EQ(runs[0][q].stats.exact_recomputations,
+                runs[1][q].stats.exact_recomputations);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Schedules, IngestMetamorphicTest,
+                         ::testing::Values(301u, 302u, 303u),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
 
 INSTANTIATE_TEST_SUITE_P(
     AllIndexes, MetamorphicTest,

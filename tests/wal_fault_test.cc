@@ -1,0 +1,341 @@
+// Crash-recovery property tests: deterministic fault injection at every
+// byte of the log's crash surface.
+//
+//  - Sweep: for EVERY cumulative byte offset T and every fault mode, a
+//    writer crashing at T leaves a log that recovers to exactly the batches
+//    whose commit frame was fully persisted before T — committed batches
+//    are all-or-nothing, torn/corrupt tails are truncated, and garbage is
+//    never replayed as data.
+//  - Randomized ingest schedule: a 1000-append/5-merge run crashed at
+//    random points recovers to an engine whose store and k-MST results are
+//    bitwise equal to a fresh STR bulk-load of the durable prefix.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/mst_search.h"
+#include "src/index/rtree3d.h"
+#include "src/ingest/fault_injection.h"
+#include "src/ingest/ingest_engine.h"
+#include "src/ingest/wal.h"
+#include "src/ingest/wal_storage.h"
+#include "src/util/random.h"
+
+namespace mst {
+namespace {
+
+using Mode = FaultPlan::Mode;
+
+std::vector<std::vector<WalRecord>> ReplayAll(WalStorageSet* storage,
+                                              WalRecoveryInfo* info) {
+  std::vector<std::vector<WalRecord>> batches;
+  Wal wal(
+      storage, Wal::Options(),
+      [&](uint64_t, const std::vector<WalRecord>& batch) {
+        batches.push_back(batch);
+      },
+      info);
+  return batches;
+}
+
+// ---------------------------------------------------------------------------
+// The sweep.
+
+class WalFaultSweepTest : public ::testing::TestWithParam<Mode> {};
+
+TEST_P(WalFaultSweepTest, EveryCrashPointRecoversTheCommittedPrefix) {
+  const Mode mode = GetParam();
+
+  // Reference run: record the batches and each one's cumulative commit-end
+  // byte offset (rotation included — the counter is log-wide).
+  std::vector<std::vector<WalRecord>> batches;
+  for (int b = 0; b < 8; ++b) {
+    std::vector<WalRecord> batch;
+    for (int r = 0; r < 1 + b % 3; ++r) {
+      batch.push_back({b + 1, 1.0 * r, 0.5 * b + r, 2.0 * b - r});
+    }
+    batches.push_back(std::move(batch));
+  }
+  Wal::Options wal_options;
+  wal_options.segment_bytes = 150;  // forces several rotations
+  std::vector<uint64_t> commit_end;
+  uint64_t total = 0;
+  {
+    MemWalStorageSet base;
+    FaultPlan count_only;  // Mode::kNone: pure byte counter
+    FaultInjectingStorageSet counter(&base, count_only);
+    Wal wal(&counter, wal_options);
+    for (const auto& batch : batches) {
+      ASSERT_NE(wal.AppendBatch(batch), 0u);
+      commit_end.push_back(counter.bytes_appended());
+    }
+    total = counter.bytes_appended();
+  }
+
+  for (uint64_t trip = 0; trip < total; ++trip) {
+    // Crash the writer at cumulative byte `trip`.
+    MemWalStorageSet base;
+    FaultPlan plan;
+    plan.mode = mode;
+    plan.at_byte = trip;
+    plan.seed = trip * 2654435761u + 17;
+    FaultInjectingStorageSet faulty(&base, plan);
+    size_t reported_ok = 0;
+    {
+      Wal wal(&faulty, wal_options);
+      for (const auto& batch : batches) {
+        if (wal.AppendBatch(batch) != 0) ++reported_ok;
+      }
+    }
+
+    // The batches recovery must yield: exactly those fully persisted
+    // before the trip byte.
+    size_t expect = 0;
+    while (expect < commit_end.size() && commit_end[expect] <= trip) {
+      ++expect;
+    }
+    if (mode == Mode::kCorruptByte) {
+      // Silent corruption: every append reported success; recovery still
+      // refuses to replay anything at or after the flipped byte.
+      ASSERT_EQ(reported_ok, batches.size()) << "trip=" << trip;
+    } else {
+      // Kill modes: the WAL reported exactly the durable prefix as
+      // successful — no false positives (short writes lie at the storage
+      // layer, but the failed Sync catches them).
+      ASSERT_EQ(reported_ok, expect) << "trip=" << trip;
+    }
+
+    WalRecoveryInfo info;
+    const auto recovered = ReplayAll(&base, &info);
+    ASSERT_EQ(recovered.size(), expect) << "mode trip=" << trip;
+    for (size_t i = 0; i < expect; ++i) {
+      // Bitwise: recovery never hands back garbled records.
+      ASSERT_EQ(recovered[i], batches[i]) << "trip=" << trip << " b=" << i;
+    }
+    ASSERT_EQ(info.committed_batches, expect) << "trip=" << trip;
+
+    // The repaired log must accept new appends and stay consistent.
+    {
+      Wal wal(&base, wal_options);
+      ASSERT_EQ(wal.AppendBatch({{999, 0.0, 1.0, 2.0}}),
+                static_cast<uint64_t>(expect + 1))
+          << "trip=" << trip;
+    }
+    WalRecoveryInfo info2;
+    ASSERT_EQ(ReplayAll(&base, &info2).size(), expect + 1) << "trip=" << trip;
+    ASSERT_FALSE(info2.truncated_tail) << "trip=" << trip;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, WalFaultSweepTest,
+                         ::testing::Values(Mode::kFailStop, Mode::kShortWrite,
+                                           Mode::kTornWrite,
+                                           Mode::kCorruptByte),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case Mode::kFailStop: return "FailStop";
+                             case Mode::kShortWrite: return "ShortWrite";
+                             case Mode::kTornWrite: return "TornWrite";
+                             case Mode::kCorruptByte: return "CorruptByte";
+                             case Mode::kNone: break;
+                           }
+                           return "None";
+                         });
+
+// ---------------------------------------------------------------------------
+// The randomized ingest schedule (the PR's acceptance gate).
+
+struct Schedule {
+  std::vector<std::vector<WalRecord>> batches;
+  std::vector<size_t> merge_after;  // batch indices followed by a Merge()
+};
+
+Schedule MakeSchedule(uint64_t seed, int num_batches, int num_ids) {
+  Rng rng(seed);
+  Schedule s;
+  std::unordered_map<TrajectoryId, double> last_t;
+  std::unordered_map<TrajectoryId, Vec2> pos;
+  for (int b = 0; b < num_batches; ++b) {
+    std::vector<WalRecord> batch;
+    const int n = 1 + static_cast<int>(rng.UniformIndex(3));
+    for (int r = 0; r < n; ++r) {
+      const TrajectoryId id = 1 + static_cast<TrajectoryId>(
+                                      rng.UniformIndex(
+                                          static_cast<size_t>(num_ids)));
+      if (pos.find(id) == pos.end()) {
+        pos[id] = {rng.Uniform(0.0, 10.0), rng.Uniform(0.0, 10.0)};
+        last_t[id] = rng.Uniform(0.0, 0.5);
+      } else {
+        pos[id].x += rng.Uniform(-0.4, 0.4);
+        pos[id].y += rng.Uniform(-0.4, 0.4);
+        last_t[id] += rng.Uniform(0.1, 1.0);
+      }
+      batch.push_back({id, last_t[id], pos[id].x, pos[id].y});
+    }
+    s.batches.push_back(std::move(batch));
+  }
+  for (int m = 1; m <= 5; ++m) {
+    s.merge_after.push_back(static_cast<size_t>(num_batches * m / 6));
+  }
+  return s;
+}
+
+/// The store the first `prefix` batches build — in the engine's
+/// first-append order, so it compares field-for-field with
+/// MaterializeStore().
+TrajectoryStore StoreFromPrefix(const Schedule& s, size_t prefix) {
+  std::map<TrajectoryId, std::vector<TPoint>> samples;
+  std::vector<TrajectoryId> order;
+  for (size_t b = 0; b < prefix; ++b) {
+    for (const WalRecord& r : s.batches[b]) {
+      if (samples.find(r.traj_id) == samples.end()) {
+        order.push_back(r.traj_id);
+      }
+      samples[r.traj_id].push_back({r.t, {r.x, r.y}});
+    }
+  }
+  TrajectoryStore store;
+  for (const TrajectoryId id : order) {
+    store.Add(Trajectory(id, samples[id]));
+  }
+  return store;
+}
+
+void ExpectStoresEqual(const TrajectoryStore& got,
+                       const TrajectoryStore& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    const Trajectory& g = got.trajectories()[i];
+    const Trajectory& w = want.trajectories()[i];
+    ASSERT_EQ(g.id(), w.id());
+    ASSERT_EQ(g.size(), w.size());
+    for (size_t j = 0; j < g.size(); ++j) {
+      ASSERT_EQ(g.sample(j).t, w.sample(j).t);
+      ASSERT_EQ(g.sample(j).p, w.sample(j).p);
+    }
+  }
+}
+
+TEST(WalFaultTest, RandomizedIngestScheduleRecoversDurablePrefixBitwise) {
+  const Schedule schedule = MakeSchedule(20070415, 1000, 40);
+
+  IngestEngine::Options options;
+  options.wal.segment_bytes = 1 << 13;  // ~12 segments over the run
+
+  // Reference run: learn each batch's cumulative commit-end offset and
+  // build the query workload from the final dataset.
+  std::vector<uint64_t> commit_end;
+  std::vector<Trajectory> queries;
+  {
+    MemWalStorageSet base;
+    FaultInjectingStorageSet counter(&base, FaultPlan());
+    IngestEngine engine(&counter, options);
+    size_t next_merge = 0;
+    for (size_t b = 0; b < schedule.batches.size(); ++b) {
+      ASSERT_TRUE(engine.Append(schedule.batches[b]));
+      commit_end.push_back(counter.bytes_appended());
+      if (next_merge < schedule.merge_after.size() &&
+          schedule.merge_after[next_merge] == b) {
+        engine.Merge();
+        ++next_merge;
+      }
+    }
+    const TrajectoryStore store = engine.MaterializeStore();
+    for (size_t q = 0; q < 3; ++q) {
+      size_t at = (7 * q + 1) % store.size();
+      while (store.trajectories()[at].size() < 4) at = (at + 1) % store.size();
+      const Trajectory& base_t = store.trajectories()[at];
+      const double span = base_t.end_time() - base_t.start_time();
+      const TimeInterval window{base_t.start_time() + 0.2 * span,
+                                base_t.start_time() + 0.6 * span};
+      queries.emplace_back(900000 + static_cast<TrajectoryId>(q),
+                           base_t.Slice(window)->samples());
+    }
+  }
+  const uint64_t total = commit_end.back();
+
+  MstOptions mst;
+  mst.k = 5;
+  mst.policy = IntegrationPolicy::kExact;
+  mst.exact_postprocess = true;
+
+  Rng rng(77);
+  const Mode modes[] = {Mode::kFailStop, Mode::kShortWrite, Mode::kTornWrite,
+                        Mode::kCorruptByte};
+  for (const Mode mode : modes) {
+    for (int trial = 0; trial < 3; ++trial) {
+      const uint64_t trip = 1 + rng.UniformIndex(total - 1);
+      SCOPED_TRACE(::testing::Message()
+                   << "mode=" << static_cast<int>(mode) << " trip=" << trip);
+
+      // Crashed run.
+      MemWalStorageSet base;
+      FaultPlan plan;
+      plan.mode = mode;
+      plan.at_byte = trip;
+      plan.seed = trip;
+      FaultInjectingStorageSet faulty(&base, plan);
+      size_t reported_ok = 0;
+      {
+        IngestEngine engine(&faulty, options);
+        size_t next_merge = 0;
+        for (size_t b = 0; b < schedule.batches.size(); ++b) {
+          if (engine.Append(schedule.batches[b])) ++reported_ok;
+          if (next_merge < schedule.merge_after.size() &&
+              schedule.merge_after[next_merge] == b) {
+            engine.Merge();
+            ++next_merge;
+          }
+        }
+      }
+
+      size_t durable = 0;
+      while (durable < commit_end.size() && commit_end[durable] <= trip) {
+        ++durable;
+      }
+      if (mode != Mode::kCorruptByte) {
+        ASSERT_EQ(reported_ok, durable);
+      }
+
+      // Recover and compare against a from-scratch rebuild of the durable
+      // prefix.
+      WalRecoveryInfo info;
+      IngestEngine recovered(&base, options, &info);
+      ASSERT_EQ(info.committed_batches, durable);
+      const TrajectoryStore oracle_store = StoreFromPrefix(schedule, durable);
+      ExpectStoresEqual(recovered.MaterializeStore(), oracle_store);
+
+      RTree3D oracle_tree(options.index);
+      oracle_tree.BulkLoad(oracle_store);
+      const BFMstSearch oracle(&oracle_tree, &oracle_store);
+      for (const Trajectory& query : queries) {
+        const TimeInterval period = query.Lifespan();
+        const auto want = oracle.Search(query, period, mst);
+        const auto got = recovered.Search(query, period, mst);
+        ASSERT_EQ(got.size(), want.size());
+        for (size_t i = 0; i < got.size(); ++i) {
+          ASSERT_EQ(got[i].id, want[i].id) << "rank " << i;
+          ASSERT_EQ(got[i].dissim, want[i].dissim) << "rank " << i;
+          ASSERT_EQ(got[i].error_bound, 0.0);
+        }
+      }
+
+      // The recovered engine is writable: the rest of the schedule applies
+      // cleanly on top.
+      size_t applied = durable;
+      IngestEngine* rec = &recovered;
+      for (size_t b = durable; b < schedule.batches.size(); ++b) {
+        ASSERT_TRUE(rec->Append(schedule.batches[b]));
+        ++applied;
+        if (applied - durable >= 20) break;  // a taste is enough per trial
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mst

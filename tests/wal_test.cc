@@ -1,0 +1,208 @@
+// WAL unit tests: frame round-trips, recovery positioning, segment
+// rotation, group-commit coalescing, and the poisoned-log contract. The
+// crash-surface property tests live in wal_fault_test.cc.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/ingest/fault_injection.h"
+#include "src/ingest/wal.h"
+#include "src/ingest/wal_storage.h"
+
+namespace mst {
+namespace {
+
+std::vector<WalRecord> Batch(TrajectoryId id, double t0, int n) {
+  std::vector<WalRecord> records;
+  for (int i = 0; i < n; ++i) {
+    records.push_back({id, t0 + i, 10.0 * id + i, 20.0 * id - i});
+  }
+  return records;
+}
+
+/// Reopens `storage` and returns the committed batches in replay order.
+std::vector<std::vector<WalRecord>> Replay(WalStorageSet* storage,
+                                           WalRecoveryInfo* info = nullptr) {
+  std::vector<std::vector<WalRecord>> batches;
+  std::vector<uint64_t> seqs;
+  Wal wal(
+      storage, Wal::Options(),
+      [&](uint64_t seq, const std::vector<WalRecord>& batch) {
+        seqs.push_back(seq);
+        batches.push_back(batch);
+      },
+      info);
+  // Replay arrives in commit order with consecutive sequence numbers.
+  for (size_t i = 0; i < seqs.size(); ++i) {
+    EXPECT_EQ(seqs[i], i + 1);
+  }
+  return batches;
+}
+
+TEST(WalTest, Crc32KnownVectors) {
+  // The IEEE 802.3 check value for the standard 9-byte test input.
+  EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32("", 0), 0u);
+  EXPECT_EQ(Crc32("a", 1), 0xE8B7BE43u);
+}
+
+TEST(WalTest, EmptyLogOpensClean) {
+  MemWalStorageSet storage;
+  WalRecoveryInfo info;
+  Wal wal(&storage, Wal::Options(), nullptr, &info);
+  EXPECT_EQ(info.committed_batches, 0u);
+  EXPECT_EQ(info.records_recovered, 0u);
+  EXPECT_FALSE(info.truncated_tail);
+  EXPECT_TRUE(wal.healthy());
+  EXPECT_EQ(wal.durable_seq(), 0u);
+  EXPECT_EQ(wal.segment_count(), 1u);
+}
+
+TEST(WalTest, RoundTripReplaysCommittedBatchesInOrder) {
+  MemWalStorageSet storage;
+  std::vector<std::vector<WalRecord>> want;
+  {
+    Wal wal(&storage, Wal::Options());
+    for (int b = 0; b < 7; ++b) {
+      want.push_back(Batch(b + 1, 100.0 * b, 1 + b % 3));
+      EXPECT_EQ(wal.AppendBatch(want.back()), static_cast<uint64_t>(b + 1));
+    }
+    EXPECT_EQ(wal.durable_seq(), 7u);
+  }
+  WalRecoveryInfo info;
+  EXPECT_EQ(Replay(&storage, &info), want);
+  EXPECT_EQ(info.committed_batches, 7u);
+  EXPECT_EQ(info.records_discarded, 0u);
+  EXPECT_FALSE(info.truncated_tail);
+}
+
+TEST(WalTest, ReopenContinuesSequenceNumbers) {
+  MemWalStorageSet storage;
+  {
+    Wal wal(&storage, Wal::Options());
+    EXPECT_EQ(wal.AppendBatch(Batch(1, 0.0, 2)), 1u);
+    EXPECT_EQ(wal.AppendBatch(Batch(2, 0.0, 2)), 2u);
+  }
+  {
+    Wal wal(&storage, Wal::Options());
+    EXPECT_EQ(wal.durable_seq(), 2u);
+    // The next batch takes the next sequence, and a third open sees all 3.
+    EXPECT_EQ(wal.AppendBatch(Batch(3, 0.0, 1)), 3u);
+  }
+  EXPECT_EQ(Replay(&storage).size(), 3u);
+}
+
+TEST(WalTest, RotationSplitsTheLogWithoutLosingBatches) {
+  MemWalStorageSet storage;
+  Wal::Options options;
+  options.segment_bytes = 64;  // every flush group overflows the segment
+  std::vector<std::vector<WalRecord>> want;
+  {
+    Wal wal(&storage, options);
+    for (int b = 0; b < 6; ++b) {
+      want.push_back(Batch(b + 1, 0.0, 2));
+      ASSERT_NE(wal.AppendBatch(want.back()), 0u);
+    }
+    EXPECT_GT(wal.segment_count(), 1u);
+  }
+  EXPECT_GT(storage.SegmentCount(), 1u);
+  EXPECT_EQ(Replay(&storage), want);
+}
+
+TEST(WalTest, StagedBatchesShareOneFlush) {
+  MemWalStorageSet storage;
+  Wal wal(&storage, Wal::Options());
+  // Stage five batches without waiting; the first WaitDurable becomes the
+  // flush leader and covers all of them with a single Sync.
+  for (int b = 0; b < 5; ++b) {
+    EXPECT_EQ(wal.Stage(Batch(b + 1, 0.0, 1)), static_cast<uint64_t>(b + 1));
+  }
+  EXPECT_EQ(wal.durable_seq(), 0u);
+  EXPECT_TRUE(wal.WaitDurable(5));
+  EXPECT_EQ(wal.durable_seq(), 5u);
+  EXPECT_EQ(wal.sync_count(), 1u);
+  // Earlier sequences are already covered — no further flushes.
+  EXPECT_TRUE(wal.WaitDurable(2));
+  EXPECT_EQ(wal.sync_count(), 1u);
+}
+
+TEST(WalTest, ConcurrentAppendersAllCommitDurably) {
+  MemWalStorageSet storage;
+  constexpr int kThreads = 8;
+  {
+    Wal wal(&storage, Wal::Options());
+    std::vector<std::thread> threads;
+    for (int i = 0; i < kThreads; ++i) {
+      threads.emplace_back([&wal, i] {
+        EXPECT_NE(wal.AppendBatch(Batch(i + 1, 0.0, 2)), 0u);
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    EXPECT_EQ(wal.durable_seq(), static_cast<uint64_t>(kThreads));
+    EXPECT_LE(wal.sync_count(), static_cast<uint64_t>(kThreads));
+  }
+  // Every batch is recovered exactly once, whatever the interleaving was.
+  const auto batches = Replay(&storage);
+  ASSERT_EQ(batches.size(), static_cast<size_t>(kThreads));
+  std::vector<bool> seen(kThreads + 1, false);
+  for (const auto& batch : batches) {
+    ASSERT_EQ(batch.size(), 2u);
+    const auto id = batch[0].traj_id;
+    ASSERT_GE(id, 1);
+    ASSERT_LE(id, kThreads);
+    EXPECT_FALSE(seen[static_cast<size_t>(id)]);
+    seen[static_cast<size_t>(id)] = true;
+    EXPECT_EQ(batch, Batch(id, 0.0, 2));
+  }
+}
+
+TEST(WalTest, GarbageTailIsTruncatedOnReopen) {
+  MemWalStorageSet storage;
+  std::vector<std::vector<WalRecord>> want;
+  {
+    Wal wal(&storage, Wal::Options());
+    want.push_back(Batch(1, 0.0, 3));
+    want.push_back(Batch(2, 0.0, 1));
+    ASSERT_NE(wal.AppendBatch(want[0]), 0u);
+    ASSERT_NE(wal.AppendBatch(want[1]), 0u);
+  }
+  WalStorage* tail = storage.OpenSegment(storage.SegmentCount() - 1);
+  const size_t committed_end = tail->Size();
+  const std::string garbage = "partial frame bytes from a crashed writer";
+  tail->Append(garbage.data(), garbage.size());
+
+  WalRecoveryInfo info;
+  EXPECT_EQ(Replay(&storage, &info), want);
+  EXPECT_TRUE(info.truncated_tail);
+  // Recovery repaired the storage: the garbage is physically gone and the
+  // next writer appends from the committed end.
+  EXPECT_EQ(tail->Size(), committed_end);
+  {
+    Wal wal(&storage, Wal::Options());
+    want.push_back(Batch(3, 0.0, 2));
+    EXPECT_EQ(wal.AppendBatch(want.back()), 3u);
+  }
+  EXPECT_EQ(Replay(&storage), want);
+}
+
+TEST(WalTest, StorageFailurePoisonsTheLog) {
+  MemWalStorageSet base;
+  FaultPlan plan;
+  plan.mode = FaultPlan::Mode::kFailStop;
+  plan.at_byte = 0;  // the very first appended byte fails
+  FaultInjectingStorageSet storage(&base, plan);
+  Wal wal(&storage, Wal::Options());
+  EXPECT_EQ(wal.AppendBatch(Batch(1, 0.0, 1)), 0u);
+  EXPECT_FALSE(wal.healthy());
+  // Poisoned for good: later appends fail fast, nothing becomes durable.
+  EXPECT_EQ(wal.AppendBatch(Batch(2, 0.0, 1)), 0u);
+  EXPECT_EQ(wal.durable_seq(), 0u);
+  EXPECT_TRUE(Replay(&base).empty());
+}
+
+}  // namespace
+}  // namespace mst
