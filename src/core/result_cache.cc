@@ -148,8 +148,12 @@ bool ResultCache::Lookup(const ResultCacheKey& key, uint64_t write_version,
 }
 
 void ResultCache::Insert(const ResultCacheKey& key, const DissimResult& value,
-                        uint64_t write_version) {
+                        uint64_t write_version, double cost) {
   if (!enabled()) return;
+  if (cost < min_admission_cost_.load(std::memory_order_relaxed)) {
+    admission_skips_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   ResultCacheShard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   const auto it = shard.index.find(key);

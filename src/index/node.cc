@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "src/index/leaf_codec_v3.h"
 #include "src/util/check.h"
 
 namespace mst {
@@ -112,6 +113,17 @@ void LeafColumns::AssignFromAos(const uint8_t* src, int count) {
   count_ = count;
 }
 
+LeafBlock* LeafColumns::PrepareForDecode(int count, bool time_sorted,
+                                         const Mbb3& bounds) {
+  // Like AssignFromSoa, no re-zeroing: the v3 decoder writes every column
+  // in full (values + zero tail).
+  if (block_ == nullptr) block_ = AcquireBlock();
+  count_ = count;
+  sorted_ = time_sorted;
+  mbb_ = bounds;
+  return block_.get();
+}
+
 void LeafColumns::AssignFromSoa(const uint8_t* src, int count,
                                 bool time_sorted, const Mbb3& bounds) {
   // No EnsureBlock here: the full-block copy overwrites every byte anyway
@@ -134,6 +146,14 @@ Mbb3 IndexNode::Bounds() const {
 void IndexNode::EncodeTo(Page* page, LeafPageFormat leaf_format) const {
   const int count = Count();
   MST_CHECK_MSG(count <= kCapacity, "node overflow at encode time");
+
+  if (IsLeaf() && leaf_format == LeafPageFormat::kV3Compressed) {
+    if (EncodeLeafV3(*this, page)) return;
+    // Incompressible leaf: the compressed columns don't fit the page, so
+    // degrade to the raw v2 layout. Decode dispatches on the version byte,
+    // so readers never notice.
+    leaf_format = LeafPageFormat::kV2Soa;
+  }
 
   if (IsLeaf() && leaf_format == LeafPageFormat::kV2Soa) {
     page->WriteAt<uint8_t>(kV2OffLevel, 0);
@@ -222,6 +242,20 @@ IndexNode IndexNode::Decode(const Page& page, PageId self) {
     const Mbb3 bounds = page.ReadAt<Mbb3>(kV2OffBounds);
     node.leaves.AssignFromSoa(page.bytes.data() + kV2OffColumns, count,
                               (flags & kV2FlagTimeSorted) != 0, bounds);
+    return node;
+  }
+  if (version == static_cast<uint8_t>(LeafPageFormat::kV3Compressed)) {
+    node.level = 0;
+    const uint8_t flags = page.ReadAt<uint8_t>(kV2OffFlags);
+    const int count = page.ReadAt<uint8_t>(kV2OffCount);
+    MST_CHECK_MSG(count <= kCapacity, "corrupt v3 leaf count");
+    node.parent = page.ReadAt<PageId>(kV2OffParent);
+    node.prev_leaf = page.ReadAt<PageId>(kV2OffPrevLeaf);
+    node.next_leaf = page.ReadAt<PageId>(kV2OffNextLeaf);
+    const Mbb3 bounds = page.ReadAt<Mbb3>(kV2OffBounds);
+    LeafBlock* block = node.leaves.PrepareForDecode(
+        count, (flags & kV2FlagTimeSorted) != 0, bounds);
+    DecodeV3Columns(page, count, block);
     return node;
   }
   MST_CHECK_MSG(version == 0, "unknown node format version");

@@ -1,6 +1,6 @@
 // On-page node format shared by the 3D R-tree and the TB-tree.
 //
-// A node occupies exactly one 4 KB page. Two leaf-page layouts exist:
+// A node occupies exactly one 4 KB page. Three leaf-page layouts exist:
 //
 //   v1 (AoS, legacy):  24-byte header (level, entry count, parent page, and —
 //                      for TB-tree leaves — prev/next leaf of the same
@@ -15,17 +15,27 @@
 //                      so a decode is a single 4032-byte memcpy and DISSIM
 //                      kernels stream over contiguous columns with no
 //                      AoS→SoA repack.
+//   v3 (compressed):   the v2 header (version byte 3) followed by per-column
+//                      compressed payloads — delta-of-delta timestamps,
+//                      frame-of-reference coordinates, linked/constant
+//                      columns — all lossless; see src/index/leaf_codec_v3.h.
+//                      Incompressible leaves degrade to plain v2 pages at
+//                      encode time.
 //
 // Internal nodes always use the v1 layout. Fanout is (4096 − 24) / 56 = 72
-// entries at every level in both formats — index sizes and node-access
+// entries at every level in every format — index sizes and node-access
 // counts are layout-independent, which keeps the paper's Table 2 / Fig 8–10
-// metrics byte-identical across formats.
+// metrics byte-identical across formats. (v3 deliberately keeps the logical
+// fanout at 72 too: the compression win is taken as smaller resident frames
+// in a byte-budgeted buffer pool, not as a larger fanout, so tree shapes and
+// access counts stay comparable across formats.)
 //
 // Format discrimination: byte 1 of the page. v1 pages store the node level
 // there as the second byte of a little-endian int32 — always 0 for the tiny
-// tree heights involved — while v2 leaf pages store the version value 2.
-// (The codec, like the v1 entry memcpy before it, assumes a little-endian
-// host.) Old index files therefore load unchanged through the v1 shim.
+// tree heights involved — while v2/v3 leaf pages store the version value 2
+// or 3. (The codec, like the v1 entry memcpy before it, assumes a
+// little-endian host.) Old index files therefore load unchanged through the
+// v1 shim.
 
 #ifndef MST_INDEX_NODE_H_
 #define MST_INDEX_NODE_H_
@@ -91,8 +101,10 @@ static_assert(std::is_trivially_copyable_v<InternalEntry>);
 /// Which on-page layout EncodeTo emits for leaf nodes. Values equal the
 /// page's version byte. Internal nodes always use the v1 layout.
 enum class LeafPageFormat : uint8_t {
-  kV1Aos = 0,  ///< legacy row-major entries (still decoded via a shim)
-  kV2Soa = 2,  ///< column-major entries (the default)
+  kV1Aos = 0,        ///< legacy row-major entries (still decoded via a shim)
+  kV2Soa = 2,        ///< column-major entries (the default)
+  kV3Compressed = 3, ///< compressed columns (src/index/leaf_codec_v3.h);
+                     ///< incompressible leaves degrade to v2 pages
 };
 
 /// v1 header size / entry size and the per-node fanout both formats share.
@@ -287,6 +299,12 @@ class LeafColumns {
   /// with the header's precomputed metadata.
   void AssignFromSoa(const uint8_t* src, int count, bool time_sorted,
                      const Mbb3& bounds);
+
+  /// Hands the v3 decoder a (possibly recycled, still dirty) column block
+  /// to fill, adopting the header's precomputed metadata. The caller must
+  /// write every column in full — `count` values plus zeroed tail — which
+  /// DecodeV3Columns does.
+  LeafBlock* PrepareForDecode(int count, bool time_sorted, const Mbb3& bounds);
 
  private:
   // Obtains a zeroed block (recycled or fresh) on first use.

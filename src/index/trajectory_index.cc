@@ -21,7 +21,9 @@ TrajectoryIndex::TrajectoryIndex(const Options& options)
     : file_(),
       buffer_(&file_, options.build_buffer_pages),
       node_cache_(options.node_cache_nodes),
-      leaf_format_(options.leaf_format) {}
+      leaf_format_(options.leaf_format) {
+  if (options.buffer_budget_bytes) buffer_.SetByteBudgetMode(true);
+}
 
 TrajectoryIndex::~TrajectoryIndex() = default;
 
@@ -87,9 +89,11 @@ TrajectoryIndex::LeafPageRead TrajectoryIndex::ReadLeafColumns(
     out.guard = std::move(guard);
     return out;
   }
-  // v1 leaf: the row-major entries must be transformed into columns anyway,
-  // so a full decode costs nothing extra. (Insert is a no-op here — the
-  // cache is disabled — matching ReadNode.)
+  // v1 leaf (row-major entries must be transformed into columns anyway) or
+  // v3 compressed leaf (columns must be expanded into scratch): a full
+  // decode — which for v3 unpacks straight into the node's LeafBlock, no
+  // AoS detour — costs nothing extra. (Insert is a no-op here — the cache
+  // is disabled — matching ReadNode.)
   out.node = std::make_shared<const IndexNode>(IndexNode::Decode(*guard, id));
   out.view = out.node->leaves.View();
   out.next_leaf = out.node->next_leaf;

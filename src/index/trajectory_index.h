@@ -37,12 +37,18 @@ class TrajectoryIndex {
   /// engineering layer, not part of the paper's I/O model — logical node
   /// accesses are counted identically with it on or off).
   /// `leaf_format` selects the on-page leaf layout WriteNode emits (v2
-  /// columnar by default; v1 row-major for compatibility experiments —
-  /// either way old pages of both formats decode transparently).
+  /// columnar by default; v1 row-major for compatibility experiments; v3
+  /// compressed columnar for the byte-budgeted buffer configurations —
+  /// either way old pages of every format decode transparently).
+  /// `buffer_budget_bytes` switches the page buffer to its byte budget
+  /// (see BufferManager::SetByteBudgetMode): pointless for raw formats,
+  /// but with v3 leaves the same budget keeps proportionally more of the
+  /// index resident.
   struct Options {
     size_t build_buffer_pages = 4096;
     size_t node_cache_nodes = 4096;
     LeafPageFormat leaf_format = LeafPageFormat::kV2Soa;
+    bool buffer_budget_bytes = false;
   };
 
   virtual ~TrajectoryIndex();
@@ -101,7 +107,7 @@ class TrajectoryIndex {
   /// One leaf page read for column streaming. Exactly one of `node` /
   /// `guard` backs `view`; keep the struct alive while the view is used.
   struct LeafPageRead {
-    NodeRef node;     // decoded path (v1 page, or node cache enabled)
+    NodeRef node;     // decoded path (v1/v3 page, or node cache enabled)
     PageGuard guard;  // zero-copy path (v2 page, node cache disabled)
     LeafView view;
     PageId next_leaf = kInvalidPageId;

@@ -89,8 +89,10 @@ bool IngestEngine::Append(const std::vector<WalRecord>& batch) {
     std::unique_lock<std::mutex> lock(state_mu_);
     apply_cv_.wait(lock, [&] { return applied_seq_ + 1 == seq; });
     if (durable && !poisoned_) {
+      // No publish here: ApplyLocked marks the view stale and the next
+      // View() resolution pays for one republish, however many appends
+      // landed in between.
       ApplyLocked(batch);
-      PublishLocked();
       applied = true;
     } else {
       // A durability failure poisons the engine: later sequences may
@@ -127,14 +129,17 @@ void IngestEngine::ApplyLocked(const std::vector<WalRecord>& batch) {
   }
   delta_.Append(fresh);
   delta_count_.store(delta_.entry_count(), std::memory_order_relaxed);
+  view_stale_ = true;
 }
 
-void IngestEngine::PublishLocked() {
+void IngestEngine::PublishLocked() const {
   auto view = std::make_shared<IndexView>();
   view->main = main_tree_;
   view->delta = delta_.Snapshot();
   view->source = std::make_shared<IngestSnapshot>(table_);
   view_ = std::move(view);
+  view_stale_ = false;
+  publishes_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void IngestEngine::Merge() {
@@ -166,6 +171,7 @@ void IngestEngine::Merge() {
 
 IndexView IngestEngine::View() const {
   std::lock_guard<std::mutex> lock(state_mu_);
+  if (view_stale_) PublishLocked();
   return *view_;
 }
 

@@ -7,9 +7,12 @@
 //      applies never interleave inconsistently),
 //   2. stage the batch's frames in the WAL and wait for durability
 //      (group commit: concurrent batches share one fsync),
-//   3. apply to the in-memory state in WAL-sequence ticket order and
-//      publish a fresh immutable IndexView (main tree shared, delta tree
-//      rebuilt over the unmerged segments, trajectory snapshot copied).
+//   3. apply to the in-memory state in WAL-sequence ticket order and mark
+//      the published view stale. The next View() resolution republishes a
+//      fresh immutable IndexView (main tree shared, delta tree rebuilt over
+//      the unmerged segments, trajectory snapshot copied) — so a burst of
+//      appends between two queries costs one table copy and one delta
+//      rebuild, not one per append.
 //
 // Queries resolve a view once (QueryExecutor does this at dequeue time) and
 // run entirely against that snapshot: they never see a half-applied batch,
@@ -119,8 +122,11 @@ class IngestEngine {
   /// serialize; appends continue during the off-lock bulk load).
   void Merge();
 
-  /// The current published snapshot view (never null parts except `delta`,
-  /// which is null when every segment lives in the main tree).
+  /// The current snapshot view (never null parts except `delta`, which is
+  /// null when every segment lives in the main tree). Republishes first when
+  /// appends have landed since the last publish — the amortization point:
+  /// publishing is deferred from the append path to the first view
+  /// resolution that needs it.
   IndexView View() const;
 
   /// Provider form of View() for QueryExecutor's live constructor.
@@ -149,11 +155,20 @@ class IngestEngine {
     return rejected_.load(std::memory_order_relaxed);
   }
 
+  /// Views published so far (diagnostics: appends mark the view stale
+  /// instead of publishing, so this grows with view resolutions and merges,
+  /// not with append volume).
+  uint64_t publish_count() const {
+    return publishes_.load(std::memory_order_relaxed);
+  }
+
   const Wal& wal() const { return *wal_; }
 
  private:
   void ApplyLocked(const std::vector<WalRecord>& batch);
-  void PublishLocked();
+  // Rebuilds view_ from the current state (const: View() republishes
+  // on-demand from under the state lock; only view-cache members mutate).
+  void PublishLocked() const;
   void MergerLoop();
 
   const Options options_;
@@ -176,11 +191,15 @@ class IngestEngine {
   std::vector<TrajectoryId> first_seen_;  // append order, for oracles
   std::vector<LeafEntry> main_entries_;   // segments inside main_tree_
   std::shared_ptr<const TrajectoryIndex> main_tree_;
-  DeltaIndex delta_;
-  std::shared_ptr<const IndexView> view_;  // current published snapshot
+  // The delta and the published-view cache mutate inside const View()
+  // (lazy republish under state_mu_), hence mutable.
+  mutable DeltaIndex delta_;
+  mutable std::shared_ptr<const IndexView> view_;  // last published snapshot
+  mutable bool view_stale_ = false;  // appends landed since last publish
 
   std::atomic<size_t> delta_count_{0};
   std::atomic<uint64_t> rejected_{0};
+  mutable std::atomic<uint64_t> publishes_{0};
 
   std::mutex merge_mu_;  // serializes Merge() bodies
 

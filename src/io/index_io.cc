@@ -5,6 +5,7 @@
 #include <cstring>
 #include <vector>
 
+#include "src/index/leaf_codec_v3.h"
 #include "src/index/node.h"
 #include "src/util/check.h"
 
@@ -12,6 +13,18 @@ namespace mst {
 namespace {
 
 constexpr char kMagic[8] = {'M', 'S', 'T', 'I', 'D', 'X', '0', '1'};
+
+const char* FormatName(LeafPageFormat format) {
+  switch (format) {
+    case LeafPageFormat::kV1Aos:
+      return "v1 (AoS)";
+    case LeafPageFormat::kV2Soa:
+      return "v2 (SoA)";
+    case LeafPageFormat::kV3Compressed:
+      return "v3 (compressed)";
+  }
+  return "unknown";
+}
 
 struct FileCloser {
   void operator()(FILE* f) const {
@@ -153,32 +166,44 @@ std::unique_ptr<TrajectoryIndex> LoadIndex(const std::string& path,
     SetError(error, path + ": trailing bytes after page payload");
     return nullptr;
   }
+  // Compressed leaf pages carry enough structure to be mis-parsed into
+  // out-of-bounds column reads, so they are the one page flavor validated
+  // up front instead of trusted (v1/v2 pages are fixed-layout; their decode
+  // checks suffice).
+  for (size_t i = 0; i < pages.size(); ++i) {
+    if (!IsV3LeafPage(pages[i])) continue;
+    const std::string problem = ValidateV3LeafPage(pages[i]);
+    if (!problem.empty()) {
+      SetError(error, path + ": corrupt v3 leaf page " + std::to_string(i) +
+                          ": " + problem);
+      return nullptr;
+    }
+  }
   if (options.read_write) {
     // Read-write can never be honored (insertion state is not persisted);
-    // diagnose the most actionable mismatch first. A v2 (SoA) write format
-    // against a file whose leaves are v1 — or vice versa — would corrupt
-    // the page-format invariants long before the missing chains mattered,
-    // so that case gets its own message.
+    // diagnose the most actionable mismatch first. A write format differing
+    // from what the file's leaves actually store would corrupt the
+    // page-format invariants long before the missing chains mattered, so
+    // that case gets its own message. A v3 file legitimately contains v2
+    // fallback pages for incompressible leaves, so any v3 leaf marks the
+    // whole file v3.
     bool file_has_v2_leaf = false;
+    bool file_has_v3_leaf = false;
     for (const Page& page : pages) {
-      if (IsV2LeafPage(page)) {
-        file_has_v2_leaf = true;
-        break;
-      }
+      if (IsV3LeafPage(page)) file_has_v3_leaf = true;
+      else if (IsV2LeafPage(page)) file_has_v2_leaf = true;
     }
-    const bool want_v2 =
-        options.index.leaf_format == LeafPageFormat::kV2Soa;
-    if (header.page_count > 0 && want_v2 != file_has_v2_leaf) {
-      SetError(error,
-               path + (want_v2
-                           ? ": cannot open read-write: requested v2 (SoA) "
-                             "leaf writes, but the file stores v1 (AoS) leaf "
-                             "pages; open read-only or rebuild the index in "
-                             "the v2 format"
-                           : ": cannot open read-write: requested v1 (AoS) "
-                             "leaf writes, but the file stores v2 (SoA) leaf "
-                             "pages; open read-only or rebuild the index in "
-                             "the v1 format"));
+    const LeafPageFormat file_format =
+        file_has_v3_leaf ? LeafPageFormat::kV3Compressed
+        : file_has_v2_leaf ? LeafPageFormat::kV2Soa
+                           : LeafPageFormat::kV1Aos;
+    if (header.page_count > 0 && options.index.leaf_format != file_format) {
+      SetError(error, path + ": cannot open read-write: requested " +
+                          FormatName(options.index.leaf_format) +
+                          " leaf writes, but the file stores " +
+                          FormatName(file_format) +
+                          " leaf pages; open read-only or rebuild the index "
+                          "in the requested format");
       return nullptr;
     }
     SetError(error,

@@ -208,6 +208,34 @@ TEST(IngestEngineTest, MergePreservesResultsBitwise) {
   EXPECT_EQ(engine.delta_entries(), 0u);
 }
 
+TEST(IngestEngineTest, PublishIsAmortizedAcrossAppendBursts) {
+  MemWalStorageSet storage;
+  IngestEngine engine(&storage);
+  RecordFeed feed(53);
+  const uint64_t base = engine.publish_count();
+
+  // A burst of appends publishes nothing — the view is only marked stale.
+  for (int b = 0; b < 40; ++b) ASSERT_TRUE(engine.Append(feed.NextBatch()));
+  EXPECT_EQ(engine.publish_count(), base);
+
+  // The first resolution pays for exactly one publish...
+  const IndexView v1 = engine.View();
+  EXPECT_EQ(engine.publish_count(), base + 1);
+  // ...and a clean view is handed out as-is.
+  const IndexView v2 = engine.View();
+  EXPECT_EQ(engine.publish_count(), base + 1);
+  EXPECT_EQ(v1.source, v2.source);
+
+  // The lazily published view answers like a fresh bulk-load oracle.
+  ExpectMatchesOracle(engine, TrajectoryIndex::Options());
+
+  // Another burst, another single publish at the next resolution.
+  for (int b = 0; b < 5; ++b) ASSERT_TRUE(engine.Append(feed.NextBatch()));
+  const uint64_t before_view = engine.publish_count();
+  (void)engine.View();
+  EXPECT_EQ(engine.publish_count(), before_view + 1);
+}
+
 TEST(IngestEngineTest, PinnedViewSurvivesMergeAndLaterAppends) {
   MemWalStorageSet storage;
   IngestEngine engine(&storage);

@@ -8,6 +8,7 @@
 #include "src/core/linear_scan.h"
 #include "src/core/mst_search.h"
 #include "src/gen/gstd.h"
+#include "src/index/leaf_codec_v3.h"
 #include "src/index/rtree3d.h"
 #include "src/index/tbtree.h"
 #include "src/io/csv.h"
@@ -327,6 +328,70 @@ TEST(IndexIoTest, OpenOptionsConfigureTheLoadedIndex) {
   ASSERT_FALSE(got.empty());
   // With the cache disabled, no hit/miss traffic is recorded at all.
   EXPECT_EQ(stats.node_cache_hits + stats.node_cache_misses, 0);
+}
+
+// Byte offset of the first v3 compressed leaf page inside a saved index
+// file, or -1 when none exists. Pages start after the 8-byte magic and the
+// 64-byte header.
+long FindV3PageOffset(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return -1;
+  for (long offset = 8 + 64;; offset += static_cast<long>(kPageSize)) {
+    uint8_t head[2];
+    if (std::fseek(f, offset, SEEK_SET) != 0 ||
+        std::fread(head, 1, 2, f) != 2) {
+      std::fclose(f);
+      return -1;
+    }
+    if (head[0] == 0 && head[1] == 3) {  // leaf level, v3 version byte
+      std::fclose(f);
+      return offset;
+    }
+  }
+}
+
+TEST(IndexIoTest, RejectsCorruptV3LeafPages) {
+  const TrajectoryStore store = SampleStore();
+  TBTree::Options opt;
+  opt.leaf_format = LeafPageFormat::kV3Compressed;
+  TBTree tree(opt);
+  tree.BuildFrom(store);
+  const std::string path = TempPath("corrupt_v3.mst");
+
+  ASSERT_TRUE(SaveIndex(tree, path));
+  const long page = FindV3PageOffset(path);
+  ASSERT_GT(page, 0) << "expected at least one compressed leaf";
+  // Pristine file loads and queries fine.
+  std::string error;
+  ASSERT_NE(LoadIndex(path, &error), nullptr) << error;
+
+  // An undefined column encoding tag.
+  uint8_t byte = 200;
+  PatchFile(path, page + static_cast<long>(kV3OffTags), &byte, 1);
+  EXPECT_EQ(LoadIndex(path, &error), nullptr);
+  EXPECT_NE(error.find("corrupt v3 leaf page"), std::string::npos) << error;
+  EXPECT_NE(error.find("encoding tag"), std::string::npos) << error;
+
+  // An entry count beyond node capacity.
+  ASSERT_TRUE(SaveIndex(tree, path));
+  byte = 255;
+  PatchFile(path, page + 3, &byte, 1);
+  EXPECT_EQ(LoadIndex(path, &error), nullptr);
+  EXPECT_NE(error.find("entry count"), std::string::npos) << error;
+
+  // A truncated / mis-sized column payload (first column's length field
+  // inflated by one byte).
+  ASSERT_TRUE(SaveIndex(tree, path));
+  FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, page + static_cast<long>(kV3OffLengths), SEEK_SET),
+            0);
+  ASSERT_EQ(std::fread(&byte, 1, 1, f), 1u);
+  std::fclose(f);
+  byte += 1;
+  PatchFile(path, page + static_cast<long>(kV3OffLengths), &byte, 1);
+  EXPECT_EQ(LoadIndex(path, &error), nullptr);
+  EXPECT_NE(error.find("column payload"), std::string::npos) << error;
 }
 
 TEST(IndexIoTest, RejectsTruncatedFile) {

@@ -1,17 +1,22 @@
-// Randomized round-trip tests of the node codec: the v1 (row-major) and v2
-// (columnar) leaf-page layouts, internal pages, the version-byte dispatch,
-// the fixed v2 column offsets, and the compatibility guarantee that a
-// v1-written index file answers queries identically under the current code.
+// Randomized round-trip tests of the node codec: the v1 (row-major), v2
+// (columnar) and v3 (compressed columnar) leaf-page layouts, internal pages,
+// the version-byte dispatch, the fixed v2 column offsets, and the
+// compatibility guarantee that an index file written in any format answers
+// queries identically under the current code.
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <bit>
+#include <cmath>
 #include <cstring>
+#include <limits>
 #include <string>
 #include <vector>
 
 #include "src/core/mst_search.h"
 #include "src/gen/gstd.h"
+#include "src/index/leaf_codec_v3.h"
 #include "src/index/node.h"
 #include "src/index/pagefile.h"
 #include "src/index/tbtree.h"
@@ -90,7 +95,8 @@ void ExpectNodesEqual(const IndexNode& got, const IndexNode& want) {
 TEST(NodeCodecRandomTest, LeafRoundTripBothFormats) {
   Rng rng(20260805);
   for (const LeafPageFormat format :
-       {LeafPageFormat::kV1Aos, LeafPageFormat::kV2Soa}) {
+       {LeafPageFormat::kV1Aos, LeafPageFormat::kV2Soa,
+        LeafPageFormat::kV3Compressed}) {
     for (int trial = 0; trial < 100; ++trial) {
       const int count =
           static_cast<int>(rng.UniformInt(0, IndexNode::kCapacity));
@@ -251,6 +257,239 @@ TEST(NodeCodecRandomTest, ClearedAndRefilledLeafEncodesLikeFresh) {
   EXPECT_EQ(a.bytes, b.bytes);
 }
 
+// ---------------------------------------------------------------------------
+// v3 compressed leaf pages.
+
+// Exact bit patterns, not just value equality: -0.0 vs 0.0 and denormals
+// must survive the codec, which operator== on doubles cannot see.
+void ExpectBitwiseEqualLeaves(const IndexNode& got, const IndexNode& want) {
+  ASSERT_EQ(got.Count(), want.Count());
+  for (size_t i = 0; i < want.leaves.size(); ++i) {
+    const LeafEntry g = got.leaves[i];
+    const LeafEntry w = want.leaves[i];
+    EXPECT_EQ(std::bit_cast<uint64_t>(g.t0), std::bit_cast<uint64_t>(w.t0));
+    EXPECT_EQ(std::bit_cast<uint64_t>(g.x0), std::bit_cast<uint64_t>(w.x0));
+    EXPECT_EQ(std::bit_cast<uint64_t>(g.y0), std::bit_cast<uint64_t>(w.y0));
+    EXPECT_EQ(std::bit_cast<uint64_t>(g.t1), std::bit_cast<uint64_t>(w.t1));
+    EXPECT_EQ(std::bit_cast<uint64_t>(g.x1), std::bit_cast<uint64_t>(w.x1));
+    EXPECT_EQ(std::bit_cast<uint64_t>(g.y1), std::bit_cast<uint64_t>(w.y1));
+    EXPECT_EQ(g.traj_id, w.traj_id) << "entry " << i;
+  }
+}
+
+// A TB-tree-shaped leaf: consecutive segments of one trajectory, so end
+// columns chain into the next start (kColLink territory) and the id column
+// is constant.
+IndexNode ChainLeafNode(Rng* rng, int count) {
+  IndexNode node;
+  node.self = 5;
+  node.level = 0;
+  node.parent = 2;
+  node.prev_leaf = 4;
+  node.next_leaf = 6;
+  const TrajectoryId id = rng->UniformInt(0, 1 << 20);
+  double t = rng->Uniform(100.0, 1000.0);
+  double x = rng->Uniform(100.0, 150.0);
+  double y = rng->Uniform(100.0, 150.0);
+  for (int i = 0; i < count; ++i) {
+    LeafEntry e;
+    e.traj_id = id;
+    e.t0 = t;
+    e.x0 = x;
+    e.y0 = y;
+    t += rng->Uniform(0.5, 2.0);
+    x += rng->Uniform(-0.5, 0.5);
+    y += rng->Uniform(-0.5, 0.5);
+    e.t1 = t;
+    e.x1 = x;
+    e.y1 = y;
+    node.leaves.push_back(e);
+  }
+  return node;
+}
+
+TEST(NodeCodecV3Test, ChainLeafUsesLinkAndConstAndCompresses) {
+  Rng rng(20260808);
+  for (int trial = 0; trial < 20; ++trial) {
+    const IndexNode node = ChainLeafNode(&rng, IndexNode::kCapacity);
+    Page page;
+    node.EncodeTo(&page, LeafPageFormat::kV3Compressed);
+    ASSERT_TRUE(IsV3LeafPage(page));
+    const auto tags = V3ColumnTags(page);
+    EXPECT_EQ(tags[3], kColLink);   // t1 chains into t0
+    EXPECT_EQ(tags[4], kColLink);   // x1 chains into x0
+    EXPECT_EQ(tags[5], kColLink);   // y1 chains into y0
+    EXPECT_EQ(tags[6], kColConst);  // single trajectory id
+    // The page must beat the 2x compression the format exists for.
+    EXPECT_LT(LeafPageOccupiedBytes(page), kPageSize / 2);
+    const IndexNode decoded = IndexNode::Decode(page, node.self);
+    ExpectNodesEqual(decoded, node);
+    ExpectBitwiseEqualLeaves(decoded, node);
+  }
+}
+
+TEST(NodeCodecV3Test, GridAlignedCoordinatesUseFixedPoint) {
+  Rng rng(88);
+  IndexNode node;
+  node.self = 1;
+  node.level = 0;
+  double t = 0.0;
+  for (int i = 0; i < IndexNode::kCapacity; ++i) {
+    LeafEntry e;
+    e.traj_id = 7;
+    e.t0 = t;
+    e.t1 = (t += 1.0);
+    // Coordinates on a 2^-10 grid spanning [0, 1000): exactly reproducible
+    // as scaled integers, but spread across enough binades that plain FoR
+    // over the double bits cannot beat the fixed-point form.
+    e.x0 = static_cast<double>(rng.UniformInt(0, 1024000)) / 1024.0;
+    e.y0 = static_cast<double>(rng.UniformInt(0, 1024000)) / 1024.0;
+    e.x1 = static_cast<double>(rng.UniformInt(0, 1024000)) / 1024.0;
+    e.y1 = static_cast<double>(rng.UniformInt(0, 1024000)) / 1024.0;
+    node.leaves.push_back(e);
+  }
+  Page page;
+  node.EncodeTo(&page, LeafPageFormat::kV3Compressed);
+  ASSERT_TRUE(IsV3LeafPage(page));
+  const auto tags = V3ColumnTags(page);
+  EXPECT_EQ(tags[1], kColFixed);  // x0
+  EXPECT_EQ(tags[2], kColFixed);  // y0
+  const IndexNode decoded = IndexNode::Decode(page, node.self);
+  ExpectBitwiseEqualLeaves(decoded, node);
+}
+
+TEST(NodeCodecV3Test, ConstantColumnsCollapseToOneWord) {
+  LeafEntry e;
+  e.traj_id = 123456789;
+  e.t0 = 10.25;
+  e.t1 = 11.5;
+  e.x0 = -3.75;
+  e.y0 = 1e-3;
+  e.x1 = -3.5;
+  e.y1 = 2e-3;
+  IndexNode node;
+  node.self = 9;
+  node.level = 0;
+  for (int i = 0; i < IndexNode::kCapacity; ++i) node.leaves.push_back(e);
+  Page page;
+  node.EncodeTo(&page, LeafPageFormat::kV3Compressed);
+  ASSERT_TRUE(IsV3LeafPage(page));
+  for (const uint8_t tag : V3ColumnTags(page)) EXPECT_EQ(tag, kColConst);
+  // Header + subheader + 7 one-word payloads.
+  EXPECT_EQ(LeafPageOccupiedBytes(page), kV3OffPayload + 7 * 8);
+  ExpectBitwiseEqualLeaves(IndexNode::Decode(page, node.self), node);
+}
+
+TEST(NodeCodecV3Test, ExtremeValuesRoundTripBitwise) {
+  // NaN-free adversarial doubles: extremes of magnitude, denormals, and the
+  // two zeros. Mixed signs defeat every compressed encoding, so this also
+  // exercises raw columns inside a v3 page (few entries, so it still fits).
+  const double specials[] = {std::numeric_limits<double>::max(),
+                             -std::numeric_limits<double>::max(),
+                             std::numeric_limits<double>::min(),
+                             std::numeric_limits<double>::denorm_min(),
+                             -std::numeric_limits<double>::denorm_min(),
+                             -0.0,
+                             0.0,
+                             1.0 + std::numeric_limits<double>::epsilon()};
+  IndexNode node;
+  node.self = 3;
+  node.level = 0;
+  const int n = static_cast<int>(std::size(specials));
+  for (int i = 0; i < n; ++i) {
+    LeafEntry e;
+    e.traj_id = (int64_t{1} << 62) + i;
+    e.t0 = specials[i];
+    e.t1 = specials[(i + 1) % n];
+    e.x0 = specials[(i + 2) % n];
+    e.y0 = specials[(i + 3) % n];
+    e.x1 = specials[(i + 4) % n];
+    e.y1 = specials[(i + 5) % n];
+    node.leaves.push_back(e);
+  }
+  Page page;
+  node.EncodeTo(&page, LeafPageFormat::kV3Compressed);
+  ASSERT_TRUE(IsV3LeafPage(page));
+  ExpectBitwiseEqualLeaves(IndexNode::Decode(page, node.self), node);
+}
+
+TEST(NodeCodecV3Test, SingleEntryAndEmptyLeavesRoundTrip) {
+  Rng rng(5);
+  for (const int count : {0, 1}) {
+    const IndexNode node = RandomLeafNode(&rng, count, true);
+    Page page;
+    node.EncodeTo(&page, LeafPageFormat::kV3Compressed);
+    ASSERT_TRUE(IsV3LeafPage(page));
+    ExpectNodesEqual(IndexNode::Decode(page, node.self), node);
+  }
+}
+
+TEST(NodeCodecV3Test, IncompressibleFullLeafDegradesToV2Page) {
+  // A full leaf of sign-mixed wide-range randoms compresses under no
+  // encoding; the writer must fall back to a plain v2 page rather than
+  // overflow, and the reader dispatches on the version byte as usual.
+  Rng rng(606);
+  const IndexNode node = RandomLeafNode(&rng, IndexNode::kCapacity, false);
+  Page page;
+  node.EncodeTo(&page, LeafPageFormat::kV3Compressed);
+  EXPECT_FALSE(IsV3LeafPage(page));
+  ASSERT_TRUE(IsV2LeafPage(page));
+  EXPECT_EQ(LeafPageOccupiedBytes(page), kPageSize);
+  ExpectNodesEqual(IndexNode::Decode(page, node.self), node);
+}
+
+TEST(NodeCodecV3Test, EncodeDeterministicAndIdempotent) {
+  Rng rng(4242);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int count = static_cast<int>(rng.UniformInt(1, IndexNode::kCapacity));
+    const IndexNode node = ChainLeafNode(&rng, count);
+    Page a;
+    Page b;
+    node.EncodeTo(&a, LeafPageFormat::kV3Compressed);
+    node.EncodeTo(&b, LeafPageFormat::kV3Compressed);
+    EXPECT_EQ(a.bytes, b.bytes) << "same node must encode identically";
+    const IndexNode decoded = IndexNode::Decode(a, node.self);
+    Page c;
+    decoded.EncodeTo(&c, LeafPageFormat::kV3Compressed);
+    EXPECT_EQ(a.bytes, c.bytes);
+  }
+}
+
+TEST(NodeCodecV3Test, ValidateAcceptsSoundAndNamesCorruption) {
+  Rng rng(17);
+  const IndexNode node = ChainLeafNode(&rng, 40);
+  Page good;
+  node.EncodeTo(&good, LeafPageFormat::kV3Compressed);
+  ASSERT_TRUE(IsV3LeafPage(good));
+  EXPECT_EQ(ValidateV3LeafPage(good), "");
+
+  Page v2;
+  node.EncodeTo(&v2, LeafPageFormat::kV2Soa);
+  EXPECT_NE(ValidateV3LeafPage(v2).find("not a v3"), std::string::npos);
+
+  Page bad = good;
+  bad.bytes[kV3OffTags] = 200;  // no such encoding
+  EXPECT_NE(ValidateV3LeafPage(bad).find("encoding tag"), std::string::npos);
+
+  bad = good;
+  bad.bytes[kV3OffTags] = kColLink;  // link is only legal on end columns
+  EXPECT_NE(ValidateV3LeafPage(bad).find("start column"), std::string::npos);
+
+  bad = good;
+  bad.bytes[3] = 255;  // count beyond capacity
+  EXPECT_NE(ValidateV3LeafPage(bad).find("entry count"), std::string::npos);
+
+  bad = good;
+  // Column 0's little-endian uint16 length, inflated past the page.
+  bad.bytes[kV3OffLengths] = 0xff;
+  bad.bytes[kV3OffLengths + 1] = 0xff;
+  EXPECT_NE(ValidateV3LeafPage(bad).find("overflow"), std::string::npos);
+
+  bad = good;
+  bad.bytes[kV3OffLengths] += 1;  // mis-sized but still fits the page
+  EXPECT_NE(ValidateV3LeafPage(bad).find("mis-sized"), std::string::npos);
+}
+
 // A v1-written index *file* must be query-identical when read by the
 // current (v2-default) code path.
 TEST(NodeCodecCompatTest, V1FileQueryIdenticalUnderV2Code) {
@@ -306,6 +545,74 @@ TEST(NodeCodecCompatTest, V1FileQueryIdenticalUnderV2Code) {
     EXPECT_EQ(st_v1.nodes_accessed, st_v2.nodes_accessed);
     EXPECT_EQ(st_v1.nodes_accessed, st_loaded.nodes_accessed);
     EXPECT_EQ(st_v1.leaf_entries_seen, st_v2.leaf_entries_seen);
+  }
+}
+
+// All three leaf formats — including a v3 file saved and reloaded — must
+// produce bitwise-identical results and identical node-access counts.
+TEST(NodeCodecCompatTest, MixedFormatFilesQueryIdentical) {
+  GstdOptions gopt;
+  gopt.num_objects = 40;
+  gopt.samples_per_object = 60;
+  gopt.timestamp_jitter = 0.4;
+  gopt.seed = 424242;
+  const TrajectoryStore store = GenerateGstd(gopt);
+
+  TBTree::Options v1opt;
+  v1opt.leaf_format = LeafPageFormat::kV1Aos;
+  TBTree v1tree(v1opt);
+  v1tree.BuildFrom(store);
+  TBTree v2tree;  // default options write v2 pages
+  v2tree.BuildFrom(store);
+  TBTree::Options v3opt;
+  v3opt.leaf_format = LeafPageFormat::kV3Compressed;
+  TBTree v3tree(v3opt);
+  v3tree.BuildFrom(store);
+
+  // Compression must not change the tree shape: same pages, same root.
+  ASSERT_EQ(v3tree.NodeCount(), v2tree.NodeCount());
+  ASSERT_EQ(v3tree.root(), v2tree.root());
+  v3tree.CheckInvariants();
+
+  const std::string path = ::testing::TempDir() + "/v3_index.bin";
+  ASSERT_TRUE(SaveIndex(v3tree, path));
+  std::string error;
+  const auto loaded = LoadIndex(path, &error);
+  ASSERT_NE(loaded, nullptr) << error;
+  loaded->CheckInvariants();
+
+  const BFMstSearch s_v1(&v1tree, &store);
+  const BFMstSearch s_v2(&v2tree, &store);
+  const BFMstSearch s_v3(&v3tree, &store);
+  const BFMstSearch s_loaded(loaded.get(), &store);
+  MstOptions options;
+  options.k = 5;
+  for (size_t qi = 0; qi < store.size(); qi += 7) {
+    const Trajectory& query = store.trajectories()[qi];
+    options.exclude_id = query.id();
+    const TimeInterval period = query.Lifespan();
+    MstStats st_v1;
+    MstStats st_v2;
+    MstStats st_v3;
+    MstStats st_loaded;
+    const auto r_v1 = s_v1.Search(query, period, options, &st_v1);
+    const auto r_v2 = s_v2.Search(query, period, options, &st_v2);
+    const auto r_v3 = s_v3.Search(query, period, options, &st_v3);
+    const auto r_loaded = s_loaded.Search(query, period, options, &st_loaded);
+    ASSERT_EQ(r_v3.size(), r_v2.size());
+    ASSERT_EQ(r_v3.size(), r_v1.size());
+    ASSERT_EQ(r_v3.size(), r_loaded.size());
+    for (size_t i = 0; i < r_v3.size(); ++i) {
+      EXPECT_EQ(r_v3[i].id, r_v2[i].id);
+      EXPECT_EQ(r_v3[i].dissim, r_v2[i].dissim);
+      EXPECT_EQ(r_v3[i].id, r_v1[i].id);
+      EXPECT_EQ(r_v3[i].id, r_loaded[i].id);
+      EXPECT_EQ(r_v3[i].dissim, r_loaded[i].dissim);
+    }
+    EXPECT_EQ(st_v3.nodes_accessed, st_v2.nodes_accessed);
+    EXPECT_EQ(st_v3.nodes_accessed, st_v1.nodes_accessed);
+    EXPECT_EQ(st_v3.nodes_accessed, st_loaded.nodes_accessed);
+    EXPECT_EQ(st_v3.leaf_entries_seen, st_v2.leaf_entries_seen);
   }
 }
 

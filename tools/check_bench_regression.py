@@ -50,6 +50,7 @@ WORKLOAD_FIELDS = (
     "decode_reps",
     "seed",
     "hardware_threads",
+    "buffer_fraction",
 )
 
 # Ratios below this are measurement noise; a relative drop says nothing.
@@ -62,11 +63,16 @@ RATIO_SHAPING_FIELDS = ("rounds",)
 
 
 def is_ratio_metric(name):
-    return name.startswith("speedup") or name.endswith("reduction")
+    return (name.startswith("speedup") or name.endswith("reduction")
+            or name.endswith("_ratio"))
 
 
 def is_workload_shaped_metric(name):
-    return name.startswith("qps_") or name.endswith("hit_rate")
+    # decode_speed_ratio and warm_speedup divide decode-bound work by a
+    # baseline whose cost is set by where the page set sits in the memory
+    # hierarchy, so they only mean something at matching scale.
+    return (name.startswith("qps_") or name.endswith("hit_rate")
+            or name in ("decode_speed_ratio", "warm_speedup"))
 
 
 def load(path, role):

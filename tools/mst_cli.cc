@@ -92,10 +92,14 @@ int CmdGenerate(int argc, char** argv) {
 int CmdIndex(int argc, char** argv) {
   std::string data;
   std::string kind = "tbtree";
+  std::string leaf_format = "v2";
   std::string out;
   FlagParser flags;
   flags.AddString("data", &data, "input CSV dataset (required)");
   flags.AddString("kind", &kind, "rtree | rtree-bulk | tbtree | strtree");
+  flags.AddString("leaf_format", &leaf_format,
+                  "leaf page layout: v1 (row-major) | v2 (columnar) | "
+                  "v3 (compressed columnar)");
   flags.AddString("out", &out, "output index path (required)");
   if (!flags.Parse(argc, argv)) return 1;
   if (data.empty() || out.empty()) {
@@ -105,15 +109,25 @@ int CmdIndex(int argc, char** argv) {
   const auto store = LoadData(data);
   if (!store.has_value()) return 1;
 
+  TrajectoryIndex::Options options;
+  if (leaf_format == "v1") {
+    options.leaf_format = LeafPageFormat::kV1Aos;
+  } else if (leaf_format == "v2") {
+    options.leaf_format = LeafPageFormat::kV2Soa;
+  } else if (leaf_format == "v3") {
+    options.leaf_format = LeafPageFormat::kV3Compressed;
+  } else {
+    return Fail("unknown --leaf_format (use v1, v2 or v3)");
+  }
   std::unique_ptr<TrajectoryIndex> index;
   bool bulk = false;
   if (kind == "rtree" || kind == "rtree-bulk") {
-    index = std::make_unique<RTree3D>();
+    index = std::make_unique<RTree3D>(options);
     bulk = kind == "rtree-bulk";
   } else if (kind == "tbtree") {
-    index = std::make_unique<TBTree>();
+    index = std::make_unique<TBTree>(options);
   } else if (kind == "strtree") {
-    index = std::make_unique<STRTree>();
+    index = std::make_unique<STRTree>(options);
   } else {
     return Fail("unknown --kind (use rtree, rtree-bulk, tbtree or strtree)");
   }
