@@ -1,0 +1,500 @@
+// Benchmark of compression up the memory hierarchy: v3 compressed internal
+// pages and the byte-budgeted / compressed decoded-node cache. Four legs:
+//
+// 1. Identity. All three backends (3D R-tree, TB-tree, STR-tree) are built
+//    with {v1, v3} internal-node formats × {off, unit-LRU, byte-budget,
+//    byte-budget + compressed tier} node-cache configurations, and the same
+//    k-MST query set runs under every integration policy. Results and
+//    per-query counters (node accesses, leaf entries seen, heap pushes)
+//    must match bitwise across the whole matrix; any divergence exits 2,
+//    which is what CI gates on. v3 internal pages keep the v1 fanout, so
+//    tree shapes (node count, root) must match too.
+//
+// 2. Capacity and hit rate at one fixed cache byte budget, on the S-series
+//    TB-tree stored fully compressed (v3 leaves + v3 internals). The plain
+//    cache charges decoded bytes, the compressed tier charges encoded
+//    bytes; at the same budget the compressed tier keeps ~3x the nodes
+//    resident and converts the extra residency into hit rate. Reported as
+//    cached_capacity_ratio and *_hit_rate — the numbers this PR exists for.
+//
+// 3. Decode-on-hit microbench: ns per NodeCache::Lookup on a plain cache
+//    (pointer copy) vs the compressed tier (decode through the pooled
+//    scratch and runtime-dispatched SIMD clones) — what a compressed hit
+//    costs over a plain one.
+//
+// 4. Warm k-MST throughput with each cache flavor, identity-gated and
+//    interleaved best-of like bench_soa_leaf, so frequency drift cannot
+//    bias either mode.
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <iterator>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/index/node_cache.h"
+#include "src/index/node_codec_v3.h"
+#include "src/util/flags.h"
+#include "src/util/timer.h"
+
+namespace mst {
+namespace {
+
+struct QueryRecord {
+  std::vector<MstResult> results;
+  int64_t nodes_accessed = 0;
+  int64_t leaf_entries_seen = 0;
+  int64_t heap_pushes = 0;
+};
+
+struct PhaseResult {
+  std::vector<QueryRecord> records;  // from the last measured pass
+  double best_seconds = 1e300;       // fastest pass, whole query set
+};
+
+void RunPass(const TrajectoryIndex& index, const TrajectoryStore& store,
+             const std::vector<Trajectory>& queries, const MstOptions& options,
+             PhaseResult* out) {
+  const BFMstSearch searcher(&index, &store);
+  std::vector<QueryRecord> records;
+  records.reserve(queries.size());
+  // CPU time, not wall clock: single-thread cost comparison that must stay
+  // meaningful on loaded CI machines.
+  CpuTimer timer;
+  for (const Trajectory& q : queries) {
+    MstStats stats;
+    QueryRecord rec;
+    rec.results = searcher.Search(q, q.Lifespan(), options, &stats);
+    rec.nodes_accessed = stats.nodes_accessed;
+    rec.leaf_entries_seen = stats.leaf_entries_seen;
+    rec.heap_pushes = stats.heap_pushes;
+    records.push_back(std::move(rec));
+  }
+  const double seconds = timer.ElapsedMs() / 1e3;
+  if (seconds < out->best_seconds) out->best_seconds = seconds;
+  out->records = std::move(records);
+}
+
+bool PhasesAgree(const char* label, const PhaseResult& base,
+                 const PhaseResult& other) {
+  if (base.records.size() != other.records.size()) return false;
+  for (size_t i = 0; i < base.records.size(); ++i) {
+    const QueryRecord& a = base.records[i];
+    const QueryRecord& b = other.records[i];
+    if (a.nodes_accessed != b.nodes_accessed ||
+        a.leaf_entries_seen != b.leaf_entries_seen ||
+        a.heap_pushes != b.heap_pushes) {
+      std::fprintf(stderr,
+                   "[compressed_cache] %s query %zu: counters differ "
+                   "(nodes %" PRId64 "/%" PRId64 ", entries %" PRId64
+                   "/%" PRId64 ", pushes %" PRId64 "/%" PRId64 ")\n",
+                   label, i, a.nodes_accessed, b.nodes_accessed,
+                   a.leaf_entries_seen, b.leaf_entries_seen, a.heap_pushes,
+                   b.heap_pushes);
+      return false;
+    }
+    if (a.results.size() != b.results.size()) return false;
+    for (size_t j = 0; j < a.results.size(); ++j) {
+      if (a.results[j].id != b.results[j].id ||
+          a.results[j].dissim != b.results[j].dissim ||
+          a.results[j].error_bound != b.results[j].error_bound) {
+        std::fprintf(stderr,
+                     "[compressed_cache] %s query %zu result %zu differs\n",
+                     label, i, j);
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+// One node-cache configuration of the identity matrix.
+struct CacheConfig {
+  const char* name;
+  size_t nodes;     // 0 = cache off
+  bool bytes;       // byte-budget charging
+  bool compressed;  // compressed tier
+};
+
+constexpr CacheConfig kCacheConfigs[] = {
+    {"off", 0, false, false},
+    {"unit-lru", 64, false, false},
+    {"byte-budget", 64, true, false},
+    {"byte-budget+compressed", 64, true, true},
+};
+
+std::unique_ptr<TrajectoryIndex> BuildBackend(
+    int which, const TrajectoryIndex::Options& options,
+    const TrajectoryStore& store) {
+  std::unique_ptr<TrajectoryIndex> index;
+  switch (which) {
+    case 0:
+      index = std::make_unique<RTree3D>(options);
+      break;
+    case 1:
+      index = std::make_unique<TBTree>(options);
+      break;
+    default:
+      index = std::make_unique<STRTree>(options);
+      break;
+  }
+  index->BuildFrom(store);
+  return index;
+}
+
+// The identity leg for one backend: every (internal format × cache config)
+// variant must agree bitwise with the v1-internal/cache-off baseline, for
+// every integration policy. Returns false on any divergence.
+bool VariantsIdentical(const char* label, int backend,
+                       const TrajectoryStore& store,
+                       const std::vector<Trajectory>& queries, int k) {
+  std::vector<std::unique_ptr<TrajectoryIndex>> variants;
+  std::vector<std::string> names;
+  for (const InternalPageFormat internal_format :
+       {InternalPageFormat::kV1Aos, InternalPageFormat::kV3Compressed}) {
+    for (const CacheConfig& cache : kCacheConfigs) {
+      TrajectoryIndex::Options opt;
+      opt.leaf_format = LeafPageFormat::kV3Compressed;
+      opt.internal_format = internal_format;
+      opt.node_cache_nodes = cache.nodes;
+      opt.node_cache_budget_bytes = cache.bytes;
+      opt.node_cache_compressed = cache.compressed;
+      variants.push_back(BuildBackend(backend, opt, store));
+      names.push_back(
+          std::string(internal_format == InternalPageFormat::kV1Aos
+                          ? "v1-internal/"
+                          : "v3-internal/") +
+          cache.name);
+    }
+  }
+  for (size_t v = 1; v < variants.size(); ++v) {
+    if (variants[v]->NodeCount() != variants[0]->NodeCount() ||
+        variants[v]->root() != variants[0]->root()) {
+      std::fprintf(stderr,
+                   "[compressed_cache] %s %s: tree shape differs from the "
+                   "baseline\n",
+                   label, names[v].c_str());
+      return false;
+    }
+  }
+  for (const IntegrationPolicy policy :
+       {IntegrationPolicy::kTrapezoid, IntegrationPolicy::kExact,
+        IntegrationPolicy::kAdaptive}) {
+    MstOptions options;
+    options.k = k;
+    options.policy = policy;
+    PhaseResult base;
+    RunPass(*variants[0], store, queries, options, &base);
+    for (size_t v = 1; v < variants.size(); ++v) {
+      PhaseResult other;
+      // Two passes so the second runs against a warm (possibly compressed)
+      // cache — the repeat is where a stale or mis-decoded entry would show.
+      RunPass(*variants[v], store, queries, options, &other);
+      RunPass(*variants[v], store, queries, options, &other);
+      const std::string tag = std::string(label) + " " + names[v];
+      if (!PhasesAgree(tag.c_str(), base, other)) return false;
+    }
+  }
+  return true;
+}
+
+// Snapshot of one cache flavor's behaviour over a measured warm pass.
+struct CacheProbe {
+  size_t resident_nodes = 0;
+  size_t resident_bytes = 0;
+  double hit_rate = 0.0;
+  int64_t compressed_hits = 0;
+};
+
+CacheProbe ProbeCache(TrajectoryIndex* index, const TrajectoryStore& store,
+                      const std::vector<Trajectory>& queries,
+                      const MstOptions& options) {
+  PhaseResult warm;
+  RunPass(*index, store, queries, options, &warm);  // fault the cache in
+  index->ResetAccessCounters();
+  PhaseResult measured;
+  RunPass(*index, store, queries, options, &measured);
+  const NodeCache& cache = index->node_cache();
+  CacheProbe probe;
+  probe.resident_nodes = cache.resident_nodes();
+  probe.resident_bytes = cache.resident_bytes();
+  const int64_t lookups = cache.hits() + cache.misses();
+  probe.hit_rate = lookups > 0
+                       ? static_cast<double>(cache.hits()) /
+                             static_cast<double>(lookups)
+                       : 0.0;
+  probe.compressed_hits = cache.compressed_hits();
+  return probe;
+}
+
+// Average ns per Lookup over `reps` sweeps of every cached id.
+double TimeHitNs(const NodeCache& cache, int64_t page_count, int reps,
+                 int64_t* sink) {
+  CpuTimer timer;
+  int64_t total = 0;
+  for (int r = 0; r < reps; ++r) {
+    for (PageId id = 0; id < page_count; ++id) {
+      uint64_t version = 0;
+      if (const NodeRef node = cache.Lookup(id, &version)) {
+        total += node->Count();
+      }
+    }
+  }
+  const double ns = timer.ElapsedMs() * 1e6;
+  *sink += total;
+  const double lookups = static_cast<double>(page_count) * reps;
+  return lookups > 0.0 ? ns / lookups : 0.0;
+}
+
+int Main(int argc, char** argv) {
+  int64_t objects = 1000;
+  int64_t samples = 2000;
+  int64_t queries = 30;
+  int64_t k = 50;
+  int64_t repeats = 3;
+  int64_t hit_reps = 20;
+  int64_t identity_objects = 120;
+  int64_t identity_samples = 150;
+  int64_t identity_queries = 6;
+  int64_t seed = static_cast<int64_t>(bench::kDefaultBenchSeed);
+  double length = 0.05;
+  double cache_fraction = 0.10;
+  bool quick = false;
+  bool help = false;
+  std::string out_path = "BENCH_compressed_cache.json";
+  FlagParser flags;
+  flags.AddInt("objects", &objects, "dataset cardinality (perf legs)");
+  flags.AddInt("samples", &samples, "samples per object (perf legs)");
+  flags.AddInt("queries", &queries, "queries in the measured set");
+  flags.AddInt("k", &k, "k of the k-MST queries");
+  flags.AddInt("repeats", &repeats, "measured repeats (fastest counts)");
+  flags.AddInt("hit_reps", &hit_reps, "sweeps of the decode-on-hit microbench");
+  flags.AddInt("seed", &seed, "workload RNG seed");
+  flags.AddDouble("length", &length, "query length fraction of a lifespan");
+  flags.AddDouble("cache_fraction", &cache_fraction,
+                  "node-cache byte budget as a fraction of the index's page "
+                  "count x 4 KB");
+  flags.AddBool("quick", &quick, "CI smoke mode: small dataset, few queries");
+  flags.AddBool("help", &help, "print usage");
+  flags.AddString("out", &out_path, "JSON output path");
+  if (!flags.Parse(argc, argv)) return 1;
+  if (help) {
+    flags.PrintUsage("bench_compressed_cache");
+    return 0;
+  }
+  if (quick) {
+    objects = 200;
+    samples = 200;
+    queries = 12;
+    repeats = 2;
+    hit_reps = 5;
+    identity_objects = 60;
+    identity_samples = 100;
+    identity_queries = 4;
+  }
+
+  // ---- Leg 1: identity across backends, formats, cache configs ---------
+  std::fprintf(stderr,
+               "[compressed_cache] identity leg: 3 backends x 2 internal "
+               "formats x %zu cache configs x 3 policies over %" PRId64
+               " objects...\n",
+               std::size(kCacheConfigs), identity_objects);
+  {
+    const TrajectoryStore id_store =
+        bench::MakeSDataset(static_cast<int>(identity_objects),
+                            static_cast<int>(identity_samples));
+    Rng id_rng(static_cast<uint64_t>(seed) ^ 0x2e);
+    std::vector<Trajectory> id_queries;
+    for (int i = 0; i < identity_queries; ++i) {
+      id_queries.push_back(bench::MakeQuery(id_store, &id_rng, 0.2));
+    }
+    if (!VariantsIdentical("rtree3d", 0, id_store, id_queries, 10) ||
+        !VariantsIdentical("tbtree", 1, id_store, id_queries, 10) ||
+        !VariantsIdentical("strtree", 2, id_store, id_queries, 10)) {
+      std::fprintf(stderr,
+                   "[compressed_cache] FAIL: a cache or format config "
+                   "changed results\n");
+      return 2;
+    }
+  }
+
+  // ---- Perf dataset: two fully-v3 TB-trees, plain vs compressed cache --
+  std::fprintf(stderr, "[compressed_cache] building %s twice (%" PRId64
+                       " samples/obj, v3 leaves+internals, plain vs "
+                       "compressed node cache)...\n",
+               bench::SDatasetName(static_cast<int>(objects)).c_str(),
+               samples);
+  const TrajectoryStore store = bench::MakeSDataset(
+      static_cast<int>(objects), static_cast<int>(samples));
+
+  TrajectoryIndex::Options plain_opt;
+  plain_opt.leaf_format = LeafPageFormat::kV3Compressed;
+  plain_opt.internal_format = InternalPageFormat::kV3Compressed;
+  plain_opt.node_cache_budget_bytes = true;
+  TBTree probe_tree(plain_opt);  // budget is set from its node count below
+  probe_tree.BuildFrom(store);
+  const int64_t node_count = probe_tree.NodeCount();
+  const size_t budget_nodes = std::max<size_t>(
+      8, static_cast<size_t>(static_cast<double>(node_count) *
+                             cache_fraction));
+
+  plain_opt.node_cache_nodes = budget_nodes;
+  TBTree plain_tree(plain_opt);
+  plain_tree.BuildFrom(store);
+  TrajectoryIndex::Options compressed_opt = plain_opt;
+  compressed_opt.node_cache_compressed = true;
+  TBTree compressed_tree(compressed_opt);
+  compressed_tree.BuildFrom(store);
+
+  Rng rng(static_cast<uint64_t>(seed));
+  std::vector<Trajectory> query_set;
+  query_set.reserve(static_cast<size_t>(queries));
+  for (int i = 0; i < queries; ++i) {
+    query_set.push_back(bench::MakeQuery(store, &rng, length));
+  }
+  MstOptions options;
+  options.k = static_cast<int>(k);
+
+  // ---- Leg 2: capacity and hit rate at one fixed byte budget -----------
+  const CacheProbe plain_probe =
+      ProbeCache(&plain_tree, store, query_set, options);
+  const CacheProbe compressed_probe =
+      ProbeCache(&compressed_tree, store, query_set, options);
+  const double capacity_ratio =
+      plain_probe.resident_nodes > 0
+          ? static_cast<double>(compressed_probe.resident_nodes) /
+                static_cast<double>(plain_probe.resident_nodes)
+          : 0.0;
+
+  // ---- Leg 3: decode-on-hit microbench ---------------------------------
+  // Standalone caches over the compressed tree's pages, everything
+  // resident, so a Lookup is a pure hit: pointer copy (plain) vs decode
+  // through the scratch page (compressed tier).
+  NodeCache plain_cache(static_cast<size_t>(node_count));
+  NodeCache compressed_cache(static_cast<size_t>(node_count));
+  compressed_cache.SetCompressedMode(true);
+  probe_tree.buffer().Flush();
+  for (PageId id = 0; id < node_count; ++id) {
+    const PageGuard guard = probe_tree.buffer().Pin(id);
+    const NodeRef node =
+        std::make_shared<const IndexNode>(IndexNode::Decode(*guard, id));
+    uint64_t version = 0;
+    (void)plain_cache.Lookup(id, &version);
+    plain_cache.Insert(id, node, version);
+    (void)compressed_cache.Lookup(id, &version);
+    compressed_cache.Insert(id, node, version, &*guard);
+  }
+  int64_t sink = 0;
+  TimeHitNs(plain_cache, node_count, 1, &sink);  // warm-up
+  TimeHitNs(compressed_cache, node_count, 1, &sink);
+  double plain_hit_ns = 1e300;
+  double decode_on_hit_ns = 1e300;
+  for (int64_t rep = 0; rep < repeats; ++rep) {
+    plain_hit_ns = std::min(
+        plain_hit_ns,
+        TimeHitNs(plain_cache, node_count, static_cast<int>(hit_reps), &sink));
+    decode_on_hit_ns =
+        std::min(decode_on_hit_ns,
+                 TimeHitNs(compressed_cache, node_count,
+                           static_cast<int>(hit_reps), &sink));
+  }
+  if (sink < 0) std::fprintf(stderr, "unreachable %" PRId64 "\n", sink);
+
+  // ---- Leg 4: warm k-MST throughput, identity-gated --------------------
+  PhaseResult plain_phase;
+  PhaseResult compressed_phase;
+  RunPass(plain_tree, store, query_set, options, &plain_phase);  // warm-up
+  RunPass(compressed_tree, store, query_set, options, &compressed_phase);
+  plain_phase.best_seconds = compressed_phase.best_seconds = 1e300;
+  std::fprintf(stderr, "[compressed_cache] measuring %" PRId64
+                       " interleaved plain/compressed pass pairs...\n",
+               repeats);
+  for (int rep = 0; rep < repeats; ++rep) {
+    RunPass(plain_tree, store, query_set, options, &plain_phase);
+    RunPass(compressed_tree, store, query_set, options, &compressed_phase);
+  }
+  if (!PhasesAgree("tbtree-perf", plain_phase, compressed_phase)) {
+    std::fprintf(stderr,
+                 "[compressed_cache] FAIL: the compressed cache tier "
+                 "changed results\n");
+    return 2;
+  }
+  const double qps_plain =
+      static_cast<double>(queries) / plain_phase.best_seconds;
+  const double qps_compressed =
+      static_cast<double>(queries) / compressed_phase.best_seconds;
+  const double warm_ratio = qps_plain > 0.0 ? qps_compressed / qps_plain : 0.0;
+
+  std::printf("== Compressed node cache: plain vs compressed tier ==\n");
+  std::printf("dataset %s, %" PRId64 " queries (len %.2f, k=%" PRId64
+              "), %" PRId64 " repeats, %" PRId64
+              " pages, cache budget %zu x 4 KB\n",
+              bench::SDatasetName(static_cast<int>(objects)).c_str(), queries,
+              length, k, repeats, node_count, budget_nodes);
+  std::printf("residency    : plain %zu nodes (%zu B), compressed %zu nodes "
+              "(%zu B) — %.2fx capacity\n",
+              plain_probe.resident_nodes, plain_probe.resident_bytes,
+              compressed_probe.resident_nodes,
+              compressed_probe.resident_bytes, capacity_ratio);
+  std::printf("hit rate     : plain %.3f, compressed %.3f (%" PRId64
+              " decode-on-hit serves)\n",
+              plain_probe.hit_rate, compressed_probe.hit_rate,
+              compressed_probe.compressed_hits);
+  std::printf("hit cost     : plain %.1f ns, compressed %.1f ns per lookup\n",
+              plain_hit_ns, decode_on_hit_ns);
+  std::printf("warm k-MST   : plain %8.1f q/s, compressed %8.1f q/s "
+              "(%.2fx)\n",
+              qps_plain, qps_compressed, warm_ratio);
+
+  if (std::FILE* f = bench::OpenBenchJson(out_path)) {
+    std::fprintf(f,
+                 "  \"dataset\": \"%s\",\n"
+                 "  \"samples_per_object\": %" PRId64 ",\n"
+                 "  \"queries\": %" PRId64 ",\n"
+                 "  \"k\": %" PRId64 ",\n"
+                 "  \"length_fraction\": %.4f,\n"
+                 "  \"repeats\": %" PRId64 ",\n"
+                 "  \"hit_reps\": %" PRId64 ",\n"
+                 "  \"seed\": %" PRId64 ",\n"
+                 "  \"cache_fraction\": %.4f,\n"
+                 "  \"node_count\": %" PRId64 ",\n"
+                 "  \"cache_budget_nodes\": %zu,\n"
+                 "  \"resident_nodes_plain\": %zu,\n"
+                 "  \"resident_nodes_compressed\": %zu,\n"
+                 "  \"resident_bytes_plain\": %zu,\n"
+                 "  \"resident_bytes_compressed\": %zu,\n"
+                 "  \"cached_capacity_ratio\": %.4f,\n"
+                 "  \"plain_hit_rate\": %.4f,\n"
+                 "  \"compressed_hit_rate\": %.4f,\n"
+                 "  \"plain_hit_ns\": %.2f,\n"
+                 "  \"decode_on_hit_ns\": %.2f,\n"
+                 "  \"qps_plain_cache\": %.2f,\n"
+                 "  \"qps_compressed_cache\": %.2f,\n"
+                 "  \"warm_cache_ratio\": %.4f\n"
+                 "}\n",
+                 bench::SDatasetName(static_cast<int>(objects)).c_str(),
+                 samples, queries, k, length, repeats, hit_reps, seed,
+                 cache_fraction, node_count, budget_nodes,
+                 plain_probe.resident_nodes, compressed_probe.resident_nodes,
+                 plain_probe.resident_bytes, compressed_probe.resident_bytes,
+                 capacity_ratio, plain_probe.hit_rate,
+                 compressed_probe.hit_rate, plain_hit_ns, decode_on_hit_ns,
+                 qps_plain, qps_compressed, warm_ratio);
+    std::fclose(f);
+    std::fprintf(stderr, "[compressed_cache] wrote %s\n", out_path.c_str());
+  } else {
+    std::fprintf(stderr, "[compressed_cache] cannot write %s\n",
+                 out_path.c_str());
+    return 3;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace mst
+
+int main(int argc, char** argv) { return mst::Main(argc, argv); }

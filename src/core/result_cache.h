@@ -136,6 +136,31 @@ class ResultCache {
     return min_admission_cost_.load(std::memory_order_relaxed);
   }
 
+  /// Switches admission to an online threshold: a Frugal-style streaming
+  /// median estimate of the observed finite refine costs replaces the
+  /// hand-set SetMinAdmissionCost constant, so roughly the cheaper half of
+  /// refinements stops competing for LRU slots without anyone tuning a
+  /// number per workload. Each finite-cost Insert compares against the
+  /// pre-update estimate, then nudges it one step toward the new cost
+  /// (±max(1, estimate/16), clamped at 0). Infinite costs (the default
+  /// argument) always admit and never feed the estimator. The estimator is
+  /// intentionally racy (relaxed atomics; a lost update is one lost step) —
+  /// admission is a pressure heuristic, and the Lookup path is untouched,
+  /// so results stay byte-identical like the fixed threshold. Default off.
+  void SetAdaptiveAdmission(bool on) {
+    adaptive_admission_.store(on, std::memory_order_relaxed);
+  }
+
+  bool adaptive_admission() const {
+    return adaptive_admission_.load(std::memory_order_relaxed);
+  }
+
+  /// Current streaming-median cost estimate (diagnostics/tests); 0 until
+  /// the first finite-cost insert under adaptive admission.
+  double admission_cost_estimate() const {
+    return admission_estimate_.load(std::memory_order_relaxed);
+  }
+
   size_t capacity() const { return capacity_; }
   bool enabled() const { return capacity_ > 0; }
   size_t shard_count() const { return shards_.size(); }
@@ -185,6 +210,8 @@ class ResultCache {
   size_t capacity_;
   std::vector<std::unique_ptr<internal::ResultCacheShard>> shards_;
   std::atomic<double> min_admission_cost_{0.0};
+  std::atomic<bool> adaptive_admission_{false};
+  std::atomic<double> admission_estimate_{0.0};
   mutable std::atomic<int64_t> hits_{0};
   mutable std::atomic<int64_t> misses_{0};
   mutable std::atomic<int64_t> stale_drops_{0};

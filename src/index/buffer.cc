@@ -6,7 +6,7 @@
 #include <utility>
 #include <vector>
 
-#include "src/index/leaf_codec_v3.h"
+#include "src/index/node_codec_v3.h"
 #include "src/util/check.h"
 
 namespace mst {
@@ -123,7 +123,9 @@ void BufferManager::AssignShardBudgets() {
 }
 
 size_t BufferManager::ChargeOf(const Page& page) const {
-  return byte_budget_ ? LeafPageOccupiedBytes(page) : 1;
+  // PageOccupiedBytes covers every flavor: compressed v3 leaf and internal
+  // pages charge their payload, raw v1/v2 pages the full 4 KB.
+  return byte_budget_ ? PageOccupiedBytes(page) : 1;
 }
 
 void BufferManager::EvictLocked(BufferShard& shard) {

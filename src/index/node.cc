@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "src/index/leaf_codec_v3.h"
+#include "src/index/node_codec_v3.h"
 #include "src/util/check.h"
 
 namespace mst {
@@ -143,7 +144,8 @@ Mbb3 IndexNode::Bounds() const {
   return m;
 }
 
-void IndexNode::EncodeTo(Page* page, LeafPageFormat leaf_format) const {
+void IndexNode::EncodeTo(Page* page, LeafPageFormat leaf_format,
+                         InternalPageFormat internal_format) const {
   const int count = Count();
   MST_CHECK_MSG(count <= kCapacity, "node overflow at encode time");
 
@@ -153,6 +155,12 @@ void IndexNode::EncodeTo(Page* page, LeafPageFormat leaf_format) const {
     // degrade to the raw v2 layout. Decode dispatches on the version byte,
     // so readers never notice.
     leaf_format = LeafPageFormat::kV2Soa;
+  }
+
+  if (!IsLeaf() && internal_format == InternalPageFormat::kV3Compressed) {
+    // Same degradation story as leaves: an incompressible internal node
+    // (adversarial child MBBs) falls through to the raw v1 layout below.
+    if (EncodeInternalV3(*this, page)) return;
   }
 
   if (IsLeaf() && leaf_format == LeafPageFormat::kV2Soa) {
@@ -178,7 +186,8 @@ void IndexNode::EncodeTo(Page* page, LeafPageFormat leaf_format) const {
     return;
   }
 
-  // v1 layout (internal nodes always; leaves when explicitly requested).
+  // v1 layout (internal nodes by default or as the incompressible fallback;
+  // leaves when explicitly requested).
   page->WriteAt<int32_t>(0, level);
   page->WriteAt<int32_t>(4, count);
   page->WriteAt<PageId>(8, parent);
@@ -256,6 +265,18 @@ IndexNode IndexNode::Decode(const Page& page, PageId self) {
     LeafBlock* block = node.leaves.PrepareForDecode(
         count, (flags & kV2FlagTimeSorted) != 0, bounds);
     DecodeV3Columns(page, count, block);
+    return node;
+  }
+  if (version == kV3InternalVersion) {
+    node.level = page.ReadAt<uint8_t>(kV2OffLevel);
+    MST_CHECK_MSG(node.level >= 1, "corrupt v3 internal level");
+    const int count = page.ReadAt<uint8_t>(kV2OffCount);
+    MST_CHECK_MSG(count <= kCapacity, "corrupt v3 internal count");
+    node.parent = page.ReadAt<PageId>(kV2OffParent);
+    node.prev_leaf = page.ReadAt<PageId>(kV2OffPrevLeaf);
+    node.next_leaf = page.ReadAt<PageId>(kV2OffNextLeaf);
+    node.internals.resize(static_cast<size_t>(count));
+    DecodeInternalV3(page, count, node.internals.data());
     return node;
   }
   MST_CHECK_MSG(version == 0, "unknown node format version");

@@ -22,20 +22,21 @@
 //                      Incompressible leaves degrade to plain v2 pages at
 //                      encode time.
 //
-// Internal nodes always use the v1 layout. Fanout is (4096 − 24) / 56 = 72
-// entries at every level in every format — index sizes and node-access
-// counts are layout-independent, which keeps the paper's Table 2 / Fig 8–10
-// metrics byte-identical across formats. (v3 deliberately keeps the logical
-// fanout at 72 too: the compression win is taken as smaller resident frames
-// in a byte-budgeted buffer pool, not as a larger fanout, so tree shapes and
-// access counts stay comparable across formats.)
+// Internal nodes use the v1 layout by default, or a v3 compressed layout
+// (version byte 4; see src/index/node_codec_v3.h) when configured. Fanout is
+// (4096 − 24) / 56 = 72 entries at every level in every format — index sizes
+// and node-access counts are layout-independent, which keeps the paper's
+// Table 2 / Fig 8–10 metrics byte-identical across formats. (v3 deliberately
+// keeps the logical fanout at 72 too: the compression win is taken as
+// smaller resident frames in a byte-budgeted buffer pool, not as a larger
+// fanout, so tree shapes and access counts stay comparable across formats.)
 //
 // Format discrimination: byte 1 of the page. v1 pages store the node level
 // there as the second byte of a little-endian int32 — always 0 for the tiny
 // tree heights involved — while v2/v3 leaf pages store the version value 2
-// or 3. (The codec, like the v1 entry memcpy before it, assumes a
-// little-endian host.) Old index files therefore load unchanged through the
-// v1 shim.
+// or 3 and v3 internal pages store 4. (The codec, like the v1 entry memcpy
+// before it, assumes a little-endian host.) Old index files therefore load
+// unchanged through the v1 shim.
 
 #ifndef MST_INDEX_NODE_H_
 #define MST_INDEX_NODE_H_
@@ -105,6 +106,15 @@ enum class LeafPageFormat : uint8_t {
   kV2Soa = 2,        ///< column-major entries (the default)
   kV3Compressed = 3, ///< compressed columns (src/index/leaf_codec_v3.h);
                      ///< incompressible leaves degrade to v2 pages
+};
+
+/// Which on-page layout EncodeTo emits for internal nodes. Values equal the
+/// page's version byte.
+enum class InternalPageFormat : uint8_t {
+  kV1Aos = 0,        ///< raw row-major entries (the default)
+  kV3Compressed = 4, ///< compressed MBB/child columns
+                     ///< (src/index/node_codec_v3.h); incompressible nodes
+                     ///< degrade to v1 pages
 };
 
 /// v1 header size / entry size and the per-node fanout both formats share.
@@ -346,9 +356,12 @@ struct IndexNode {
   Mbb3 Bounds() const;
 
   /// Serializes into `page` (asserts Count() <= kCapacity). Leaf nodes are
-  /// written in `leaf_format`; internal nodes always in the v1 layout.
+  /// written in `leaf_format`, internal nodes in `internal_format`;
+  /// incompressible nodes degrade to the corresponding raw layout.
   void EncodeTo(Page* page,
-                LeafPageFormat leaf_format = LeafPageFormat::kV2Soa) const;
+                LeafPageFormat leaf_format = LeafPageFormat::kV2Soa,
+                InternalPageFormat internal_format =
+                    InternalPageFormat::kV1Aos) const;
 
   /// Parses a node from `page`, dispatching on the page's format version;
   /// `self` is recorded for convenience.

@@ -1,0 +1,422 @@
+#include "src/index/node_codec_v3.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+#include "src/index/v3_column_codec.h"
+#include "src/util/check.h"
+
+namespace mst {
+namespace {
+
+// Header field offsets shared with the v2/v3 leaf layout (see node.cc).
+constexpr size_t kOffLevel = 0;
+constexpr size_t kOffVersion = 1;
+constexpr size_t kOffFlags = 2;
+constexpr size_t kOffCount = 3;
+constexpr size_t kOffParent = 4;
+constexpr size_t kOffPrevLeaf = 8;
+constexpr size_t kOffNextLeaf = 12;
+constexpr size_t kOffBounds = 16;
+
+using v3detail::ColPlan;
+using v3detail::DodDeltas;
+using v3detail::DoubleKey;
+using v3detail::ExpectedLen;
+using v3detail::FindFixedScale;
+using v3detail::FixedDeltas;
+using v3detail::ForDeltas;
+using v3detail::IdKey;
+using v3detail::KeyDouble;
+using v3detail::KeyId;
+using v3detail::kInvalidLen;
+using v3detail::kMaxPackedWidth;
+using v3detail::PackBits;
+using v3detail::PackedBytes;
+using v3detail::UnZigZag;
+
+// Column gathering: the six MBB coordinate columns in Mbb3 declaration
+// order (xlo ylo tlo xhi yhi thi), then the child page ids widened to
+// int64 so the shared order-preserving bijection applies unchanged.
+struct InternalColumns {
+  double coords[6][kNodeCapacity];
+  uint64_t words[kV3ColumnCount][kNodeCapacity];  // raw bit patterns
+  uint64_t keys[kV3ColumnCount][kNodeCapacity];   // monotone u64 keys
+};
+
+void GatherColumns(const IndexNode& node, int n, InternalColumns* g) {
+  for (int i = 0; i < n; ++i) {
+    const InternalEntry& e = node.internals[static_cast<size_t>(i)];
+    g->coords[0][i] = e.mbb.xlo;
+    g->coords[1][i] = e.mbb.ylo;
+    g->coords[2][i] = e.mbb.tlo;
+    g->coords[3][i] = e.mbb.xhi;
+    g->coords[4][i] = e.mbb.yhi;
+    g->coords[5][i] = e.mbb.thi;
+  }
+  for (int c = 0; c < 6; ++c) {
+    for (int i = 0; i < n; ++i) {
+      g->words[c][i] = std::bit_cast<uint64_t>(g->coords[c][i]);
+      g->keys[c][i] = DoubleKey(g->coords[c][i]);
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    const int64_t child =
+        static_cast<int64_t>(node.internals[static_cast<size_t>(i)].child);
+    g->words[6][i] = static_cast<uint64_t>(child);
+    g->keys[6][i] = IdKey(static_cast<TrajectoryId>(child));
+  }
+}
+
+// Smallest applicable encoding for one column, ties broken by lower tag —
+// the same deterministic rule as the leaf planner, minus kColLink (sibling
+// MBBs have no start/end linkage). `dvals` is null for the child column,
+// which rules kColFixed out.
+ColPlan PlanColumn(const uint64_t* words, const uint64_t* keys,
+                   const double* dvals, int n) {
+  if (n == 0) return ColPlan{kColRaw, 0, 0, 0};
+  ColPlan best{kColRaw, static_cast<uint32_t>(8 * n), 0, 0};
+  const auto consider = [&best](const ColPlan& p) {
+    if (p.len < best.len || (p.len == best.len && p.tag < best.tag)) best = p;
+  };
+  uint64_t scratch[kNodeCapacity];
+
+  bool all_equal = true;
+  for (int i = 1; i < n && all_equal; ++i) all_equal = words[i] == words[0];
+  if (all_equal) consider({kColConst, 8, 0, 0});
+
+  if (dvals != nullptr) {
+    const int s = FindFixedScale(dvals, n);
+    if (s >= 0) {
+      int64_t ref;
+      int w;
+      if (FixedDeltas(dvals, n, s, scratch, &ref, &w)) {
+        consider({kColFixed, static_cast<uint32_t>(10 + PackedBytes(n, w)),
+                  static_cast<uint8_t>(w), static_cast<uint8_t>(s)});
+      }
+    }
+  }
+
+  {
+    uint64_t ref;
+    int w;
+    if (ForDeltas(keys, n, scratch, &ref, &w)) {
+      consider({kColFor, static_cast<uint32_t>(9 + PackedBytes(n, w)),
+                static_cast<uint8_t>(w), 0});
+    }
+  }
+
+  if (n == 1) {
+    consider({kColDod, 8, 0, 0});
+  } else {
+    int w;
+    if (DodDeltas(keys, n, scratch, &w)) {
+      consider({kColDod, static_cast<uint32_t>(17 + PackedBytes(n - 2, w)),
+                static_cast<uint8_t>(w), 0});
+    }
+  }
+
+  return best;
+}
+
+void WriteColumn(const uint64_t* words, const uint64_t* keys,
+                 const double* dvals, int n, const ColPlan& plan,
+                 uint8_t* dst) {
+  uint64_t scratch[kNodeCapacity];
+  const auto put64 = [&dst](uint64_t x) {
+    std::memcpy(dst, &x, 8);
+    dst += 8;
+  };
+  switch (plan.tag) {
+    case kColRaw:
+      if (n > 0) std::memcpy(dst, words, static_cast<size_t>(n) * 8);
+      return;
+    case kColConst:
+      put64(words[0]);
+      return;
+    case kColFor: {
+      uint64_t ref;
+      int w;
+      MST_CHECK(ForDeltas(keys, n, scratch, &ref, &w));
+      put64(ref);
+      *dst++ = static_cast<uint8_t>(w);
+      if (w > 0) PackBits(scratch, n, w, dst);
+      return;
+    }
+    case kColDod: {
+      put64(keys[0]);
+      if (n == 1) return;
+      put64(keys[1] - keys[0]);
+      int w;
+      MST_CHECK(DodDeltas(keys, n, scratch, &w));
+      *dst++ = static_cast<uint8_t>(w);
+      if (w > 0 && n > 2) PackBits(scratch, n - 2, w, dst);
+      return;
+    }
+    case kColFixed: {
+      int64_t ref;
+      int w;
+      MST_CHECK(FixedDeltas(dvals, n, plan.scale, scratch, &ref, &w));
+      *dst++ = plan.scale;
+      put64(static_cast<uint64_t>(ref));
+      *dst++ = static_cast<uint8_t>(w);
+      if (w > 0) PackBits(scratch, n, w, dst);
+      return;
+    }
+  }
+  MST_CHECK_MSG(false, "unreachable column tag");
+}
+
+}  // namespace
+
+bool IsV3InternalPage(const Page& page) {
+  return page.ReadAt<uint8_t>(kOffVersion) == kV3InternalVersion;
+}
+
+std::array<uint8_t, kV3ColumnCount> V3InternalColumnTags(const Page& page) {
+  MST_DCHECK(IsV3InternalPage(page));
+  std::array<uint8_t, kV3ColumnCount> tags;
+  std::memcpy(tags.data(), page.bytes.data() + kV3OffTags, tags.size());
+  return tags;
+}
+
+size_t PageOccupiedBytes(const Page& page) {
+  if (!IsV3LeafPage(page) && !IsV3InternalPage(page)) return kPageSize;
+  // v3 leaf and v3 internal share the subheader geometry, so the occupied
+  // prefix is header + the seven column lengths for both.
+  size_t total = kV3OffPayload;
+  for (int c = 0; c < kV3ColumnCount; ++c) {
+    total += page.ReadAt<uint16_t>(kV3OffLengths + 2 * static_cast<size_t>(c));
+  }
+  return std::min(total, kPageSize);
+}
+
+bool EncodeInternalV3(const IndexNode& node, Page* page) {
+  MST_CHECK(!node.IsLeaf());
+  const int n = node.Count();
+  MST_CHECK_MSG(n <= kNodeCapacity, "node overflow at encode time");
+  MST_CHECK_MSG(node.level >= 1 && node.level <= 255,
+                "internal level out of byte range");
+
+  InternalColumns g;
+  GatherColumns(node, n, &g);
+
+  ColPlan plans[kV3ColumnCount];
+  size_t total = kV3OffPayload;
+  for (int c = 0; c < kV3ColumnCount; ++c) {
+    plans[c] = PlanColumn(g.words[c], g.keys[c],
+                          c < 6 ? g.coords[c] : nullptr, n);
+    total += plans[c].len;
+  }
+  if (total + kV3PayloadSlack > kPageSize) return false;
+
+  std::memset(page->bytes.data(), 0, kPageSize);
+  page->WriteAt<uint8_t>(kOffLevel, static_cast<uint8_t>(node.level));
+  page->WriteAt<uint8_t>(kOffVersion, kV3InternalVersion);
+  page->WriteAt<uint8_t>(kOffFlags, 0);
+  page->WriteAt<uint8_t>(kOffCount, static_cast<uint8_t>(n));
+  page->WriteAt<PageId>(kOffParent, node.parent);
+  page->WriteAt<PageId>(kOffPrevLeaf, node.prev_leaf);
+  page->WriteAt<PageId>(kOffNextLeaf, node.next_leaf);
+  page->WriteAt<Mbb3>(kOffBounds, node.Bounds());
+
+  uint8_t* const bytes = page->bytes.data();
+  size_t cursor = kV3OffPayload;
+  for (int c = 0; c < kV3ColumnCount; ++c) {
+    bytes[kV3OffTags + static_cast<size_t>(c)] = plans[c].tag;
+    page->WriteAt<uint16_t>(kV3OffLengths + 2 * static_cast<size_t>(c),
+                            static_cast<uint16_t>(plans[c].len));
+    WriteColumn(g.words[c], g.keys[c], c < 6 ? g.coords[c] : nullptr, n,
+                plans[c], bytes + cursor);
+    cursor += plans[c].len;
+  }
+  return true;
+}
+
+void DecodeInternalV3(const Page& page, int count, InternalEntry* entries) {
+  // No SIMD clones here: internal pages are a sliver of reads (one per
+  // level per traversal vs. dozens of leaves), so the fused portable loops
+  // are plenty — the leaf decoder is where the dispatch lives.
+  MST_CHECK_MSG(count >= 0 && count <= kNodeCapacity,
+                "corrupt v3 internal count");
+  const uint8_t* const bytes = page.bytes.data();
+  const int n = count;
+
+  uint32_t lens[kV3ColumnCount];
+  size_t total = kV3OffPayload;
+  for (int c = 0; c < kV3ColumnCount; ++c) {
+    lens[c] = page.ReadAt<uint16_t>(kV3OffLengths + 2 * static_cast<size_t>(c));
+    total += lens[c];
+  }
+  MST_CHECK_MSG(total + kV3PayloadSlack <= kPageSize,
+                "corrupt v3 internal column lengths");
+
+  double coords[6][kNodeCapacity];
+  uint64_t child[kNodeCapacity];
+  size_t cursor = kV3OffPayload;
+  for (int c = 0; c < kV3ColumnCount; ++c) {
+    const uint8_t tag = bytes[kV3OffTags + static_cast<size_t>(c)];
+    const uint8_t* p = bytes + cursor;
+    MST_CHECK_MSG(ExpectedLen(tag, n, p, lens[c]) == lens[c],
+                  "corrupt v3 internal column");
+    MST_CHECK_MSG(tag != kColLink, "corrupt v3 internal column tag");
+    cursor += lens[c];
+
+    const auto get64 = [&p]() {
+      uint64_t x;
+      std::memcpy(&x, p, 8);
+      p += 8;
+      return x;
+    };
+    // One unaligned 64-bit load + shift + mask per lane; w ≤ 57 keeps
+    // shift + width inside the load, the encoder's kV3PayloadSlack keeps
+    // the last load inside the page (see the leaf decoder).
+    const auto lane = [&p](size_t bit, uint64_t mask) {
+      uint64_t cur;
+      std::memcpy(&cur, p + (bit >> 3), sizeof(cur));
+      return (cur >> (bit & 7)) & mask;
+    };
+    double* const out = c < 6 ? coords[c] : nullptr;
+
+    switch (tag) {
+      case kColRaw:
+        if (c < 6) {
+          std::memcpy(out, p, static_cast<size_t>(n) * 8);
+        } else {
+          std::memcpy(child, p, static_cast<size_t>(n) * 8);
+        }
+        break;
+      case kColConst: {
+        const uint64_t w = get64();
+        if (c < 6) {
+          std::fill_n(out, n, std::bit_cast<double>(w));
+        } else {
+          std::fill_n(child, n, w);
+        }
+        break;
+      }
+      case kColFor: {
+        const uint64_t ref = get64();
+        const int w = *p++;
+        const uint64_t mask = (1ull << w) - 1ull;
+        size_t bit = 0;
+        if (c < 6) {
+          for (int i = 0; i < n; ++i, bit += static_cast<size_t>(w)) {
+            out[i] = KeyDouble(ref + lane(bit, mask));
+          }
+        } else {
+          for (int i = 0; i < n; ++i, bit += static_cast<size_t>(w)) {
+            child[i] = static_cast<uint64_t>(KeyId(ref + lane(bit, mask)));
+          }
+        }
+        break;
+      }
+      case kColDod: {
+        uint64_t key = get64();
+        uint64_t d = 0;
+        int w = 0;
+        uint64_t mask = 0;
+        if (n >= 2) {
+          d = get64();
+          w = *p++;
+          mask = (1ull << w) - 1ull;
+        }
+        if (c < 6) {
+          out[0] = KeyDouble(key);
+          if (n >= 2) {
+            key += d;
+            out[1] = KeyDouble(key);
+            size_t bit = 0;
+            for (int i = 2; i < n; ++i, bit += static_cast<size_t>(w)) {
+              d += UnZigZag(lane(bit, mask));
+              key += d;
+              out[i] = KeyDouble(key);
+            }
+          }
+        } else {
+          child[0] = static_cast<uint64_t>(KeyId(key));
+          if (n >= 2) {
+            key += d;
+            child[1] = static_cast<uint64_t>(KeyId(key));
+            size_t bit = 0;
+            for (int i = 2; i < n; ++i, bit += static_cast<size_t>(w)) {
+              d += UnZigZag(lane(bit, mask));
+              key += d;
+              child[i] = static_cast<uint64_t>(KeyId(key));
+            }
+          }
+        }
+        break;
+      }
+      case kColFixed: {
+        const int s = *p++;
+        const int64_t ref = static_cast<int64_t>(get64());
+        const int w = *p++;
+        const uint64_t mask = (1ull << w) - 1ull;
+        // Exact: |ref + delta| ≤ 2^53 and the scale is a power of two (see
+        // the leaf decoder).
+        const double inv = std::ldexp(1.0, -s);
+        size_t bit = 0;
+        MST_CHECK_MSG(c < 6, "corrupt v3 internal column tag");
+        for (int i = 0; i < n; ++i, bit += static_cast<size_t>(w)) {
+          out[i] = static_cast<double>(
+                       ref + static_cast<int64_t>(lane(bit, mask))) *
+                   inv;
+        }
+        break;
+      }
+      default:
+        MST_CHECK_MSG(false, "corrupt v3 internal column tag");
+    }
+  }
+
+  for (int i = 0; i < n; ++i) {
+    InternalEntry e;
+    e.mbb.xlo = coords[0][i];
+    e.mbb.ylo = coords[1][i];
+    e.mbb.tlo = coords[2][i];
+    e.mbb.xhi = coords[3][i];
+    e.mbb.yhi = coords[4][i];
+    e.mbb.thi = coords[5][i];
+    e.child = static_cast<PageId>(static_cast<int64_t>(child[i]));
+    e.pad = 0;
+    entries[i] = e;
+  }
+}
+
+std::string ValidateV3InternalPage(const Page& page) {
+  if (!IsV3InternalPage(page)) return "not a v3 internal page";
+  if (page.ReadAt<uint8_t>(kOffLevel) < 1) {
+    return "internal page at leaf level";
+  }
+  const int n = page.ReadAt<uint8_t>(kOffCount);
+  if (n > kNodeCapacity) return "oversized entry count";
+
+  uint32_t lens[kV3ColumnCount];
+  size_t total = kV3OffPayload;
+  for (int c = 0; c < kV3ColumnCount; ++c) {
+    lens[c] = page.ReadAt<uint16_t>(kV3OffLengths + 2 * static_cast<size_t>(c));
+    total += lens[c];
+  }
+  if (total + kV3PayloadSlack > kPageSize) {
+    return "column lengths overflow the page";
+  }
+
+  size_t cursor = kV3OffPayload;
+  for (int c = 0; c < kV3ColumnCount; ++c) {
+    const uint8_t tag = page.ReadAt<uint8_t>(kV3OffTags + static_cast<size_t>(c));
+    if (tag > kColFixed) return "bad column encoding tag";
+    if (tag == kColLink) return "link encoding on an internal column";
+    if (tag == kColFixed && c == 6) return "fixed encoding on the child column";
+    const uint32_t expected =
+        ExpectedLen(tag, n, page.bytes.data() + cursor, lens[c]);
+    if (expected == kInvalidLen || expected != lens[c]) {
+      return "truncated or mis-sized column payload";
+    }
+    cursor += lens[c];
+  }
+  return std::string();
+}
+
+}  // namespace mst

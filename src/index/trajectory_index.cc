@@ -21,8 +21,11 @@ TrajectoryIndex::TrajectoryIndex(const Options& options)
     : file_(),
       buffer_(&file_, options.build_buffer_pages),
       node_cache_(options.node_cache_nodes),
-      leaf_format_(options.leaf_format) {
+      leaf_format_(options.leaf_format),
+      internal_format_(options.internal_format) {
   if (options.buffer_budget_bytes) buffer_.SetByteBudgetMode(true);
+  if (options.node_cache_budget_bytes) node_cache_.SetByteBudgetMode(true);
+  if (options.node_cache_compressed) node_cache_.SetCompressedMode(true);
 }
 
 TrajectoryIndex::~TrajectoryIndex() = default;
@@ -65,7 +68,7 @@ NodeRef TrajectoryIndex::ReadNode(PageId id) const {
   if (NodeRef cached = node_cache_.Lookup(id, &version)) return cached;
   const PageGuard guard = buffer_.Pin(id);
   NodeRef node = std::make_shared<const IndexNode>(IndexNode::Decode(*guard, id));
-  node_cache_.Insert(id, node, version);
+  node_cache_.Insert(id, node, version, &*guard);
   return node;
 }
 
@@ -109,7 +112,7 @@ void TrajectoryIndex::WriteNode(const IndexNode& node) {
   MST_DCHECK(node.self != kInvalidPageId);
   {
     PageGuard guard = buffer_.PinMutable(node.self);
-    node.EncodeTo(guard.mutable_page(), leaf_format_);
+    node.EncodeTo(guard.mutable_page(), leaf_format_, internal_format_);
   }
   // Bump the page version after the bytes change: a concurrent decode of
   // the old bytes observed the old version and will fail to publish.

@@ -40,15 +40,24 @@ class TrajectoryIndex {
   /// columnar by default; v1 row-major for compatibility experiments; v3
   /// compressed columnar for the byte-budgeted buffer configurations —
   /// either way old pages of every format decode transparently).
+  /// `internal_format` does the same for internal nodes (raw v1 by default;
+  /// v3 compressed columnar keeps routing levels small too).
   /// `buffer_budget_bytes` switches the page buffer to its byte budget
   /// (see BufferManager::SetByteBudgetMode): pointless for raw formats,
   /// but with v3 leaves the same budget keeps proportionally more of the
-  /// index resident.
+  /// index resident. `node_cache_budget_bytes` does the same for the
+  /// decoded-node cache (budget = node_cache_nodes × 4 KB, charged per
+  /// entry by actual resident bytes), and `node_cache_compressed` switches
+  /// the cache to retaining encoded v3 page bytes, decoding on hit — see
+  /// NodeCache::SetCompressedMode.
   struct Options {
     size_t build_buffer_pages = 4096;
     size_t node_cache_nodes = 4096;
     LeafPageFormat leaf_format = LeafPageFormat::kV2Soa;
+    InternalPageFormat internal_format = InternalPageFormat::kV1Aos;
     bool buffer_budget_bytes = false;
+    bool node_cache_budget_bytes = false;
+    bool node_cache_compressed = false;
   };
 
   virtual ~TrajectoryIndex();
@@ -179,6 +188,9 @@ class TrajectoryIndex {
   /// On-page leaf layout this index writes (decoding accepts both).
   LeafPageFormat leaf_format() const { return leaf_format_; }
 
+  /// On-page internal-node layout this index writes (decoding accepts both).
+  InternalPageFormat internal_format() const { return internal_format_; }
+
   /// Structural invariant check (MBB containment, counts, parent links where
   /// maintained). Aborts on violation; O(nodes). For tests.
   void CheckInvariants() const;
@@ -233,6 +245,7 @@ class TrajectoryIndex {
   mutable BufferManager buffer_;
   mutable NodeCache node_cache_;
   LeafPageFormat leaf_format_ = LeafPageFormat::kV2Soa;
+  InternalPageFormat internal_format_ = InternalPageFormat::kV1Aos;
   PageId root_ = kInvalidPageId;
   int height_ = 0;
   int64_t entry_count_ = 0;

@@ -7,6 +7,7 @@
 
 #include "src/index/leaf_codec_v3.h"
 #include "src/index/node.h"
+#include "src/index/node_codec_v3.h"
 #include "src/util/check.h"
 
 namespace mst {
@@ -21,6 +22,16 @@ const char* FormatName(LeafPageFormat format) {
     case LeafPageFormat::kV2Soa:
       return "v2 (SoA)";
     case LeafPageFormat::kV3Compressed:
+      return "v3 (compressed)";
+  }
+  return "unknown";
+}
+
+const char* FormatName(InternalPageFormat format) {
+  switch (format) {
+    case InternalPageFormat::kV1Aos:
+      return "v1 (AoS)";
+    case InternalPageFormat::kV3Compressed:
       return "v3 (compressed)";
   }
   return "unknown";
@@ -166,17 +177,25 @@ std::unique_ptr<TrajectoryIndex> LoadIndex(const std::string& path,
     SetError(error, path + ": trailing bytes after page payload");
     return nullptr;
   }
-  // Compressed leaf pages carry enough structure to be mis-parsed into
-  // out-of-bounds column reads, so they are the one page flavor validated
-  // up front instead of trusted (v1/v2 pages are fixed-layout; their decode
+  // Compressed pages carry enough structure to be mis-parsed into
+  // out-of-bounds column reads, so they are the page flavors validated up
+  // front instead of trusted (v1/v2 pages are fixed-layout; their decode
   // checks suffice).
   for (size_t i = 0; i < pages.size(); ++i) {
-    if (!IsV3LeafPage(pages[i])) continue;
-    const std::string problem = ValidateV3LeafPage(pages[i]);
-    if (!problem.empty()) {
-      SetError(error, path + ": corrupt v3 leaf page " + std::to_string(i) +
-                          ": " + problem);
-      return nullptr;
+    if (IsV3LeafPage(pages[i])) {
+      const std::string problem = ValidateV3LeafPage(pages[i]);
+      if (!problem.empty()) {
+        SetError(error, path + ": corrupt v3 leaf page " + std::to_string(i) +
+                            ": " + problem);
+        return nullptr;
+      }
+    } else if (IsV3InternalPage(pages[i])) {
+      const std::string problem = ValidateV3InternalPage(pages[i]);
+      if (!problem.empty()) {
+        SetError(error, path + ": corrupt v3 internal page " +
+                            std::to_string(i) + ": " + problem);
+        return nullptr;
+      }
     }
   }
   if (options.read_write) {
@@ -189,9 +208,11 @@ std::unique_ptr<TrajectoryIndex> LoadIndex(const std::string& path,
     // whole file v3.
     bool file_has_v2_leaf = false;
     bool file_has_v3_leaf = false;
+    bool file_has_v3_internal = false;
     for (const Page& page : pages) {
       if (IsV3LeafPage(page)) file_has_v3_leaf = true;
       else if (IsV2LeafPage(page)) file_has_v2_leaf = true;
+      else if (IsV3InternalPage(page)) file_has_v3_internal = true;
     }
     const LeafPageFormat file_format =
         file_has_v3_leaf ? LeafPageFormat::kV3Compressed
@@ -204,6 +225,23 @@ std::unique_ptr<TrajectoryIndex> LoadIndex(const std::string& path,
                           FormatName(file_format) +
                           " leaf pages; open read-only or rebuild the index "
                           "in the requested format");
+      return nullptr;
+    }
+    // Same story for internal pages (v3 internal files legitimately contain
+    // v1 fallback pages for incompressible nodes, so any v3 internal page
+    // marks the file v3-internal).
+    const InternalPageFormat file_internal_format =
+        file_has_v3_internal ? InternalPageFormat::kV3Compressed
+                             : InternalPageFormat::kV1Aos;
+    if (header.page_count > 0 &&
+        options.index.internal_format != file_internal_format) {
+      SetError(error,
+               path + ": cannot open read-write: requested " +
+                   FormatName(options.index.internal_format) +
+                   " internal-node writes, but the file stores " +
+                   FormatName(file_internal_format) +
+                   " internal pages; open read-only or rebuild the index "
+                   "in the requested format");
       return nullptr;
     }
     SetError(error,

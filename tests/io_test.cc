@@ -9,6 +9,7 @@
 #include "src/core/mst_search.h"
 #include "src/gen/gstd.h"
 #include "src/index/leaf_codec_v3.h"
+#include "src/index/node_codec_v3.h"
 #include "src/index/rtree3d.h"
 #include "src/index/tbtree.h"
 #include "src/io/csv.h"
@@ -392,6 +393,101 @@ TEST(IndexIoTest, RejectsCorruptV3LeafPages) {
   PatchFile(path, page + static_cast<long>(kV3OffLengths), &byte, 1);
   EXPECT_EQ(LoadIndex(path, &error), nullptr);
   EXPECT_NE(error.find("column payload"), std::string::npos) << error;
+}
+
+// Byte offset of the first v3 compressed *internal* page (level >= 1,
+// version byte 4), or -1 when none exists.
+long FindV3InternalPageOffset(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return -1;
+  for (long offset = 8 + 64;; offset += static_cast<long>(kPageSize)) {
+    uint8_t head[2];
+    if (std::fseek(f, offset, SEEK_SET) != 0 ||
+        std::fread(head, 1, 2, f) != 2) {
+      std::fclose(f);
+      return -1;
+    }
+    if (head[0] >= 1 && head[1] == kV3InternalVersion) {
+      std::fclose(f);
+      return offset;
+    }
+  }
+}
+
+TEST(IndexIoTest, RejectsCorruptV3InternalPages) {
+  const TrajectoryStore store = SampleStore();
+  TBTree::Options opt;
+  opt.internal_format = InternalPageFormat::kV3Compressed;
+  TBTree tree(opt);
+  tree.BuildFrom(store);
+  const std::string path = TempPath("corrupt_v3_internal.mst");
+
+  ASSERT_TRUE(SaveIndex(tree, path));
+  const long page = FindV3InternalPageOffset(path);
+  ASSERT_GT(page, 0) << "expected at least one compressed internal page";
+  std::string error;
+  ASSERT_NE(LoadIndex(path, &error), nullptr) << error;
+
+  // An undefined column encoding tag.
+  uint8_t byte = 200;
+  PatchFile(path, page + static_cast<long>(kV3OffTags), &byte, 1);
+  EXPECT_EQ(LoadIndex(path, &error), nullptr);
+  EXPECT_NE(error.find("corrupt v3 internal page"), std::string::npos)
+      << error;
+  EXPECT_NE(error.find("encoding tag"), std::string::npos) << error;
+
+  // The leaf-only link encoding smuggled onto an internal column.
+  ASSERT_TRUE(SaveIndex(tree, path));
+  byte = kColLink;
+  PatchFile(path, page + static_cast<long>(kV3OffTags), &byte, 1);
+  EXPECT_EQ(LoadIndex(path, &error), nullptr);
+  EXPECT_NE(error.find("link"), std::string::npos) << error;
+
+  // An entry count beyond node capacity.
+  ASSERT_TRUE(SaveIndex(tree, path));
+  byte = 255;
+  PatchFile(path, page + 3, &byte, 1);
+  EXPECT_EQ(LoadIndex(path, &error), nullptr);
+  EXPECT_NE(error.find("entry count"), std::string::npos) << error;
+
+  // A mis-sized column payload (first column's length field inflated).
+  ASSERT_TRUE(SaveIndex(tree, path));
+  FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, page + static_cast<long>(kV3OffLengths), SEEK_SET),
+            0);
+  ASSERT_EQ(std::fread(&byte, 1, 1, f), 1u);
+  std::fclose(f);
+  byte += 1;
+  PatchFile(path, page + static_cast<long>(kV3OffLengths), &byte, 1);
+  EXPECT_EQ(LoadIndex(path, &error), nullptr);
+  EXPECT_NE(error.find("column payload"), std::string::npos) << error;
+}
+
+TEST(IndexIoTest, OpenDiagnosesInternalFormatMismatchOnReadWrite) {
+  const TrajectoryStore store = SampleStore();
+
+  RTree3D v3_tree{[] {
+    TrajectoryIndex::Options o;
+    o.internal_format = InternalPageFormat::kV3Compressed;
+    return o;
+  }()};
+  v3_tree.BulkLoad(store);
+  const std::string path = TempPath("v3_internals.mst");
+  ASSERT_TRUE(SaveIndex(v3_tree, path));
+
+  // Leaf format matches (v2 both sides); only the internal format differs —
+  // the error must name internal pages, not leaves.
+  IndexOpenOptions want_v1_internal;
+  want_v1_internal.read_write = true;
+  std::string error;
+  EXPECT_EQ(LoadIndex(path, want_v1_internal, &error), nullptr);
+  EXPECT_NE(error.find("internal pages"), std::string::npos) << error;
+  EXPECT_NE(error.find("stores v3 (compressed)"), std::string::npos) << error;
+
+  // Read-only never cares about either format knob.
+  want_v1_internal.read_write = false;
+  EXPECT_NE(LoadIndex(path, want_v1_internal, &error), nullptr) << error;
 }
 
 TEST(IndexIoTest, RejectsTruncatedFile) {

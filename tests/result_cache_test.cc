@@ -218,6 +218,84 @@ TEST(ResultCacheTest, AdmissionPolicyKeepsResultsByteIdentical) {
   EXPECT_GT(admit_all.hits(), 0);
 }
 
+TEST(ResultCacheTest, AdaptiveAdmissionTracksObservedCostsOnline) {
+  ResultCache cache(/*capacity_entries=*/8, /*num_shards=*/1);
+  EXPECT_FALSE(cache.adaptive_admission());  // default off
+  cache.SetAdaptiveAdmission(true);
+  ASSERT_TRUE(cache.adaptive_admission());
+  EXPECT_EQ(cache.admission_cost_estimate(), 0.0);
+
+  // The very first finite cost beats the zero estimate and is admitted.
+  cache.Insert(KeyOf(1), MarkedValue(1, 0), 0, /*cost=*/50.0);
+  EXPECT_EQ(cache.resident_entries(), 1u);
+  EXPECT_GT(cache.admission_cost_estimate(), 0.0);
+
+  // A stream with median ~100 pulls the streaming estimate toward it.
+  Rng rng(7);
+  for (int i = 0; i < 400; ++i) {
+    const double cost = 100.0 + rng.Uniform(-5.0, 5.0);
+    cache.Insert(KeyOf(2 + (i % 4)), MarkedValue(2, 0), 0, cost);
+  }
+  EXPECT_GT(cache.admission_cost_estimate(), 50.0);
+  EXPECT_LT(cache.admission_cost_estimate(), 150.0);
+
+  // A far-below-median refinement is now skipped without a tuned constant…
+  const int64_t skips = cache.admission_skips();
+  cache.Insert(KeyOf(7), MarkedValue(7, 0), 0, /*cost=*/1.0);
+  EXPECT_EQ(cache.admission_skips(), skips + 1);
+  DissimResult out;
+  EXPECT_FALSE(cache.Lookup(KeyOf(7), 0, &out));
+  // …while a far-above one is admitted, as is the default infinite cost
+  // (unknown costs must never be rejected).
+  cache.Insert(KeyOf(8), MarkedValue(8, 0), 0, /*cost=*/1e6);
+  cache.Insert(KeyOf(9), MarkedValue(9, 0), 0);
+  EXPECT_TRUE(cache.Lookup(KeyOf(8), 0, &out));
+  EXPECT_TRUE(cache.Lookup(KeyOf(9), 0, &out));
+}
+
+// Adaptive admission rides the same guarantee as the fixed threshold: it
+// only modulates slot occupancy, never what a query returns.
+TEST(ResultCacheTest, AdaptiveAdmissionKeepsResultsByteIdentical) {
+  GstdOptions opt;
+  opt.num_objects = 36;
+  opt.samples_per_object = 90;
+  opt.seed = 33;
+  const TrajectoryStore store = GenerateGstd(opt);
+  TBTree index;
+  index.BuildFrom(store);
+
+  ResultCache adaptive(/*capacity_entries=*/1024);
+  adaptive.SetAdaptiveAdmission(true);
+  const BFMstSearch s_adaptive(&index, &store, &adaptive);
+  const BFMstSearch s_plain(&index, &store);
+
+  MstOptions q_opt;
+  q_opt.k = 5;
+  q_opt.exact_postprocess = true;
+  Rng rng(39);
+  for (int i = 0; i < 6; ++i) {
+    const Trajectory& q =
+        store.trajectories()[rng.UniformIndex(store.trajectories().size())];
+    q_opt.exclude_id = q.id();
+    for (int pass = 0; pass < 2; ++pass) {
+      MstStats st_adaptive;
+      MstStats st_plain;
+      const auto a = s_adaptive.Search(q, q.Lifespan(), q_opt, &st_adaptive);
+      const auto p = s_plain.Search(q, q.Lifespan(), q_opt, &st_plain);
+      ASSERT_EQ(a.size(), p.size());
+      for (size_t j = 0; j < p.size(); ++j) {
+        EXPECT_EQ(a[j].id, p[j].id);
+        EXPECT_EQ(a[j].dissim, p[j].dissim);
+      }
+      EXPECT_EQ(st_adaptive.nodes_accessed, st_plain.nodes_accessed);
+    }
+  }
+  // The search fed real (finite) refine costs into the estimator, and the
+  // expensive half still produced cache hits on the repeat passes.
+  EXPECT_GT(adaptive.admission_cost_estimate(), 0.0);
+  EXPECT_GT(adaptive.hits(), 0);
+}
+
 // The tentpole guarantee, locked per policy: attaching the cache changes no
 // result byte and no node-access metric; it only converts repeated
 // post-processing integrals into hits.

@@ -51,6 +51,8 @@ WORKLOAD_FIELDS = (
     "seed",
     "hardware_threads",
     "buffer_fraction",
+    "cache_fraction",
+    "hit_reps",
 )
 
 # Ratios below this are measurement noise; a relative drop says nothing.
@@ -70,9 +72,12 @@ def is_ratio_metric(name):
 def is_workload_shaped_metric(name):
     # decode_speed_ratio and warm_speedup divide decode-bound work by a
     # baseline whose cost is set by where the page set sits in the memory
-    # hierarchy, so they only mean something at matching scale.
+    # hierarchy, so they only mean something at matching scale. The node
+    # cache's capacity and warm-throughput ratios are likewise shaped by
+    # the byte budget and working-set size, both functions of the workload.
     return (name.startswith("qps_") or name.endswith("hit_rate")
-            or name in ("decode_speed_ratio", "warm_speedup"))
+            or name in ("decode_speed_ratio", "warm_speedup",
+                        "cached_capacity_ratio", "warm_cache_ratio"))
 
 
 def load(path, role):

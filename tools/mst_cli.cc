@@ -93,6 +93,7 @@ int CmdIndex(int argc, char** argv) {
   std::string data;
   std::string kind = "tbtree";
   std::string leaf_format = "v2";
+  std::string internal_format = "v1";
   std::string out;
   FlagParser flags;
   flags.AddString("data", &data, "input CSV dataset (required)");
@@ -100,6 +101,9 @@ int CmdIndex(int argc, char** argv) {
   flags.AddString("leaf_format", &leaf_format,
                   "leaf page layout: v1 (row-major) | v2 (columnar) | "
                   "v3 (compressed columnar)");
+  flags.AddString("internal_format", &internal_format,
+                  "internal-node page layout: v1 (raw) | v3 (compressed "
+                  "columnar)");
   flags.AddString("out", &out, "output index path (required)");
   if (!flags.Parse(argc, argv)) return 1;
   if (data.empty() || out.empty()) {
@@ -118,6 +122,13 @@ int CmdIndex(int argc, char** argv) {
     options.leaf_format = LeafPageFormat::kV3Compressed;
   } else {
     return Fail("unknown --leaf_format (use v1, v2 or v3)");
+  }
+  if (internal_format == "v1") {
+    options.internal_format = InternalPageFormat::kV1Aos;
+  } else if (internal_format == "v3") {
+    options.internal_format = InternalPageFormat::kV3Compressed;
+  } else {
+    return Fail("unknown --internal_format (use v1 or v3)");
   }
   std::unique_ptr<TrajectoryIndex> index;
   bool bulk = false;
@@ -178,7 +189,8 @@ struct QueryContext {
 };
 
 bool LoadContext(const std::string& data, const std::string& index_path,
-                 QueryContext* ctx) {
+                 QueryContext* ctx, bool node_cache_bytes = false,
+                 bool node_cache_compressed = false) {
   ctx->store = LoadData(data);
   if (!ctx->store.has_value()) return false;
   std::string error;
@@ -188,6 +200,9 @@ bool LoadContext(const std::string& data, const std::string& index_path,
     return false;
   }
   ctx->index->ConfigurePaperBuffer();
+  // Cache knobs apply after the paper-buffer reset so both start cold.
+  if (node_cache_bytes) ctx->index->node_cache().SetByteBudgetMode(true);
+  if (node_cache_compressed) ctx->index->node_cache().SetCompressedMode(true);
   return true;
 }
 
@@ -199,6 +214,8 @@ int CmdMst(int argc, char** argv) {
   double end = 0.0;
   int64_t k = 1;
   bool eager = false;
+  bool node_cache_bytes = false;
+  bool node_cache_compressed = false;
   FlagParser flags;
   flags.AddString("data", &data, "CSV dataset (required)");
   flags.AddString("index", &index_path, "index file (required)");
@@ -208,13 +225,20 @@ int CmdMst(int argc, char** argv) {
   flags.AddDouble("end", &end, "query period end (0 = full lifespan)");
   flags.AddInt("k", &k, "number of results");
   flags.AddBool("eager", &eager, "use eager completion (TB-tree only)");
+  flags.AddBool("node_cache_bytes", &node_cache_bytes,
+                "charge the node cache by resident bytes instead of entries");
+  flags.AddBool("node_cache_compressed", &node_cache_compressed,
+                "retain v3 pages encoded in the node cache, decode on hit");
   if (!flags.Parse(argc, argv)) return 1;
   if (data.empty() || index_path.empty()) {
     flags.PrintUsage("mst_cli mst");
     return Fail("--data and --index are required");
   }
   QueryContext ctx;
-  if (!LoadContext(data, index_path, &ctx)) return 1;
+  if (!LoadContext(data, index_path, &ctx, node_cache_bytes,
+                   node_cache_compressed)) {
+    return 1;
+  }
   const Trajectory* base = ctx.store->Find(query_id);
   if (base == nullptr) return Fail("unknown --query-id");
   if (end <= begin) {
@@ -250,6 +274,20 @@ int CmdMst(int argc, char** argv) {
               static_cast<long long>(stats.nodes_accessed),
               static_cast<long long>(stats.total_nodes),
               100.0 * stats.PruningPower());
+  const NodeCache& cache = ctx.index->node_cache();
+  if (cache.enabled()) {
+    std::string encoded;
+    if (cache.compressed()) {
+      encoded = ", " + std::to_string(cache.resident_compressed()) +
+                " held encoded";
+    }
+    std::printf("node cache: %zu nodes resident, %.1f KB%s (%s charging), "
+                "%lld hits / %lld misses\n",
+                cache.resident_nodes(), cache.resident_bytes() / 1024.0,
+                encoded.c_str(), cache.byte_budget() ? "byte" : "entry",
+                static_cast<long long>(cache.hits()),
+                static_cast<long long>(cache.misses()));
+  }
   return 0;
 }
 
