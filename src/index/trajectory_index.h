@@ -22,6 +22,18 @@
 
 namespace mst {
 
+/// Insertion policy of the 3D R-tree (only RTree3D reads it; the TB-tree and
+/// STR-tree have their own placement rules, and bulk loading is always STR).
+/// kQuadratic is Guttman's original algorithm and stays the default so every
+/// existing build remains bit-identical; kRStar enables the R*-tree
+/// construction path (Beckmann et al.): overlap-minimizing ChooseSubtree at
+/// the leaf level, margin-based split axis choice with minimum-overlap
+/// distribution, and forced reinsertion on first overflow per level.
+enum class RTreeVariant : uint8_t {
+  kQuadratic = 0,
+  kRStar = 1,
+};
+
 /// Abstract paged trajectory index over 3D (x, y, t) line segments.
 ///
 /// Shared machinery (page file, buffer manager, node I/O and access
@@ -58,6 +70,19 @@ class TrajectoryIndex {
     bool buffer_budget_bytes = false;
     bool node_cache_budget_bytes = false;
     bool node_cache_compressed = false;
+    /// Incremental-insert policy of the 3D R-tree (see RTreeVariant). Tree
+    /// shape only: page formats, bulk loading (always STR), and exact k-MST
+    /// results are unaffected by this knob.
+    RTreeVariant rtree_variant = RTreeVariant::kQuadratic;
+    /// Time-axis weight of the R* build's margin-based decisions (split-axis
+    /// choice, margin tiebreaks, reinsertion distances). Volume comparisons
+    /// are invariant under axis scaling, so this steers only where margins
+    /// decide. >1 prioritizes temporally tight nodes, which is what the
+    /// paper's time-windowed k-MST workload prunes on (every query restricts
+    /// search to its lifespan window before any distance bound applies);
+    /// 1.0 is the isotropic textbook R* measure. The default is calibrated
+    /// on the Table 3 query mix — see bench_index_quality / EXPERIMENTS.
+    double rstar_time_weight = 16.0;
   };
 
   virtual ~TrajectoryIndex();

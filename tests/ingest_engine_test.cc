@@ -217,6 +217,38 @@ TEST(IngestEngineTest, MergeEmitsConfiguredLeafAndInternalFormats) {
   ExpectMatchesOracle(engine, options.index);
 }
 
+// The rtree_variant knob flows through Options::index into the engine's
+// trees: delta trees grow by one-at-a-time insertion, so with kRStar they
+// exercise the full R* path (overlap ChooseSubtree, margin splits, forced
+// reinsertion) on live ingested data, while merge targets stay STR-packed
+// (bulk load ignores the insertion variant by design). However the entries
+// are distributed, the quiesced engine must answer bitwise-identically to a
+// fresh bulk load of the final trajectory set.
+TEST(IngestEngineTest, RStarVariantMatchesFreshBulkLoadWhenQuiesced) {
+  MemWalStorageSet storage;
+  IngestEngine::Options options;
+  options.index.rtree_variant = RTreeVariant::kRStar;
+  IngestEngine engine(&storage, options);
+  RecordFeed feed(71, /*num_ids=*/16);
+
+  // Live phase: every segment sits in the R*-inserted delta tree.
+  for (int b = 0; b < 60; ++b) ASSERT_TRUE(engine.Append(feed.NextBatch()));
+  EXPECT_GT(engine.delta_entries(), 0u);
+  ExpectMatchesOracle(engine, options.index);
+
+  // Quiesced: the merge drains the R*-built delta into the packed main.
+  engine.Merge();
+  ASSERT_EQ(engine.delta_entries(), 0u);
+  ExpectMatchesOracle(engine, options.index);
+
+  // Second round, so a non-empty main absorbs another R*-built delta.
+  for (int b = 0; b < 30; ++b) ASSERT_TRUE(engine.Append(feed.NextBatch()));
+  EXPECT_GT(engine.delta_entries(), 0u);
+  engine.Merge();
+  ASSERT_EQ(engine.delta_entries(), 0u);
+  ExpectMatchesOracle(engine, options.index);
+}
+
 TEST(IngestEngineTest, MergePreservesResultsBitwise) {
   MemWalStorageSet storage;
   IngestEngine engine(&storage);

@@ -32,11 +32,13 @@
 namespace mst {
 namespace {
 
-enum class IndexKind { kRTree3D, kRTree3DBulk, kTBTree, kSTRTree };
+enum class IndexKind { kRTree3D, kRTree3DRStar, kRTree3DBulk, kTBTree,
+                       kSTRTree };
 
 const char* KindName(IndexKind kind) {
   switch (kind) {
     case IndexKind::kRTree3D: return "RTree3D";
+    case IndexKind::kRTree3DRStar: return "RTree3DRStar";
     case IndexKind::kRTree3DBulk: return "RTree3DBulk";
     case IndexKind::kTBTree: return "TBTree";
     case IndexKind::kSTRTree: return "STRTree";
@@ -57,6 +59,10 @@ class MetamorphicTest
     store_ = new TrajectoryStore(GenerateGstd(opt));
     rtree_ = new RTree3D();
     rtree_->BuildFrom(*store_);
+    TrajectoryIndex::Options rstar_opt;
+    rstar_opt.rtree_variant = RTreeVariant::kRStar;
+    rtree_rstar_ = new RTree3D(rstar_opt);
+    rtree_rstar_->BuildFrom(*store_);
     rtree_bulk_ = new RTree3D();
     rtree_bulk_->BulkLoad(*store_);
     tbtree_ = new TBTree();
@@ -68,11 +74,13 @@ class MetamorphicTest
   static void TearDownTestSuite() {
     delete store_;
     delete rtree_;
+    delete rtree_rstar_;
     delete rtree_bulk_;
     delete tbtree_;
     delete strtree_;
     store_ = nullptr;
     rtree_ = nullptr;
+    rtree_rstar_ = nullptr;
     rtree_bulk_ = nullptr;
     tbtree_ = nullptr;
     strtree_ = nullptr;
@@ -81,6 +89,7 @@ class MetamorphicTest
   const TrajectoryIndex& index() const {
     switch (std::get<0>(GetParam())) {
       case IndexKind::kRTree3D: return *rtree_;
+      case IndexKind::kRTree3DRStar: return *rtree_rstar_;
       case IndexKind::kRTree3DBulk: return *rtree_bulk_;
       case IndexKind::kTBTree: return *tbtree_;
       case IndexKind::kSTRTree: return *strtree_;
@@ -106,6 +115,7 @@ class MetamorphicTest
 
   static TrajectoryStore* store_;
   static RTree3D* rtree_;
+  static RTree3D* rtree_rstar_;
   static RTree3D* rtree_bulk_;
   static TBTree* tbtree_;
   static STRTree* strtree_;
@@ -113,6 +123,7 @@ class MetamorphicTest
 
 TrajectoryStore* MetamorphicTest::store_ = nullptr;
 RTree3D* MetamorphicTest::rtree_ = nullptr;
+RTree3D* MetamorphicTest::rtree_rstar_ = nullptr;
 RTree3D* MetamorphicTest::rtree_bulk_ = nullptr;
 TBTree* MetamorphicTest::tbtree_ = nullptr;
 STRTree* MetamorphicTest::strtree_ = nullptr;
@@ -231,6 +242,76 @@ TEST_P(MetamorphicTest, ResultsSortedUniqueAndExclusionRespected) {
   EXPECT_EQ(without[0].id, got[1].id);
 }
 
+// R* equivalence sweep: the construction variant changes the tree shape and
+// nothing else. With exact post-processing the answers are a pure function
+// of the trajectory set, so a quadratic-built and an R*-built R-tree must
+// return bitwise-identical (id, dissim, error_bound) lists — under every
+// traversal policy, with the decoded-node cache on or off — and both must
+// agree with the LinearScan ground truth on ids and ranks.
+TEST(RStarEquivalenceTest, BitwiseEqualAcrossPoliciesAndCaches) {
+  GstdOptions opt;
+  opt.num_objects = 50;
+  opt.samples_per_object = 80;
+  opt.timestamp_jitter = 0.5;
+  opt.seed = 37;
+  const TrajectoryStore store(GenerateGstd(opt));
+
+  for (const size_t cache_nodes : {size_t{0}, size_t{1024}}) {
+    TrajectoryIndex::Options quad_opt;
+    quad_opt.node_cache_nodes = cache_nodes;
+    RTree3D quad(quad_opt);
+    quad.BuildFrom(store);
+
+    TrajectoryIndex::Options rstar_opt = quad_opt;
+    rstar_opt.rtree_variant = RTreeVariant::kRStar;
+    RTree3D rstar(rstar_opt);
+    rstar.BuildFrom(store);
+
+    const BFMstSearch quad_search(&quad, &store);
+    const BFMstSearch rstar_search(&rstar, &store);
+    Rng rng(39);
+    for (int trial = 0; trial < 4; ++trial) {
+      const Trajectory& base =
+          store.trajectories()[rng.UniformIndex(store.size())];
+      const double span = base.end_time() - base.start_time();
+      const double begin = base.start_time() + rng.Uniform(0.0, 0.7 * span);
+      const Trajectory query(515151,
+                             base.Slice({begin, begin + 0.25 * span})->samples());
+      const TimeInterval period = query.Lifespan();
+
+      for (const IntegrationPolicy policy :
+           {IntegrationPolicy::kTrapezoid, IntegrationPolicy::kExact,
+            IntegrationPolicy::kAdaptive}) {
+        MstOptions options;
+        options.k = 7;
+        options.policy = policy;
+        options.exact_postprocess = true;
+        options.exclude_id = base.id();
+        const std::vector<MstResult> want =
+            quad_search.Search(query, period, options);
+        const std::vector<MstResult> got =
+            rstar_search.Search(query, period, options);
+        ASSERT_EQ(got.size(), want.size())
+            << "policy=" << static_cast<int>(policy)
+            << " cache=" << cache_nodes << " trial=" << trial;
+        for (size_t i = 0; i < want.size(); ++i) {
+          EXPECT_EQ(got[i].id, want[i].id) << "rank " << i;
+          EXPECT_EQ(got[i].dissim, want[i].dissim) << "rank " << i;
+          EXPECT_EQ(got[i].error_bound, want[i].error_bound) << "rank " << i;
+        }
+
+        const std::vector<MstResult> truth = LinearScanKMst(
+            store, query, period, options.k, IntegrationPolicy::kExact,
+            base.id());
+        ASSERT_EQ(want.size(), truth.size());
+        for (size_t i = 0; i < want.size(); ++i) {
+          EXPECT_EQ(want[i].id, truth[i].id) << "rank " << i;
+        }
+      }
+    }
+  }
+}
+
 // Ingest metamorphic property: however appends and merges interleave, the
 // engine's answers equal a fresh STR bulk-load of the final trajectory set
 // — under every traversal policy, with the result cache on or off, and with
@@ -339,6 +420,7 @@ INSTANTIATE_TEST_SUITE_P(Schedules, IngestMetamorphicTest,
 INSTANTIATE_TEST_SUITE_P(
     AllIndexes, MetamorphicTest,
     ::testing::Combine(::testing::Values(IndexKind::kRTree3D,
+                                         IndexKind::kRTree3DRStar,
                                          IndexKind::kRTree3DBulk,
                                          IndexKind::kTBTree,
                                          IndexKind::kSTRTree),

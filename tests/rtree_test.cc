@@ -94,6 +94,107 @@ TEST(QuadraticSplitTest, SeparatesTwoClusters) {
   EXPECT_NE(group[0], group[36]);
 }
 
+TEST(RStarSplitTest, RespectsMinFill) {
+  Rng rng(191);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<Mbb3> boxes;
+    const int n = IndexNode::kCapacity + 1;
+    for (int i = 0; i < n; ++i) {
+      const TPoint a{rng.Uniform(0, 10), {rng.Uniform(0, 10),
+                                          rng.Uniform(0, 10)}};
+      const TPoint b{a.t + rng.Uniform(0.01, 1.0),
+                     {a.p.x + rng.Uniform(-1, 1), a.p.y + rng.Uniform(-1, 1)}};
+      boxes.push_back(Mbb3::OfSegment(a, b));
+    }
+    const int min_fill = 29;
+    // Both the isotropic and the time-weighted measures must produce legal
+    // distributions.
+    const double weight = trial % 2 == 0 ? 1.0 : 16.0;
+    const std::vector<int> group = RStarSplit(boxes, min_fill, weight);
+    ASSERT_EQ(group.size(), boxes.size());
+    int c0 = 0;
+    int c1 = 0;
+    for (int g : group) {
+      ASSERT_TRUE(g == 0 || g == 1);
+      (g == 0 ? c0 : c1)++;
+    }
+    EXPECT_GE(c0, min_fill);
+    EXPECT_GE(c1, min_fill);
+    EXPECT_EQ(c0 + c1, n);
+  }
+}
+
+TEST(RStarSplitTest, SeparatesTwoClusters) {
+  // Two well-separated spatial clusters should end up in different groups.
+  std::vector<Mbb3> boxes;
+  Rng rng(193);
+  for (int i = 0; i < 36; ++i) {
+    const TPoint a{rng.Uniform(0, 1), {rng.Uniform(0, 1), rng.Uniform(0, 1)}};
+    boxes.push_back(Mbb3::OfSegment(a, {a.t + 0.1, a.p}));
+  }
+  for (int i = 0; i < 37; ++i) {
+    const TPoint a{rng.Uniform(0, 1),
+                   {rng.Uniform(100, 101), rng.Uniform(100, 101)}};
+    boxes.push_back(Mbb3::OfSegment(a, {a.t + 0.1, a.p}));
+  }
+  const std::vector<int> group = RStarSplit(boxes, 29);
+  for (size_t i = 1; i < 36; ++i) EXPECT_EQ(group[i], group[0]);
+  for (size_t i = 37; i < 73; ++i) EXPECT_EQ(group[i], group[36]);
+  EXPECT_NE(group[0], group[36]);
+}
+
+TEST(RStarSplitTest, TimeWeightSeparatesTemporalClusters) {
+  // Two temporal clusters whose spatial spread dominates the isotropic
+  // margin: the unweighted measure splits on x, the time-weighted one on t.
+  std::vector<Mbb3> boxes;
+  Rng rng(197);
+  for (int i = 0; i < 73; ++i) {
+    const double t = (i % 2 == 0) ? rng.Uniform(0.0, 1.0)
+                                  : rng.Uniform(10.0, 11.0);
+    const double x = rng.Uniform(0.0, 100.0);
+    const TPoint a{t, {x, rng.Uniform(0.0, 1.0)}};
+    boxes.push_back(Mbb3::OfSegment(a, {a.t + 0.05, a.p}));
+  }
+  const std::vector<int> weighted = RStarSplit(boxes, 29, 1000.0);
+  for (size_t i = 2; i < boxes.size(); i += 2) {
+    EXPECT_EQ(weighted[i], weighted[0]) << i;
+  }
+  for (size_t i = 3; i < boxes.size(); i += 2) {
+    EXPECT_EQ(weighted[i], weighted[1]) << i;
+  }
+  EXPECT_NE(weighted[0], weighted[1]);
+}
+
+TEST(ChooseSubtreeRStarTest, MinimizesOverlapEnlargementOverVolume) {
+  // Child A is thin (small volume enlargement) but growing it toward the box
+  // would sweep across sibling B; child B needs a slightly larger volume
+  // enlargement but creates no new overlap. The quadratic rule picks A, the
+  // R* leaf-level rule must pick B.
+  const auto box3 = [](double xlo, double xhi, double ylo, double yhi) {
+    Mbb3 b;
+    b.xlo = xlo;
+    b.xhi = xhi;
+    b.ylo = ylo;
+    b.yhi = yhi;
+    b.tlo = 0.0;
+    b.thi = 1.0;
+    return b;
+  };
+  IndexNode node;
+  node.level = 1;
+  node.internals.push_back({box3(0.0, 10.0, 0.0, 0.1), 1, 0});   // A
+  node.internals.push_back({box3(10.5, 11.5, 0.0, 1.0), 2, 0});  // B
+  const Mbb3 target = box3(11.6, 11.7, 0.0, 0.05);
+  // dv(A) = 1.7 * 0.1 = 0.17 < dv(B) = 0.2 * 1.0, but enlarging A overlaps
+  // B (dov 0.1) while enlarging B overlaps nothing.
+  EXPECT_EQ(ChooseSubtreeIndex(node, target), 0);
+  EXPECT_EQ(ChooseSubtreeRStarIndex(node, target), 1);
+
+  // A box already contained in a child always goes there: zero enlargement,
+  // zero overlap growth.
+  EXPECT_EQ(ChooseSubtreeRStarIndex(node, box3(10.6, 10.7, 0.4, 0.5)), 1);
+}
+
 class RTreeBuildTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(RTreeBuildTest, InvariantsAndCompleteness) {
@@ -299,6 +400,151 @@ TEST(RTreeDeathTest, BulkLoadRequiresEmptyTree) {
   store.Add(Trajectory(2, {{0.0, {0, 0}}, {1.0, {1, 1}}}));
   EXPECT_DEATH(tree.BulkLoad(store), "empty tree");
 }
+
+// The three insertion regimes the structural checker must hold under:
+// pure Guttman quadratic, pure R* (ChooseSubtree + split + forced
+// reinsertion), and reinsertion-heavy — R* inserts raining onto a bulk-
+// loaded tree whose ~100%-full nodes overflow (and therefore reinsert or
+// split) almost immediately.
+enum class BuildPolicy { kQuadratic, kRStar, kBulkThenRStar };
+
+const char* PolicyName(BuildPolicy policy) {
+  switch (policy) {
+    case BuildPolicy::kQuadratic: return "Quadratic";
+    case BuildPolicy::kRStar: return "RStar";
+    case BuildPolicy::kBulkThenRStar: return "BulkThenRStar";
+  }
+  return "?";
+}
+
+TrajectoryIndex::Options PolicyOptions(BuildPolicy policy) {
+  TrajectoryIndex::Options options;
+  if (policy != BuildPolicy::kQuadratic) {
+    options.rtree_variant = RTreeVariant::kRStar;
+  }
+  return options;
+}
+
+class RTreeStructureTest : public ::testing::TestWithParam<BuildPolicy> {};
+
+TEST_P(RTreeStructureTest, BuildSatisfiesStructuralInvariants) {
+  const BuildPolicy policy = GetParam();
+  GstdOptions opt;
+  opt.num_objects = 40;
+  opt.samples_per_object = 60;
+  opt.seed = 29;
+  const TrajectoryStore store = GenerateGstd(opt);
+
+  RTree3D tree{PolicyOptions(policy)};
+  if (policy == BuildPolicy::kBulkThenRStar) {
+    GstdOptions base_opt = opt;
+    base_opt.num_objects = 20;
+    base_opt.seed = 31;
+    const TrajectoryStore base = GenerateGstd(base_opt);
+    tree.BulkLoad(base);
+    for (const Trajectory& t : store.trajectories()) {
+      for (size_t i = 0; i + 1 < t.size(); ++i) {
+        tree.Insert(LeafEntry::Of(t.id(), t.sample(i), t.sample(i + 1)));
+      }
+    }
+  } else {
+    tree.BuildFrom(store);
+  }
+
+  tree.CheckInvariants();
+  // Bulk-loaded remainder tiles may legally sit below the insertion paths'
+  // split minimum.
+  testing_util::CheckRTreeStructure(
+      tree, /*expect_min_fill=*/policy != BuildPolicy::kBulkThenRStar);
+
+  std::vector<LeafEntry> collected;
+  CollectAll(tree, tree.root(), &collected);
+  std::vector<LeafEntry> expected;
+  for (const Trajectory& t : store.trajectories()) {
+    for (size_t i = 0; i + 1 < t.size(); ++i) {
+      expected.push_back(LeafEntry::Of(t.id(), t.sample(i), t.sample(i + 1)));
+    }
+  }
+  if (policy == BuildPolicy::kBulkThenRStar) {
+    GstdOptions base_opt = opt;
+    base_opt.num_objects = 20;
+    base_opt.seed = 31;
+    const TrajectoryStore base = GenerateGstd(base_opt);
+    for (const Trajectory& t : base.trajectories()) {
+      for (size_t i = 0; i + 1 < t.size(); ++i) {
+        expected.push_back(LeafEntry::Of(t.id(), t.sample(i), t.sample(i + 1)));
+      }
+    }
+  }
+  EXPECT_EQ(Keys(collected), Keys(expected));
+}
+
+TEST_P(RTreeStructureTest, IncrementalInsertThenQueryFuzz) {
+  const BuildPolicy policy = GetParam();
+  Rng rng(41 + static_cast<uint64_t>(policy));
+  RTree3D tree{PolicyOptions(policy)};
+  std::vector<LeafEntry> shadow;
+
+  if (policy == BuildPolicy::kBulkThenRStar) {
+    GstdOptions opt;
+    opt.num_objects = 8;
+    opt.samples_per_object = 50;
+    opt.seed = 43;
+    const TrajectoryStore base = GenerateGstd(opt);
+    tree.BulkLoad(base);
+    for (const Trajectory& t : base.trajectories()) {
+      for (size_t i = 0; i + 1 < t.size(); ++i) {
+        shadow.push_back(LeafEntry::Of(t.id(), t.sample(i), t.sample(i + 1)));
+      }
+    }
+  }
+
+  for (int batch = 0; batch < 25; ++batch) {
+    for (int i = 0; i < 30; ++i) {
+      const TPoint a{rng.Uniform(0.0, 1.0),
+                     {rng.Uniform(0.0, 1.0), rng.Uniform(0.0, 1.0)}};
+      const TPoint b{a.t + rng.Uniform(0.001, 0.05),
+                     {a.p.x + rng.Uniform(-0.05, 0.05),
+                      a.p.y + rng.Uniform(-0.05, 0.05)}};
+      const LeafEntry entry =
+          LeafEntry::Of(static_cast<TrajectoryId>(batch * 100 + i), a, b);
+      tree.Insert(entry);
+      shadow.push_back(entry);
+    }
+    // Query mid-growth: the tree must stay correct between batches, not
+    // just at the end.
+    for (int q = 0; q < 3; ++q) {
+      Mbb3 box;
+      box.xlo = rng.Uniform(0.0, 0.8);
+      box.xhi = box.xlo + rng.Uniform(0.05, 0.3);
+      box.ylo = rng.Uniform(0.0, 0.8);
+      box.yhi = box.ylo + rng.Uniform(0.05, 0.3);
+      box.tlo = rng.Uniform(0.0, 0.8);
+      box.thi = box.tlo + rng.Uniform(0.05, 0.3);
+      std::vector<LeafEntry> via_tree;
+      RangeQuery(tree, tree.root(), box, &via_tree);
+      std::vector<LeafEntry> brute;
+      for (const LeafEntry& e : shadow) {
+        if (e.Bounds().Intersects(box)) brute.push_back(e);
+      }
+      ASSERT_EQ(Keys(via_tree), Keys(brute))
+          << PolicyName(policy) << " batch " << batch << " query " << q;
+    }
+  }
+
+  tree.CheckInvariants();
+  testing_util::CheckRTreeStructure(
+      tree, /*expect_min_fill=*/policy != BuildPolicy::kBulkThenRStar);
+  EXPECT_EQ(tree.EntryCount(), static_cast<int64_t>(shadow.size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(BuildPolicies, RTreeStructureTest,
+                         ::testing::Values(BuildPolicy::kQuadratic,
+                                           BuildPolicy::kRStar,
+                                           BuildPolicy::kBulkThenRStar),
+                         [](const auto& info) {
+                           return PolicyName(info.param);
+                         });
 
 TEST(RTreeTest, EmptyTree) {
   RTree3D tree;

@@ -5,10 +5,14 @@
 #ifndef MST_TESTS_TEST_UTIL_H_
 #define MST_TESTS_TEST_UTIL_H_
 
+#include <gtest/gtest.h>
+
 #include <cmath>
+#include <set>
 #include <vector>
 
 #include "src/geom/trajectory.h"
+#include "src/index/rtree3d.h"
 #include "src/util/random.h"
 
 namespace mst {
@@ -76,6 +80,88 @@ inline double NumericDissim(const Trajectory& q, const Trajectory& t,
     sum += Distance(a, b) * h;
   }
   return sum;
+}
+
+namespace internal {
+
+inline void CheckRTreeSubtree(const TrajectoryIndex& index, PageId id,
+                              int expected_level, bool expect_min_fill,
+                              int min_fill, std::set<PageId>* visited,
+                              int64_t* leaf_entries) {
+  ASSERT_TRUE(visited->insert(id).second)
+      << "page " << id << " reachable twice (DAG, not a tree)";
+  const NodeRef node = index.ReadNode(id);
+  ASSERT_EQ(node->level, expected_level) << "page " << id;
+  EXPECT_EQ(node->IsLeaf(), expected_level == 0);
+
+  const int count = node->Count();
+  EXPECT_LE(count, IndexNode::kCapacity) << "page " << id;
+  if (id == index.root()) {
+    // The root is exempt from min fill but must not be trivial: an internal
+    // root with one child would add a pointless level.
+    EXPECT_GE(count, node->IsLeaf() ? 1 : 2) << "root " << id;
+  } else if (expect_min_fill) {
+    EXPECT_GE(count, min_fill) << "page " << id;
+  } else {
+    EXPECT_GE(count, 1) << "page " << id;
+  }
+
+  if (node->IsLeaf()) {
+    *leaf_entries += count;
+    return;
+  }
+  for (int i = 0; i < count; ++i) {
+    const InternalEntry& e = node->internals[i];
+    {
+      const NodeRef child = index.ReadNode(e.child);
+      const Mbb3 got = child->Bounds();
+      // The routing MBB must contain AND exactly cover the child — every
+      // maintenance path (split, expand, tighten, bulk pack) recomputes or
+      // exactly extends bounds, so equality is checked bitwise. Equality
+      // implies containment, so slack and clipping both fail here.
+      EXPECT_EQ(e.mbb.tlo, got.tlo) << "page " << id << " child " << i;
+      EXPECT_EQ(e.mbb.thi, got.thi) << "page " << id << " child " << i;
+      EXPECT_EQ(e.mbb.xlo, got.xlo) << "page " << id << " child " << i;
+      EXPECT_EQ(e.mbb.xhi, got.xhi) << "page " << id << " child " << i;
+      EXPECT_EQ(e.mbb.ylo, got.ylo) << "page " << id << " child " << i;
+      EXPECT_EQ(e.mbb.yhi, got.yhi) << "page " << id << " child " << i;
+    }
+    CheckRTreeSubtree(index, e.child, expected_level - 1, expect_min_fill,
+                      min_fill, visited, leaf_entries);
+  }
+}
+
+}  // namespace internal
+
+/// Structural invariant check for R-tree-family indexes, shared by the unit
+/// tests of every construction policy (quadratic insert, R* insert with
+/// forced reinsertion, STR bulk load):
+///   - a single root reaching every allocated page exactly once;
+///   - uniform leaf depth (node levels decrease by one down to 0);
+///   - fill bounds: no node above capacity; non-root nodes at or above
+///     `min_fill` when `expect_min_fill` (insertion-built trees — pass false
+///     for bulk-loaded trees, whose remainder tiles may pack fewer);
+///   - routing MBBs that contain and exactly cover their child's bounds;
+///   - leaf entries summing to EntryCount().
+/// Defaults `min_fill` to the R-tree's split minimum. Reports violations as
+/// gtest failures at the call site.
+inline void CheckRTreeStructure(
+    const TrajectoryIndex& index, bool expect_min_fill = true,
+    int min_fill =
+        static_cast<int>(IndexNode::kCapacity * RTree3D::kMinFillFraction)) {
+  if (index.empty()) {
+    EXPECT_EQ(index.height(), 0);
+    EXPECT_EQ(index.EntryCount(), 0);
+    return;
+  }
+  std::set<PageId> visited;
+  int64_t leaf_entries = 0;
+  internal::CheckRTreeSubtree(index, index.root(), index.height() - 1,
+                              expect_min_fill, min_fill, &visited,
+                              &leaf_entries);
+  EXPECT_EQ(static_cast<int64_t>(visited.size()), index.NodeCount())
+      << "orphaned pages: allocated but unreachable from the root";
+  EXPECT_EQ(leaf_entries, index.EntryCount());
 }
 
 }  // namespace testing_util

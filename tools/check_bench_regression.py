@@ -75,9 +75,14 @@ def is_workload_shaped_metric(name):
     # hierarchy, so they only mean something at matching scale. The node
     # cache's capacity and warm-throughput ratios are likewise shaped by
     # the byte budget and working-set size, both functions of the workload.
+    # The index-quality ratios (node accesses / cold reads, quadratic over
+    # R*) depend on tree height and fanout utilisation, which change with
+    # dataset cardinality — a --quick S0200 ratio is not the committed
+    # S1000 baseline's, so they are only gated at matching scale.
     return (name.startswith("qps_") or name.endswith("hit_rate")
             or name in ("decode_speed_ratio", "warm_speedup",
-                        "cached_capacity_ratio", "warm_cache_ratio"))
+                        "cached_capacity_ratio", "warm_cache_ratio",
+                        "node_access_ratio", "cold_read_ratio"))
 
 
 def load(path, role):

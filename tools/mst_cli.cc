@@ -94,6 +94,7 @@ int CmdIndex(int argc, char** argv) {
   std::string kind = "tbtree";
   std::string leaf_format = "v2";
   std::string internal_format = "v1";
+  std::string rtree_variant = "quadratic";
   std::string out;
   FlagParser flags;
   flags.AddString("data", &data, "input CSV dataset (required)");
@@ -104,6 +105,10 @@ int CmdIndex(int argc, char** argv) {
   flags.AddString("internal_format", &internal_format,
                   "internal-node page layout: v1 (raw) | v3 (compressed "
                   "columnar)");
+  flags.AddString("rtree_variant", &rtree_variant,
+                  "--kind=rtree insertion policy: quadratic (Guttman) | "
+                  "rstar (R*: overlap ChooseSubtree, margin splits, forced "
+                  "reinsertion)");
   flags.AddString("out", &out, "output index path (required)");
   if (!flags.Parse(argc, argv)) return 1;
   if (data.empty() || out.empty()) {
@@ -129,6 +134,13 @@ int CmdIndex(int argc, char** argv) {
     options.internal_format = InternalPageFormat::kV3Compressed;
   } else {
     return Fail("unknown --internal_format (use v1 or v3)");
+  }
+  if (rtree_variant == "quadratic") {
+    options.rtree_variant = RTreeVariant::kQuadratic;
+  } else if (rtree_variant == "rstar") {
+    options.rtree_variant = RTreeVariant::kRStar;
+  } else {
+    return Fail("unknown --rtree_variant (use quadratic or rstar)");
   }
   std::unique_ptr<TrajectoryIndex> index;
   bool bulk = false;
